@@ -1,0 +1,22 @@
+"""Table I — pressure points for SPLATT MTTKRP (Poisson3, rank 128, one
+POWER8 core).
+
+Expected shape (paper Section IV-B): savings ordered
+type 1 (B removed) > type 2 (B in L1) > type 3 (no accumulator loads)
+> type 4 (C removed), with type 5 (flops moved inward) ~ no change.
+Paper values: 37.1%, 30.3%, 18.8%, 6.6%, -1.5%.
+"""
+
+from repro.bench import experiment_table1, render_rows, write_result
+
+
+def test_table1_ppa(benchmark):
+    rows = benchmark.pedantic(experiment_table1, rounds=1, iterations=1)
+    text = render_rows(rows, title="Table I: pressure points (modeled)")
+    write_result("table1_ppa", text)
+    print("\n" + text)
+
+    saving = {r["type"]: r["saving_%"] for r in rows}
+    assert saving[1] > saving[2] > saving[3] > saving[4]
+    assert abs(saving[5]) < 10.0
+    assert saving[6] == 0.0

@@ -1,0 +1,21 @@
+"""Table II — the data-set inventory, paper stats beside the scaled
+stand-ins, plus the Section III-C memory-footprint comparison
+(COO = 32*nnz bytes vs SPLATT = 16 + 8I + 16F + 16nnz bytes).
+
+Expected shape: SPLATT storage < COO storage for every data set (the
+fiber compression always wins at these fiber lengths).
+"""
+
+from repro.bench import experiment_table2, render_rows, write_result
+
+
+def test_table2_datasets(benchmark):
+    rows = benchmark.pedantic(experiment_table2, rounds=1, iterations=1)
+    text = render_rows(rows, title="Table II: data sets (paper vs stand-in)")
+    write_result("table2_datasets", text)
+    print("\n" + text)
+
+    assert len(rows) == 7
+    for row in rows:
+        assert row["splatt_MiB"] < row["coo_MiB"]
+        assert 0 < row["fibers_per_nnz"] <= 1.0

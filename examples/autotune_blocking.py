@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Autotuning blocking configurations with the Section V-C heuristic.
+
+For a chosen data set, sweeps the decomposition rank and reports the
+block sizes the greedy search picks and the modeled speedup over
+baseline SPLATT — a miniature of the paper's Figure 6 pipeline, and the
+"well designed autotuning framework" its conclusion calls for.
+
+Run:  python examples/autotune_blocking.py [dataset]
+"""
+
+import sys
+
+from repro.blocking import select_blocking
+from repro.machine import power8_socket
+from repro.perf import ConfigPlanner
+from repro.tensor import load_dataset
+from repro.tensor.datasets import DATASETS
+from repro.util import format_seconds, format_table
+
+dataset = sys.argv[1] if len(sys.argv) > 1 else "poisson2"
+tensor = load_dataset(dataset)
+machine = power8_socket().scaled(DATASETS[dataset].machine_scale)
+print(f"dataset: {dataset} -> {tensor}")
+print(f"machine: {machine.describe()}\n")
+
+planner = ConfigPlanner(tensor, mode=0)
+rows = []
+for rank in (16, 32, 64, 128, 256, 512):
+    evaluate = planner.evaluator(rank, machine)
+    baseline = evaluate(None, None)
+    choice = select_blocking(tensor, 0, rank, evaluate)
+    grid = (
+        "x".join(str(c) for c in choice.block_counts)
+        if choice.block_counts
+        else "-"
+    )
+    strips = (
+        f"{choice.rank_blocking.block_cols} cols"
+        if choice.rank_blocking
+        else "-"
+    )
+    rows.append(
+        [
+            rank,
+            format_seconds(baseline),
+            format_seconds(choice.cost),
+            f"{baseline / choice.cost:.2f}x",
+            grid,
+            strips,
+            choice.n_evaluations,
+        ]
+    )
+
+print(
+    format_table(
+        ["rank", "SPLATT", "tuned", "speedup", "MB grid", "rank strip", "evals"],
+        rows,
+        title="Section V-C heuristic choices (modeled times)",
+    )
+)

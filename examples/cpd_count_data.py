@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""End-to-end CP decomposition of count data with a blocked kernel.
+
+The motivating workload of the paper's introduction: factor-analyzing a
+multi-way count tensor (network traffic / social interactions style).
+We plant a ground-truth low-rank structure, decompose with CP-ALS driven
+by the MB+RankB kernel, and inspect what the model recovered.
+
+Run:  python examples/cpd_count_data.py
+"""
+
+import numpy as np
+
+from repro.cpd import KruskalTensor, cp_als
+from repro.tensor import COOTensor
+from repro.util import format_table
+
+# ----------------------------------------------------------------------
+# Plant a rank-4 "communication patterns" tensor: sources x targets x
+# hours, four latent behaviours with distinct daily profiles.
+# ----------------------------------------------------------------------
+rng = np.random.default_rng(7)
+n_src, n_dst, n_hours, true_rank = 80, 90, 24, 4
+
+src_load = rng.dirichlet(np.full(n_src, 0.08), size=true_rank).T
+dst_load = rng.dirichlet(np.full(n_dst, 0.08), size=true_rank).T
+hour_profiles = np.zeros((n_hours, true_rank))
+for r, peak in enumerate((3, 9, 14, 21)):  # night, morning, lunch, evening
+    hour_profiles[:, r] = np.exp(-0.5 * ((np.arange(n_hours) - peak) / 2.5) ** 2)
+hour_profiles /= hour_profiles.sum(axis=0)
+
+rates = np.full(true_rank, 60_000.0)
+truth = KruskalTensor(rates, [src_load, dst_load, hour_profiles])
+
+# Sample event counts from the model (Poisson thinning via multinomial).
+events_per_component = rng.multinomial(240_000, rates / rates.sum())
+coords = []
+for r, n_events in enumerate(events_per_component):
+    i = rng.choice(n_src, size=n_events, p=src_load[:, r])
+    j = rng.choice(n_dst, size=n_events, p=dst_load[:, r])
+    k = rng.choice(n_hours, size=n_events, p=hour_profiles[:, r])
+    coords.append(np.stack([i, j, k], axis=1))
+tensor = COOTensor(
+    (n_src, n_dst, n_hours),
+    np.concatenate(coords),
+    np.ones(sum(events_per_component)),
+).deduplicate()
+print(f"observed tensor: {tensor} (counts, density {tensor.density:.3f})")
+
+# ----------------------------------------------------------------------
+# Decompose with the combined blocked kernel.
+# ----------------------------------------------------------------------
+result = cp_als(
+    tensor,
+    rank=true_rank,
+    n_iters=60,
+    tol=1e-6,
+    kernel="mb+rankb",
+    kernel_params={"block_counts": (2, 2, 1), "n_rank_blocks": 1},
+    init="hosvd",
+    seed=1,
+)
+print(
+    f"CP-ALS (mb+rankb kernel): fit={result.final_fit:.4f} in "
+    f"{result.n_iters} iterations\n"
+)
+
+# ----------------------------------------------------------------------
+# Interpret: each recovered component's peak hour should match a planted
+# behaviour.
+# ----------------------------------------------------------------------
+model = result.model.normalize()
+order = np.argsort(-model.weights)
+rows = []
+for rank_pos, r in enumerate(order):
+    hour_col = np.abs(model.factors[2][:, r])
+    peak = int(np.argmax(hour_col))
+    top_src = int(np.argmax(np.abs(model.factors[0][:, r])))
+    rows.append(
+        [
+            rank_pos + 1,
+            f"{model.weights[r]:.3g}",
+            f"{peak:02d}:00",
+            top_src,
+            f"{hour_col[peak] / hour_col.sum():.2f}",
+        ]
+    )
+print(
+    format_table(
+        ["component", "weight", "peak hour", "top source", "peak share"],
+        rows,
+        title="recovered components (planted peaks: 03:00, 09:00, 14:00, 21:00)",
+    )
+)
+recovered_peaks = sorted(int(row[2][:2]) for row in rows)
+print(f"\nplanted peaks: [3, 9, 14, 21]  recovered: {recovered_peaks}")

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Roofline analysis of sparse MTTKRP (Section IV-A / Figure 2).
+
+Prints the Equation 3 arithmetic-intensity grid, the POWER8 roofline
+bound, and the memory-bound verdict for a real tensor measured through
+the machine model.
+
+Run:  python examples/roofline_analysis.py
+"""
+
+from repro.bench import experiment_fig2, render_series
+from repro.kernels import get_kernel
+from repro.machine import estimate_traffic, power8_socket
+from repro.perf import (
+    arithmetic_intensity,
+    attainable_gflops,
+    is_memory_bound,
+    predict_time,
+)
+from repro.tensor import load_dataset
+from repro.tensor.datasets import DATASETS
+
+machine = power8_socket()
+print(machine.describe())
+print(f"system balance: {machine.system_balance:.1f} flops/byte\n")
+
+# ----------------------------------------------------------------------
+# Figure 2: intensity vs rank for a grid of cache hit rates.
+# ----------------------------------------------------------------------
+data = experiment_fig2()
+print(render_series(data["x_label"], data["x_values"], data["series"],
+                    title="Figure 2: arithmetic intensity of SPLATT MTTKRP"))
+
+# ----------------------------------------------------------------------
+# Roofline bound at a few operating points.
+# ----------------------------------------------------------------------
+print("\nroofline attainable performance:")
+for rank in (16, 128, 1024):
+    for alpha in (0.8, 0.95, 1.0):
+        ai = arithmetic_intensity(rank, alpha)
+        bound = attainable_gflops(machine, ai)
+        verdict = "memory-bound" if is_memory_bound(machine, rank, alpha) else "compute-bound"
+        print(
+            f"  R={rank:5d} alpha={alpha:4.2f}: I={ai:6.2f} flops/B -> "
+            f"{bound:7.1f} Gflop/s ({verdict})"
+        )
+
+# ----------------------------------------------------------------------
+# A measured alpha for a real stand-in, through the traffic model.
+# ----------------------------------------------------------------------
+name = "poisson3"
+tensor = load_dataset(name)
+scaled = machine.scaled(DATASETS[name].machine_scale)
+plan = get_kernel("splatt").prepare(tensor, 0)
+for rank in (32, 256):
+    traffic = estimate_traffic(plan, rank, scaled)
+    tb = predict_time(plan, rank, scaled)
+    print(
+        f"\n{name} @ R={rank}: modeled alpha={traffic.factor_alpha:.3f} "
+        f"(B alone: {traffic.b.alpha:.3f}), "
+        f"memory time {tb.memory_time * 1e3:.2f} ms vs "
+        f"flop time {tb.flop_time * 1e3:.2f} ms"
+    )
+    print(f"  -> intensity at that alpha: "
+          f"{arithmetic_intensity(rank, traffic.factor_alpha):.2f} flops/byte; "
+          f"{'memory' if is_memory_bound(scaled, rank, traffic.factor_alpha) else 'compute'}-bound")

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Diagnose a tensor and autotune its MTTKRP — the workflow the paper's
+conclusion sketches as future work.
+
+1. structural analysis (:func:`repro.tensor.analyze`);
+2. performance diagnosis of the baseline kernel
+   (:func:`repro.perf.performance_report`);
+3. autotuning with a persistent cache (:mod:`repro.tune`) — run the
+   script twice to see the cache hit.
+
+Run:  python examples/tune_and_diagnose.py [dataset]
+"""
+
+import os
+import sys
+
+from repro.kernels import get_kernel
+from repro.machine import power8_socket
+from repro.perf import performance_report
+from repro.tensor import analyze, load_dataset
+from repro.tensor.datasets import DATASETS
+from repro.tune import Tuner, TuningCache
+
+dataset = sys.argv[1] if len(sys.argv) > 1 else "poisson3"
+tensor = load_dataset(dataset)
+machine = power8_socket().scaled(DATASETS[dataset].machine_scale)
+
+# ----------------------------------------------------------------------
+# 1. What does the tensor look like?
+# ----------------------------------------------------------------------
+print("=== structure ===")
+print(analyze(tensor).render())
+
+# ----------------------------------------------------------------------
+# 2. How does the baseline kernel behave on it?
+# ----------------------------------------------------------------------
+print("\n=== baseline diagnosis (R=512) ===")
+plan = get_kernel("splatt").prepare(tensor, 0)
+print(performance_report(plan, 512, machine).render())
+
+# ----------------------------------------------------------------------
+# 3. Autotune, with a cache persisted next to this script.
+# ----------------------------------------------------------------------
+cache_path = os.path.join(os.path.dirname(__file__), ".tuning_cache.json")
+cache = TuningCache.load(cache_path) if os.path.exists(cache_path) else TuningCache()
+tuner = Tuner(tensor, 0, machine, cache=cache)
+
+print("\n=== autotuning ===")
+for rank in (128, 512):
+    cfg = tuner.get_or_tune(rank)
+    source = "cache" if cfg.from_cache else f"{cfg.strategy} search ({cfg.n_evaluations} evals)"
+    grid = "x".join(map(str, cfg.block_counts)) if cfg.block_counts else "-"
+    strips = (
+        f"{cfg.rank_blocking.resolve_block_cols(rank)}-col strips"
+        if cfg.rank_blocking
+        else "no strips"
+    )
+    print(
+        f"R={rank:4d}: {cfg.speedup:.2f}x over SPLATT  "
+        f"[MB {grid}, {strips}]  via {source}"
+    )
+cache.save(cache_path)
+print(f"\ntuning cache saved to {cache_path} ({len(cache)} entries)")
+
+# ----------------------------------------------------------------------
+# 4. Diagnose the tuned configuration.
+# ----------------------------------------------------------------------
+cfg = tuner.get_or_tune(512)
+tuned_plan = tuner.planner.plan_for(cfg.block_counts, cfg.rank_blocking)
+print("\n=== tuned diagnosis (R=512) ===")
+print(performance_report(tuned_plan, 512, machine).render())

@@ -1,0 +1,10 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e .` on pip 23 + setuptools 65 needs `wheel` for PEP 660
+editable builds; this shim lets `python setup.py develop` (and pip's
+legacy fallback) work without it.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Benchmark harness: one experiment function per paper table/figure.
+
+Each ``experiment_*`` function regenerates one evaluation artifact as
+structured rows (see DESIGN.md §4 for the per-experiment index); the
+modules under ``benchmarks/`` time them with pytest-benchmark and print
+the same rows/series the paper reports.
+"""
+
+from repro.bench.experiments import (
+    experiment_fig2,
+    experiment_fig4,
+    experiment_fig5,
+    experiment_fig6,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+)
+from repro.bench.tables import render_series, render_rows, write_result
+from repro.bench.ascii_plot import bar_chart, sparkline
+
+__all__ = [
+    "bar_chart",
+    "sparkline",
+    "experiment_fig2",
+    "experiment_fig4",
+    "experiment_fig5",
+    "experiment_fig6",
+    "experiment_table1",
+    "experiment_table2",
+    "experiment_table3",
+    "render_series",
+    "render_rows",
+    "write_result",
+]

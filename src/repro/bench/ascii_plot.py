@@ -1,0 +1,90 @@
+"""ASCII rendering of figure-style series — bar charts for the terminal.
+
+The paper's figures are bar/line charts; the benchmark harness prints
+their data as tables *and* as horizontal ASCII bars so the shape (sweet
+spots, crossovers, growth trends) is visible at a glance in a terminal
+or a text artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.util.validation import require
+
+#: Glyphs for up to eight series.
+_GLYPHS = "#*+o=%@~"
+
+
+def bar_chart(
+    x_labels: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 48,
+    title: "str | None" = None,
+    reference: "float | None" = None,
+) -> str:
+    """Horizontal grouped bar chart.
+
+    One group per x value, one bar per series.  ``reference`` draws a
+    marker column at that value (e.g. the 1.0x baseline of a speedup
+    plot).
+    """
+    require(width >= 10, "width must be >= 10")
+    names = list(series)
+    require(1 <= len(names) <= len(_GLYPHS), "1-8 series supported")
+    n = len(x_labels)
+    for name in names:
+        require(
+            len(series[name]) == n,
+            f"series {name!r} length {len(series[name])} != {n} x values",
+        )
+
+    peak = max(
+        (v for name in names for v in series[name] if v is not None), default=1.0
+    )
+    peak = max(peak, reference or 0.0, 1e-12)
+    label_w = max((len(str(x)) for x in x_labels), default=1)
+    name_w = max(len(s) for s in names)
+
+    def bar(value: float) -> str:
+        filled = int(round(value / peak * width))
+        line = list("#" * filled + " " * (width - filled))
+        if reference is not None:
+            ref_col = min(width - 1, int(round(reference / peak * width)))
+            if ref_col >= filled:
+                line[ref_col] = "|"
+        return "".join(line)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for i, x in enumerate(x_labels):
+        for j, name in enumerate(names):
+            v = float(series[name][i])
+            prefix = str(x).rjust(label_w) if j == 0 else " " * label_w
+            lines.append(
+                f"{prefix}  {name.ljust(name_w)} {bar(v)} {v:g}"
+            )
+        if len(names) > 1 and i < n - 1:
+            lines.append("")
+    if reference is not None:
+        lines.append(f"{' ' * label_w}  ('|' marks {reference:g})")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], *, width: "int | None" = None) -> str:
+    """One-line trend using block glyphs (resampled to ``width``)."""
+    blocks = " .:-=+*#%@"
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if width is not None and len(vals) > width:
+        step = len(vals) / width
+        vals = [vals[int(i * step)] for i in range(width)]
+    lo, hi = min(vals), max(vals)
+    span = (hi - lo) or 1.0
+    return "".join(
+        blocks[min(len(blocks) - 1, int((v - lo) / span * (len(blocks) - 1)))]
+        for v in vals
+    )

@@ -1,0 +1,381 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``analyze``   structural report of a data set or ``.tns`` file
+``diagnose``  machine-model performance report for one configuration
+``tune``      run the Section V-C autotuner (optionally with a cache file)
+``ppa``       the Table I pressure-point analysis
+``cpd``       CP-ALS / CP-APR decomposition with any kernel
+``scaling``   the Table III distributed strong-scaling experiment
+``datasets``  list the Table II registry
+
+Every command accepts ``--dataset <name>`` (a Table II stand-in) or
+``--tns <path>`` (a FROSTT text file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.tensor import analyze, load_dataset, load_tns
+from repro.tensor.datasets import DATASETS
+from repro.util.formatting import format_seconds, format_table
+
+
+def _add_tensor_args(parser: argparse.ArgumentParser) -> None:
+    src = parser.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", choices=sorted(DATASETS), help="Table II stand-in")
+    src.add_argument("--tns", help="FROSTT .tns file")
+    parser.add_argument("--nnz", type=int, help="stand-in nonzero override")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _load_tensor(args: argparse.Namespace):
+    if args.tns:
+        return load_tns(args.tns)
+    return load_dataset(args.dataset, seed=args.seed, nnz=args.nnz)
+
+
+def _machine_for(args: argparse.Namespace, cores: int = 10):
+    from repro.machine import power8, power8_socket
+
+    base = power8_socket() if cores == 10 else power8(cores)
+    if args.dataset:
+        return base.scaled(DATASETS[args.dataset].machine_scale)
+    return base
+
+
+# ----------------------------------------------------------------------
+def cmd_datasets(args: argparse.Namespace) -> int:
+    rows = [
+        [
+            info.name,
+            "x".join(str(d) for d in info.paper_dims),
+            info.paper_nnz,
+            "x".join(str(d) for d in info.standin_dims),
+            info.kind,
+            f"1/{round(1 / info.machine_scale):d}" if info.machine_scale < 1 else "1",
+        ]
+        for info in DATASETS.values()
+    ]
+    print(
+        format_table(
+            ["name", "paper dims", "paper nnz", "stand-in dims", "kind", "scale"],
+            rows,
+            title="Table II data sets",
+        )
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    tensor = _load_tensor(args)
+    print(analyze(tensor).render())
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.blocking import RankBlocking
+    from repro.perf import performance_report, prepare_plan
+
+    tensor = _load_tensor(args)
+    machine = _machine_for(args)
+    rb = (
+        RankBlocking(block_cols=args.strip_cols)
+        if args.strip_cols
+        else None
+    )
+    counts = tuple(args.blocks) if args.blocks else None
+    plan = prepare_plan(tensor, args.mode, counts, rb)
+    print(performance_report(plan, args.rank, machine).render())
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.tune import Tuner, TuningCache
+
+    tensor = _load_tensor(args)
+    machine = _machine_for(args)
+    cache = None
+    if args.cache:
+        cache = (
+            TuningCache.load(args.cache)
+            if os.path.exists(args.cache)
+            else TuningCache()
+        )
+    tuner = Tuner(tensor, args.mode, machine, cache=cache)
+    cfg = tuner.get_or_tune(args.rank, strategy=args.strategy)
+    grid = "x".join(map(str, cfg.block_counts)) if cfg.block_counts else "-"
+    strips = (
+        str(cfg.rank_blocking.resolve_block_cols(args.rank))
+        if cfg.rank_blocking
+        else "-"
+    )
+    print(
+        format_table(
+            ["rank", "speedup", "MB grid", "strip cols", "evals", "source"],
+            [
+                [
+                    args.rank,
+                    f"{cfg.speedup:.2f}x",
+                    grid,
+                    strips,
+                    cfg.n_evaluations,
+                    "cache" if cfg.from_cache else cfg.strategy,
+                ]
+            ],
+            title="tuned configuration",
+        )
+    )
+    if cache is not None:
+        cache.save(args.cache)
+        print(f"cache: {args.cache} ({len(cache)} entries)")
+    return 0
+
+
+def cmd_ppa(args: argparse.Namespace) -> int:
+    from repro.kernels import get_kernel
+    from repro.perf import run_ppa
+
+    tensor = _load_tensor(args)
+    machine = _machine_for(args, cores=1)
+    plan = get_kernel("splatt").prepare(tensor, args.mode)
+    rows = [
+        [r.type_id, format_seconds(r.time), f"{r.saving * 100:.1f}%", r.description]
+        for r in run_ppa(plan, args.rank, machine)
+    ]
+    print(
+        format_table(
+            ["type", "exec time", "saving", "description"],
+            rows,
+            title=f"pressure points (rank {args.rank}, single core)",
+        )
+    )
+    return 0
+
+
+def cmd_cpd(args: argparse.Namespace) -> int:
+    tensor = _load_tensor(args)
+    if args.method == "apr":
+        from repro.cpd import cp_apr
+
+        res = cp_apr(tensor, args.rank, n_iters=args.iters, seed=args.seed)
+        print(
+            f"CP-APR: log-likelihood {res.final_log_likelihood:.6g} after "
+            f"{res.n_iters} iterations (converged={res.converged})"
+        )
+    else:
+        from repro.cpd import cp_als, cp_als_dimtree
+
+        if args.method == "dimtree":
+            res = cp_als_dimtree(
+                tensor, args.rank, n_iters=args.iters, seed=args.seed
+            )
+        else:
+            res = cp_als(
+                tensor,
+                args.rank,
+                n_iters=args.iters,
+                kernel=args.kernel,
+                seed=args.seed,
+            )
+        print(
+            f"CP-ALS ({args.method}): fit {res.final_fit:.4f} after "
+            f"{res.n_iters} iterations (converged={res.converged})"
+        )
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.dist import network_for_dataset, strong_scaling
+    from repro.dist.costmodel import infiniband_edr
+
+    tensor = _load_tensor(args)
+    machine = _machine_for(args)
+    network = (
+        network_for_dataset(DATASETS[args.dataset])
+        if args.dataset
+        else infiniband_edr()
+    )
+    points = strong_scaling(
+        tensor, args.rank, args.nodes, machine, network=network, seed=args.seed
+    )
+    rows = [
+        [
+            p.nodes,
+            format_seconds(p.splatt_time),
+            p.grid_3d,
+            format_seconds(p.time_3d),
+            p.grid_4d,
+            format_seconds(p.time_4d),
+            f"{p.speedup:.2f}x",
+        ]
+        for p in points
+    ]
+    print(
+        format_table(
+            ["nodes", "SPLATT", "3D grid", "3D", "4D grid", "4D", "speedup"],
+            rows,
+            title=f"strong scaling (rank {args.rank})",
+        )
+    )
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Regenerate every paper artifact into one markdown report."""
+    import time
+
+    from repro.bench import (
+        bar_chart,
+        experiment_fig2,
+        experiment_fig4,
+        experiment_fig5,
+        experiment_fig6,
+        experiment_table1,
+        experiment_table2,
+        experiment_table3,
+        render_rows,
+        render_series,
+    )
+
+    sections: list[tuple[str, str]] = []
+    t_start = time.time()
+
+    def add(title: str, body: str) -> None:
+        sections.append((title, body))
+        print(f"[{time.time() - t_start:6.1f}s] {title}")
+
+    add(
+        "Figure 2 — arithmetic intensity (Eq. 3)",
+        (lambda d: render_series(d["x_label"], d["x_values"], d["series"]))(
+            experiment_fig2()
+        ),
+    )
+    add("Table I — pressure points", render_rows(experiment_table1()))
+    add("Table II — data sets", render_rows(experiment_table2()))
+    add(
+        "Figure 4 — RankB sweep (R=512)",
+        (lambda d: render_series(d["x_label"], d["x_values"], d["series"]))(
+            experiment_fig4()
+        ),
+    )
+    for sub, name in (("5a", "poisson2"), ("5b", "poisson3")):
+        add(f"Figure {sub} — MB grids ({name})", render_rows(experiment_fig5(name)))
+    if not args.skip_fig6:
+        for name in ("poisson2", "poisson3", "nell2", "netflix", "reddit", "amazon"):
+            data = experiment_fig6(name)
+            body = render_series(data["x_label"], data["x_values"], data["series"])
+            body += "\n\n" + bar_chart(
+                data["x_values"],
+                {"MB+RankB": data["series"]["MB+RankB"]},
+                reference=1.0,
+            )
+            add(f"Figure 6 — speedups ({name})", body)
+    if not args.skip_table3:
+        for name in ("nell2", "netflix"):
+            add(
+                f"Table III — strong scaling ({name})",
+                render_rows(experiment_table3(name)),
+            )
+
+    lines = [
+        "# Reproduced artifacts",
+        "",
+        "Generated by `python -m repro reproduce`; see EXPERIMENTS.md for the",
+        "paper-vs-measured discussion and DESIGN.md for the substitutions.",
+        "",
+    ]
+    for title, body in sections:
+        lines += [f"## {title}", "", "```", body, "```", ""]
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines))
+    print(f"\nwrote {args.out} ({len(sections)} sections, "
+          f"{time.time() - t_start:.0f}s total)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Blocked sparse MTTKRP reproduction toolkit (IPDPS 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table II registry").set_defaults(
+        func=cmd_datasets
+    )
+
+    p = sub.add_parser("analyze", help="structural report")
+    _add_tensor_args(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("diagnose", help="machine-model performance report")
+    _add_tensor_args(p)
+    p.add_argument("--rank", type=int, default=128)
+    p.add_argument("--mode", type=int, default=0)
+    p.add_argument("--blocks", type=int, nargs=3, metavar=("NA", "NB", "NC"))
+    p.add_argument("--strip-cols", type=int)
+    p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser("tune", help="autotune blocking")
+    _add_tensor_args(p)
+    p.add_argument("--rank", type=int, default=128)
+    p.add_argument("--mode", type=int, default=0)
+    p.add_argument(
+        "--strategy",
+        choices=("heuristic", "exhaustive", "random"),
+        default="heuristic",
+    )
+    p.add_argument("--cache", help="tuning-cache JSON path")
+    p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser("ppa", help="pressure-point analysis (Table I)")
+    _add_tensor_args(p)
+    p.add_argument("--rank", type=int, default=128)
+    p.add_argument("--mode", type=int, default=0)
+    p.set_defaults(func=cmd_ppa)
+
+    p = sub.add_parser("cpd", help="CP decomposition")
+    _add_tensor_args(p)
+    p.add_argument("--rank", type=int, default=8)
+    p.add_argument("--iters", type=int, default=25)
+    p.add_argument(
+        "--method", choices=("als", "dimtree", "apr"), default="als"
+    )
+    p.add_argument("--kernel", default="splatt")
+    p.set_defaults(func=cmd_cpd)
+
+    p = sub.add_parser(
+        "reproduce", help="regenerate every paper artifact into one report"
+    )
+    p.add_argument("--out", default="REPORT.md")
+    p.add_argument("--skip-fig6", action="store_true", help="skip the slowest sweep")
+    p.add_argument("--skip-table3", action="store_true")
+    p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser("scaling", help="distributed strong scaling (Table III)")
+    _add_tensor_args(p)
+    p.add_argument("--rank", type=int, default=128)
+    p.add_argument(
+        "--nodes", type=int, nargs="+", default=[1, 2, 4, 8, 16, 32, 64]
+    )
+    p.set_defaults(func=cmd_scaling)
+
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,222 @@
+"""Dimension-tree CP-ALS: memoizing partial MTTKRP contractions.
+
+The paper's related work cites HyperTensor's extension "to include
+memoization, which trades off storage overhead in order to reduce the
+cost of individual MTTKRP operations" (Kaya's dimension trees).  This
+module implements the 3-mode instance:
+
+* the nonzeros are grouped by their ``(i, j)`` pair once (``P`` distinct
+  pairs, ``P <= nnz``);
+* each ALS sweep contracts the tensor with ``C`` *once* —
+  ``Y[p, :] = sum_{t in p} x_t C[k_t, :]`` — and serves **both** the
+  mode-0 and mode-1 MTTKRPs from the memoized ``Y``
+  (``A[i] = sum_j Y[ij] * B[j]``, ``B[j] = sum_i Y[ij] * A[i]``);
+* the mode-2 MTTKRP reuses the pair structure in the other direction:
+  ``W[p] = A[i_p] * B[j_p]``, then ``C[k] = sum_t x_t W[pair(t)]``.
+
+Per sweep this needs ``2R*nnz + 7R*P + 2R*nnz`` multiply-add flops
+versus ``3 * 2R*(nnz + F)`` for three independent SPLATT MTTKRPs — a
+saving whenever pairs are reused (``P`` well below ``nnz``), at ``8RP``
+bytes of memo storage.  The ALS trajectory is *identical* to
+:func:`repro.cpd.als.cp_als` (each update is still an exact MTTKRP),
+which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cpd.als import ALSResult
+from repro.cpd.init import init_factors
+from repro.cpd.ktensor import KruskalTensor
+from repro.tensor.coo import COOTensor
+from repro.util.errors import ConfigError
+from repro.util.validation import INDEX_DTYPE, VALUE_DTYPE, check_rank, require
+
+
+class DimTreePlan:
+    """Prepared pair-grouped structure for dimension-tree ALS."""
+
+    def __init__(self, tensor: COOTensor) -> None:
+        if tensor.order != 3:
+            raise ConfigError("the dimension-tree driver is 3-mode")
+        self.shape = tensor.shape
+        sorted_t = tensor.sort((0, 1, 2))
+        idx = sorted_t.indices
+        self.vals = sorted_t.values
+        self.k_of_nnz = idx[:, 2]
+
+        nnz = tensor.nnz
+        if nnz:
+            new_pair = np.empty(nnz, dtype=bool)
+            new_pair[0] = True
+            np.logical_or(
+                idx[1:, 0] != idx[:-1, 0],
+                idx[1:, 1] != idx[:-1, 1],
+                out=new_pair[1:],
+            )
+            starts = np.flatnonzero(new_pair)
+            self.pair_ptr = np.concatenate(
+                [starts, np.array([nnz], dtype=INDEX_DTYPE)]
+            ).astype(INDEX_DTYPE)
+            self.pair_i = idx[starts, 0]
+            self.pair_j = idx[starts, 1]
+            pair_len = np.diff(self.pair_ptr)
+            self.pair_of_nnz = np.repeat(
+                np.arange(starts.shape[0], dtype=INDEX_DTYPE), pair_len
+            )
+        else:
+            self.pair_ptr = np.zeros(1, dtype=INDEX_DTYPE)
+            self.pair_i = np.empty(0, dtype=INDEX_DTYPE)
+            self.pair_j = np.empty(0, dtype=INDEX_DTYPE)
+            self.pair_of_nnz = np.empty(0, dtype=INDEX_DTYPE)
+
+        #: Pair order for the mode-1 update (grouped by j).
+        self.by_j = np.argsort(self.pair_j, kind="stable")
+        #: Nonzero order for the mode-2 update (grouped by k).
+        self.by_k = np.argsort(self.k_of_nnz, kind="stable")
+
+    @property
+    def n_pairs(self) -> int:
+        """Distinct (i, j) pairs — the memo's row count."""
+        return int(self.pair_i.shape[0])
+
+    @property
+    def nnz(self) -> int:
+        """Stored nonzeros."""
+        return int(self.vals.shape[0])
+
+    def memo_bytes(self, rank: int) -> int:
+        """Storage of the memoized ``Y`` for one rank."""
+        return 8 * self.n_pairs * check_rank(rank)
+
+    def flops_per_sweep(self, rank: int) -> float:
+        """Multiply-add flops of one full 3-mode sweep."""
+        rank = check_rank(rank)
+        return 2.0 * rank * self.nnz + 7.0 * rank * self.n_pairs + 2.0 * rank * self.nnz
+
+    # ------------------------------------------------------------------
+    def contract_mode2(self, c_factor: np.ndarray) -> np.ndarray:
+        """The memo: ``Y[p, :] = sum_{t in p} x_t * C[k_t, :]``."""
+        if self.nnz == 0:
+            return np.zeros((0, c_factor.shape[1]), dtype=VALUE_DTYPE)
+        prod = self.vals[:, None] * c_factor[self.k_of_nnz]
+        return np.add.reduceat(prod, self.pair_ptr[:-1], axis=0)
+
+    def mttkrp_mode0(self, memo: np.ndarray, b_factor: np.ndarray) -> np.ndarray:
+        """``A[i] = sum_j Y[ij] * B[j]`` via the i-grouped pair order."""
+        out = np.zeros((self.shape[0], memo.shape[1]), dtype=VALUE_DTYPE)
+        if self.n_pairs == 0:
+            return out
+        contrib = memo * b_factor[self.pair_j]
+        i = self.pair_i
+        boundaries = np.flatnonzero(np.diff(i)) + 1
+        starts = np.concatenate(([0], boundaries))
+        out[i[starts]] = np.add.reduceat(contrib, starts, axis=0)
+        return out
+
+    def mttkrp_mode1(self, memo: np.ndarray, a_factor: np.ndarray) -> np.ndarray:
+        """``B[j] = sum_i Y[ij] * A[i]`` via the j-sorted pair order."""
+        out = np.zeros((self.shape[1], memo.shape[1]), dtype=VALUE_DTYPE)
+        if self.n_pairs == 0:
+            return out
+        order = self.by_j
+        contrib = memo[order] * a_factor[self.pair_i[order]]
+        j = self.pair_j[order]
+        boundaries = np.flatnonzero(np.diff(j)) + 1
+        starts = np.concatenate(([0], boundaries))
+        out[j[starts]] = np.add.reduceat(contrib, starts, axis=0)
+        return out
+
+    def mttkrp_mode2(
+        self, a_factor: np.ndarray, b_factor: np.ndarray
+    ) -> np.ndarray:
+        """``C[k] = sum_t x_t * (A[i_t] * B[j_t])``, reusing the pair
+        products ``W[p] = A[i_p] * B[j_p]``."""
+        rank = a_factor.shape[1]
+        out = np.zeros((self.shape[2], rank), dtype=VALUE_DTYPE)
+        if self.nnz == 0:
+            return out
+        w = a_factor[self.pair_i] * b_factor[self.pair_j]
+        order = self.by_k
+        contrib = self.vals[order, None] * w[self.pair_of_nnz[order]]
+        k = self.k_of_nnz[order]
+        boundaries = np.flatnonzero(np.diff(k)) + 1
+        starts = np.concatenate(([0], boundaries))
+        out[k[starts]] = np.add.reduceat(contrib, starts, axis=0)
+        return out
+
+
+def cp_als_dimtree(
+    tensor: COOTensor,
+    rank: int,
+    *,
+    n_iters: int = 50,
+    tol: float = 1e-5,
+    init: "str | Sequence[np.ndarray]" = "random",
+    seed: "int | None | np.random.Generator" = 0,
+) -> ALSResult:
+    """CP-ALS with dimension-tree memoization (3-mode tensors).
+
+    Produces exactly the trajectory of :func:`repro.cpd.als.cp_als` with
+    the default kernel, at fewer flops per sweep when pairs are reused.
+    """
+    rank = check_rank(rank)
+    require(n_iters >= 1, "n_iters must be >= 1")
+    plan = DimTreePlan(tensor)
+
+    if isinstance(init, str):
+        factors = init_factors(tensor, rank, method=init, seed=seed)
+    else:
+        factors = [np.ascontiguousarray(f, dtype=VALUE_DTYPE) for f in init]
+        if len(factors) != 3:
+            raise ConfigError("need three initial factors")
+
+    grams = [f.T @ f for f in factors]
+    norm_x = float(np.linalg.norm(tensor.values))
+    weights = np.ones(rank, dtype=VALUE_DTYPE)
+
+    fits: list[float] = []
+    converged = False
+    iteration = 0
+    for iteration in range(1, n_iters + 1):
+        # One contraction with C serves both the mode-0 and mode-1 updates
+        # (recomputed after the mode-2 update changes C next sweep).
+        memo = plan.contract_mode2(factors[2])
+        for mode in range(3):
+            if mode == 0:
+                m_mat = plan.mttkrp_mode0(memo, factors[1])
+            elif mode == 1:
+                m_mat = plan.mttkrp_mode1(memo, factors[0])
+            else:
+                m_mat = plan.mttkrp_mode2(factors[0], factors[1])
+            v = np.ones((rank, rank), dtype=VALUE_DTYPE)
+            for m, g in enumerate(grams):
+                if m != mode:
+                    v *= g
+            f_new = m_mat @ np.linalg.pinv(v)
+            if iteration == 1:
+                norms = np.maximum(np.abs(f_new).max(axis=0), 1e-12)
+            else:
+                norms = np.linalg.norm(f_new, axis=0)
+                norms = np.where(norms > 1e-12, norms, 1.0)
+            f_new = f_new / norms
+            weights = norms.astype(VALUE_DTYPE)
+            factors[mode] = np.ascontiguousarray(f_new, dtype=VALUE_DTYPE)
+            grams[mode] = factors[mode].T @ factors[mode]
+
+        model = KruskalTensor(weights, factors)
+        fit = model.fit(tensor, norm_x)
+        fits.append(fit)
+        if len(fits) >= 2 and abs(fits[-1] - fits[-2]) < tol:
+            converged = True
+            break
+
+    return ALSResult(
+        model=KruskalTensor(weights, factors),
+        fits=fits,
+        n_iters=iteration,
+        converged=converged,
+    )

@@ -1,0 +1,83 @@
+"""Factor-matrix initialization for CP-ALS."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.coo import COOTensor
+from repro.util.errors import ConfigError
+from repro.util.rng import resolve_rng
+from repro.util.validation import VALUE_DTYPE, check_rank
+
+
+def init_factors(
+    tensor: COOTensor,
+    rank: int,
+    method: str = "random",
+    seed: "int | None | np.random.Generator" = None,
+) -> list[np.ndarray]:
+    """Build initial factor matrices.
+
+    ``random``
+        i.i.d. uniform [0, 1) entries — the robust default for sparse
+        CP-ALS (nonnegative init avoids sign-cancellation stalls on count
+        data).
+    ``randn``
+        standard normal entries.
+    ``hosvd``
+        leading left singular vectors of each mode's unfolding, computed
+        from the *sparse* Gram matrix ``X_(n) X_(n)^T`` (no densification);
+        falls back to random columns when the rank exceeds the mode length.
+    """
+    rank = check_rank(rank)
+    rng = resolve_rng(seed)
+    if method == "random":
+        return [
+            rng.random((n, rank)).astype(VALUE_DTYPE) for n in tensor.shape
+        ]
+    if method == "randn":
+        return [
+            rng.standard_normal((n, rank)).astype(VALUE_DTYPE)
+            for n in tensor.shape
+        ]
+    if method == "hosvd":
+        return [_hosvd_mode(tensor, m, rank, rng) for m in range(tensor.order)]
+    raise ConfigError(f"unknown init method {method!r}")
+
+
+def _hosvd_mode(
+    tensor: COOTensor, mode: int, rank: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Leading eigenvectors of the mode-``mode`` Gram matrix.
+
+    ``G[i, i'] = sum over matching fibers of x_i . x_i'`` — computed
+    sparsely by grouping nonzeros on the non-mode coordinates.
+    """
+    n = tensor.shape[mode]
+    other = [m for m in range(tensor.order) if m != mode]
+    # Linearize the non-mode coordinates to group matching fiber positions.
+    key = np.zeros(tensor.nnz, dtype=np.int64)
+    for m in other:
+        key = key * tensor.shape[m] + tensor.indices[:, m]
+    order = np.argsort(key, kind="stable")
+    key_s = key[order]
+    rows = tensor.indices[order, mode]
+    vals = tensor.values[order]
+
+    gram = np.zeros((n, n), dtype=VALUE_DTYPE)
+    if tensor.nnz:
+        starts = np.flatnonzero(
+            np.concatenate(([True], key_s[1:] != key_s[:-1]))
+        )
+        ends = np.concatenate((starts[1:], [tensor.nnz]))
+        for st, en in zip(starts, ends):
+            r = rows[st:en]
+            v = vals[st:en]
+            gram[np.ix_(r, r)] += np.outer(v, v)
+
+    eigvals, eigvecs = np.linalg.eigh(gram)
+    lead = eigvecs[:, ::-1][:, : min(rank, n)]
+    if lead.shape[1] < rank:
+        pad = rng.random((n, rank - lead.shape[1]))
+        lead = np.concatenate([lead, pad], axis=1)
+    return np.ascontiguousarray(lead, dtype=VALUE_DTYPE)

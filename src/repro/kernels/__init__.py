@@ -1,0 +1,47 @@
+"""MTTKRP kernels: reference, COO, SPLATT (Alg. 1), and the blocked variants.
+
+Every kernel follows a two-phase API (mirroring how real tensor libraries
+amortize setup over the 10-1000s of CPD iterations, Section III-B):
+
+1. :meth:`~repro.kernels.base.Kernel.prepare` compresses/reorganizes the
+   COO tensor once into a :class:`~repro.kernels.base.Plan`;
+2. :meth:`~repro.kernels.base.Kernel.execute` runs the MTTKRP for one set
+   of factor matrices.
+
+Plans expose :meth:`~repro.kernels.base.Plan.block_stats`, the structural
+summary (nonzeros, fibers, distinct factor rows touched per block) that the
+machine model (:mod:`repro.machine`) turns into memory-traffic and
+execution-time estimates.
+"""
+
+from repro.kernels.base import Kernel, Plan, BlockStats, get_kernel, KERNELS
+from repro.kernels.reference import reference_mttkrp
+from repro.kernels.coo_mttkrp import COOKernel
+from repro.kernels.splatt_mttkrp import SplattKernel
+from repro.kernels.csf_mttkrp import CSFKernel
+from repro.kernels.csf_blocked import BlockedCSFKernel
+from repro.kernels.csf_any import CSFAnyKernel
+from repro.kernels.blocked import MultiDimBlockedKernel
+from repro.kernels.rankblocked import RankBlockedKernel
+from repro.kernels.combined import CombinedBlockedKernel
+from repro.kernels.counters import OperationCounts, splatt_op_counts, coo_op_counts
+
+__all__ = [
+    "Kernel",
+    "Plan",
+    "BlockStats",
+    "get_kernel",
+    "KERNELS",
+    "reference_mttkrp",
+    "COOKernel",
+    "SplattKernel",
+    "CSFKernel",
+    "BlockedCSFKernel",
+    "CSFAnyKernel",
+    "MultiDimBlockedKernel",
+    "RankBlockedKernel",
+    "CombinedBlockedKernel",
+    "OperationCounts",
+    "splatt_op_counts",
+    "coo_op_counts",
+]

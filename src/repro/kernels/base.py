@@ -1,0 +1,250 @@
+"""Kernel and Plan abstractions shared by every MTTKRP implementation.
+
+A :class:`Kernel` is a *strategy* (COO, SPLATT, MB, RankB, MB+RankB, CSF);
+a :class:`Plan` is that strategy's prepared representation of one tensor
+for one output mode.  Preparation (sorting, fiber compression, block
+reorganization) happens once and is reused across the many MTTKRP calls of
+a CP-ALS run — the paper relies on the same amortization when arguing the
+blocking reorganization cost is negligible (Section V-A).
+
+:class:`BlockStats` is the contract between kernels and the machine model:
+each execution phase (a block; unblocked kernels have exactly one) is
+summarized by its nonzero/fiber counts and the number of *distinct* factor
+rows it touches.  Those distinct counts are per-phase working sets, which
+is all the analytic cache model needs (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.coo import COOTensor
+from repro.util.errors import ConfigError, ShapeError
+from repro.util.validation import VALUE_DTYPE, check_mode, check_rank
+
+#: Bound on the temporary ``(nonzeros x rank)`` expansion used by the
+#: vectorized kernels; chunks are sized so scratch stays near this many
+#: float64 elements (128 MiB).
+DEFAULT_SCRATCH_ELEMS = 1 << 24
+
+
+@dataclass(frozen=True)
+class BlockStats:
+    """Structural summary of one execution phase (one tensor block).
+
+    The machine model derives working sets, reuse counts, and access-
+    popularity profiles from these fields; see
+    :mod:`repro.machine.traffic`.
+    """
+
+    #: Block coordinates in the mode grid; ``(0, 0, 0)`` when unblocked.
+    coords: tuple[int, ...]
+    #: Nonzeros processed in this phase.
+    nnz: int
+    #: Non-empty fibers in this phase (equals ``nnz`` for COO-style kernels).
+    n_fibers: int
+    #: Distinct output-mode rows written (working set of ``A``).
+    distinct_out: int
+    #: Distinct inner-mode rows read (working set of ``B`` — the expensive
+    #: stream identified in Section IV).
+    distinct_inner: int
+    #: Distinct fiber-mode rows read (working set of ``C``).
+    distinct_fiber: int
+    #: Access counts per distinct inner row (one entry per distinct row,
+    #: any order).  Real-world tensors are heavily skewed; the cache model
+    #: keeps the hottest rows resident, which these histograms quantify.
+    #: ``None`` falls back to a uniform-popularity model.
+    inner_counts: "np.ndarray | None" = None
+    #: Access counts per distinct fiber row (fibers touching each row).
+    fiber_counts: "np.ndarray | None" = None
+
+    def __post_init__(self) -> None:
+        if self.nnz < 0 or self.n_fibers < 0:
+            raise ConfigError("counts must be non-negative")
+        if self.n_fibers > self.nnz:
+            raise ConfigError(
+                f"n_fibers ({self.n_fibers}) cannot exceed nnz ({self.nnz})"
+            )
+        if self.inner_counts is not None:
+            if len(self.inner_counts) != self.distinct_inner:
+                raise ConfigError("inner_counts length must equal distinct_inner")
+            if int(np.sum(self.inner_counts)) != self.nnz:
+                raise ConfigError("inner_counts must sum to nnz")
+        if self.fiber_counts is not None:
+            if len(self.fiber_counts) != self.distinct_fiber:
+                raise ConfigError("fiber_counts length must equal distinct_fiber")
+            if int(np.sum(self.fiber_counts)) != self.n_fibers:
+                raise ConfigError("fiber_counts must sum to n_fibers")
+
+    @classmethod
+    def from_splatt(cls, splatt, coords: tuple[int, ...]) -> "BlockStats":
+        """Build the full summary (including popularity histograms) from a
+        SPLATT-compressed (sub-)tensor."""
+        inner_hist = np.bincount(splatt.jidx, minlength=0)
+        inner_counts = inner_hist[inner_hist > 0]
+        fiber_hist = np.bincount(splatt.fiber_kidx, minlength=0)
+        fiber_counts = fiber_hist[fiber_hist > 0]
+        return cls(
+            coords=coords,
+            nnz=splatt.nnz,
+            n_fibers=splatt.n_fibers,
+            distinct_out=int((splatt.fibers_per_row() > 0).sum()),
+            distinct_inner=int(inner_counts.shape[0]),
+            distinct_fiber=int(fiber_counts.shape[0]),
+            inner_counts=inner_counts,
+            fiber_counts=fiber_counts,
+        )
+
+
+class Plan(ABC):
+    """A prepared MTTKRP computation for one tensor and output mode."""
+
+    #: Name of the kernel that produced this plan.
+    kernel_name: str
+    #: The tensor's mode lengths.
+    shape: tuple[int, ...]
+    #: Output mode of the MTTKRP.
+    mode: int
+    #: Inner (per-nonzero) mode — rows of ``B`` in the paper's orientation.
+    inner_mode: int
+    #: Fiber-label mode — rows of ``C``.
+    fiber_mode: int
+    #: Rank-blocking configuration, set by the RankB/combined kernels and
+    #: read by the machine model; ``None`` means no rank blocking.
+    rank_blocking: "object | None" = None
+
+    @abstractmethod
+    def block_stats(self) -> list[BlockStats]:
+        """Per-phase structural summary for the machine model."""
+
+    @property
+    def nnz(self) -> int:
+        """Total nonzeros across all phases."""
+        return sum(b.nnz for b in self.block_stats())
+
+    @property
+    def n_fibers(self) -> int:
+        """Total fibers across all phases."""
+        return sum(b.n_fibers for b in self.block_stats())
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        blocks = self.block_stats()
+        return (
+            f"{self.kernel_name} plan: mode={self.mode}, {len(blocks)} block(s), "
+            f"nnz={self.nnz}, fibers={self.n_fibers}"
+        )
+
+
+class Kernel(ABC):
+    """An MTTKRP strategy.  Subclasses set :attr:`name` and implement
+    :meth:`prepare` and :meth:`execute`."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def prepare(self, tensor: COOTensor, mode: int, **params: object) -> Plan:
+        """Build this kernel's prepared representation for one output mode."""
+
+    @abstractmethod
+    def execute(
+        self,
+        plan: Plan,
+        factors: Sequence[np.ndarray],
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Run the MTTKRP.
+
+        ``factors`` lists one ``(I_m, R)`` matrix per mode; the entry at the
+        output mode may be ``None``.  Returns the ``(I_mode, R)`` result
+        (``out`` if given, freshly allocated otherwise).
+        """
+
+    def mttkrp(
+        self,
+        tensor: COOTensor,
+        factors: Sequence[np.ndarray],
+        mode: int,
+        **params: object,
+    ) -> np.ndarray:
+        """One-shot convenience: ``prepare`` then ``execute``."""
+        plan = self.prepare(tensor, mode, **params)
+        return self.execute(plan, factors)
+
+    def __repr__(self) -> str:
+        return f"<Kernel {self.name}>"
+
+
+def check_factors(
+    factors: Sequence[np.ndarray],
+    shape: Sequence[int],
+    mode: int,
+) -> tuple[list[np.ndarray], int]:
+    """Validate factor matrices against a tensor shape for one MTTKRP.
+
+    Returns the factors as float64 arrays (``None`` kept at the output
+    mode) and the shared rank ``R``.
+    """
+    order = len(shape)
+    mode = check_mode(mode, order)
+    if len(factors) != order:
+        raise ShapeError(f"need {order} factor matrices, got {len(factors)}")
+    rank: int | None = None
+    coerced: list[np.ndarray] = []
+    for m, f in enumerate(factors):
+        if m == mode:
+            coerced.append(None)  # type: ignore[arg-type]
+            continue
+        f = np.ascontiguousarray(f, dtype=VALUE_DTYPE)
+        if f.ndim != 2 or f.shape[0] != shape[m]:
+            raise ShapeError(
+                f"factor {m} must have shape ({shape[m]}, R), got {f.shape}"
+            )
+        if rank is None:
+            rank = f.shape[1]
+        elif f.shape[1] != rank:
+            raise ShapeError("factor matrices disagree on rank")
+        coerced.append(f)
+    if rank is None:
+        raise ShapeError("MTTKRP needs at least two modes")
+    return coerced, check_rank(rank)
+
+
+def alloc_output(
+    out: np.ndarray | None, n_rows: int, rank: int
+) -> np.ndarray:
+    """Return a zeroed ``(n_rows, rank)`` output buffer, reusing ``out``."""
+    if out is None:
+        return np.zeros((n_rows, rank), dtype=VALUE_DTYPE)
+    if out.shape != (n_rows, rank):
+        raise ShapeError(
+            f"out buffer has shape {out.shape}, expected {(n_rows, rank)}"
+        )
+    if out.dtype != VALUE_DTYPE:
+        raise ShapeError(f"out buffer must be float64, got {out.dtype}")
+    out[...] = 0.0
+    return out
+
+
+#: Registry of kernel strategies by name; populated by the implementing
+#: modules at import time (see :mod:`repro.kernels`).
+KERNELS: dict[str, Kernel] = {}
+
+
+def register_kernel(kernel: Kernel) -> Kernel:
+    """Add a kernel instance to the global registry (idempotent by name)."""
+    KERNELS[kernel.name] = kernel
+    return kernel
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look up a registered kernel: ``coo``, ``splatt``, ``csf``,
+    ``csf-blocked``, ``mb``, ``rankb``, or ``mb+rankb``."""
+    key = name.lower()
+    if key not in KERNELS:
+        raise ConfigError(f"unknown kernel {name!r}; available: {sorted(KERNELS)}")
+    return KERNELS[key]

@@ -1,0 +1,104 @@
+"""Operation and data-traffic counts for MTTKRP kernels (Equations 1-3).
+
+These closed forms are the paper's roofline inputs:
+
+.. math::
+
+    Q &= 2\\,nnz + 2F + (1-\\alpha) R\\,nnz + (1-\\alpha) R F
+      \\quad\\text{(64-bit words)} \\\\
+    W &= 2R\\,(nnz + F) \\\\
+    I &= \\frac{W}{8Q}
+
+with :math:`\\alpha` the overall cache hit rate on the factor matrices.
+The first two ``Q`` terms are the streaming accesses to ``val``/``j_index``
+and ``k_index``/``k_pointer``; the last two are the *miss* traffic to the
+mode-2 and mode-3 factors.  ``i_pointer`` and the destination factor are
+ignored, as in the paper (negligible size / short reuse distance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_rank, require
+
+#: Bytes per stored word (the paper assumes 64-bit indices and values).
+WORD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class OperationCounts:
+    """Work, traffic, and arithmetic intensity of one MTTKRP execution."""
+
+    #: Floating-point operations (the paper's ``W``).
+    flops: float
+    #: Words moved from slow memory (the paper's ``Q``).
+    memory_words: float
+    #: Load *instructions* issued (drives the load-unit pressure model;
+    #: counts every architectural load, cached or not).
+    load_instructions: float
+    #: Store instructions issued.
+    store_instructions: float
+
+    @property
+    def memory_bytes(self) -> float:
+        """Traffic in bytes (``Q * 8``)."""
+        return self.memory_words * WORD_BYTES
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of memory traffic (Equation 3)."""
+        if self.memory_bytes == 0:
+            return float("inf")
+        return self.flops / self.memory_bytes
+
+
+def splatt_op_counts(
+    nnz: int, n_fibers: int, rank: int, alpha: float
+) -> OperationCounts:
+    """Equations 1-2 for the SPLATT kernel (Algorithm 1).
+
+    Load-instruction accounting per nonzero: ``val``, ``j_index``, ``R``
+    loads from the ``B`` row and ``R`` loads of the accumulator; per
+    fiber: ``k_index``, ``k_pointer``, ``R`` loads from the ``C`` row and
+    ``R`` loads of the ``A`` row.  Stores: ``R`` accumulator stores per
+    nonzero and ``R`` stores of ``A`` per fiber.
+    """
+    require(nnz >= 0 and n_fibers >= 0, "counts must be non-negative")
+    require(0.0 <= alpha <= 1.0, f"cache hit rate must be in [0, 1], got {alpha}")
+    rank = check_rank(rank)
+    q = (
+        2.0 * nnz
+        + 2.0 * n_fibers
+        + (1.0 - alpha) * rank * nnz
+        + (1.0 - alpha) * rank * n_fibers
+    )
+    w = 2.0 * rank * (nnz + n_fibers)
+    loads = nnz * (2.0 + 2.0 * rank) + n_fibers * (2.0 + 2.0 * rank)
+    stores = rank * (nnz + n_fibers)
+    return OperationCounts(
+        flops=w,
+        memory_words=q,
+        load_instructions=loads,
+        store_instructions=stores,
+    )
+
+
+def coo_op_counts(nnz: int, rank: int, alpha: float) -> OperationCounts:
+    """The COO kernel's counts: every nonzero touches a ``B`` row, a ``C``
+    row, and read-modify-writes an ``A`` row (3R flops per nonzero)."""
+    require(nnz >= 0, "nnz must be non-negative")
+    require(0.0 <= alpha <= 1.0, f"cache hit rate must be in [0, 1], got {alpha}")
+    rank = check_rank(rank)
+    # Streaming: val + 3 coordinate words per nonzero; factor traffic: two
+    # source rows and the destination row, each (1 - alpha) missed.
+    q = 4.0 * nnz + (1.0 - alpha) * rank * nnz * 3.0
+    w = 3.0 * rank * nnz
+    loads = nnz * (4.0 + 3.0 * rank)
+    stores = rank * nnz
+    return OperationCounts(
+        flops=w,
+        memory_words=q,
+        load_instructions=loads,
+        store_instructions=stores,
+    )

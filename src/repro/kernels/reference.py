@@ -1,0 +1,22 @@
+"""Slow-but-obviously-correct MTTKRP reference used by the test suite.
+
+Densifies the tensor and calls the einsum-based dense reference, so it
+shares no code with the sparse kernels under test.  Guarded to small
+tensors — use it in tests, never in benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.coo import COOTensor
+from repro.tensor.dense import dense_mttkrp
+
+
+def reference_mttkrp(
+    tensor: COOTensor, factors: Sequence[np.ndarray], mode: int
+) -> np.ndarray:
+    """Mode-``mode`` MTTKRP via densification + einsum (test oracle)."""
+    return dense_mttkrp(tensor.to_dense(), factors, mode)

@@ -1,0 +1,44 @@
+"""Machine model: the substitute for the paper's IBM POWER8 testbed.
+
+The paper's speedups are *data-movement* effects — blocking changes the
+cache hit rate on the factor matrices and hence the memory traffic ``Q``
+of Equation 1.  This package models exactly that mechanism:
+
+* :mod:`repro.machine.spec` — the hardware description
+  (:class:`MachineSpec`, default :func:`power8`), including the cache
+  hierarchy, bandwidths, SIMD width and load-unit throughput the paper
+  reports for its testbed, with :meth:`MachineSpec.scaled` producing the
+  proportionally shrunk machines used with the scaled dataset stand-ins.
+* :mod:`repro.machine.cache` — an exact set-associative LRU cache
+  simulator (trace-driven, multi-level).
+* :mod:`repro.machine.trace` — generates the cache-line access trace of an
+  MTTKRP plan for the exact simulator.
+* :mod:`repro.machine.traffic` — the fast *analytic* working-set traffic
+  model used by every benchmark; validated against the exact simulator in
+  the test suite.
+* :mod:`repro.machine.loadunits` — load/store instruction counts, the
+  second bottleneck the paper identifies (Table I, type 3).
+"""
+
+from repro.machine.spec import CacheLevel, MachineSpec, power8, power8_socket
+from repro.machine.cache import CacheHierarchy, SetAssociativeCache, TraceResult
+from repro.machine.trace import STRUCTURES, mttkrp_trace
+from repro.machine.traffic import StructureTraffic, TrafficEstimate, estimate_traffic
+from repro.machine.loadunits import LoadEstimate, estimate_loads
+
+__all__ = [
+    "CacheLevel",
+    "MachineSpec",
+    "power8",
+    "power8_socket",
+    "CacheHierarchy",
+    "SetAssociativeCache",
+    "TraceResult",
+    "STRUCTURES",
+    "mttkrp_trace",
+    "StructureTraffic",
+    "TrafficEstimate",
+    "estimate_traffic",
+    "LoadEstimate",
+    "estimate_loads",
+]

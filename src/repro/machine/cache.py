@@ -1,0 +1,180 @@
+"""Exact set-associative LRU cache simulator.
+
+This is the ground-truth instrument behind the analytic traffic model
+(:mod:`repro.machine.traffic`): the test suite replays real MTTKRP access
+traces (:mod:`repro.machine.trace`) through this simulator and checks that
+the analytic hit-rate estimates track the exact ones.  It is deliberately
+simple — physical-index LRU, inclusive levels, no prefetcher — because the
+effects under study (capacity misses on factor-matrix rows) do not depend
+on such details.
+
+The simulator is trace-driven at cache-line granularity; a Python loop
+over accesses makes it suitable for validation-scale traces (≈ 10⁶
+accesses), not for full benchmark runs — that is the analytic model's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.spec import CacheLevel, MachineSpec
+from repro.util.errors import ConfigError
+from repro.util.validation import require
+
+
+class SetAssociativeCache:
+    """One LRU set-associative cache level operating on line addresses."""
+
+    def __init__(self, level: CacheLevel) -> None:
+        self.level = level
+        self.n_sets = level.n_sets
+        self.assoc = level.associativity
+        # tags[s, w] = line address stored in way w of set s (-1 = invalid);
+        # ages hold a per-set logical clock for LRU.
+        self.tags = np.full((self.n_sets, self.assoc), -1, dtype=np.int64)
+        self.ages = np.zeros((self.n_sets, self.assoc), dtype=np.int64)
+        self.clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line_addr: int) -> bool:
+        """Access one line; returns True on hit.  Misses install the line,
+        evicting the LRU way."""
+        s = line_addr % self.n_sets
+        self.clock += 1
+        tags = self.tags[s]
+        for w in range(self.assoc):
+            if tags[w] == line_addr:
+                self.ages[s, w] = self.clock
+                self.hits += 1
+                return True
+        # Miss: fill the invalid or least-recently-used way.
+        w = int(np.argmin(self.ages[s]))
+        self.tags[s, w] = line_addr
+        self.ages[s, w] = self.clock
+        self.misses += 1
+        return False
+
+    def reset_counters(self) -> None:
+        """Zero hit/miss counters, keeping cache contents."""
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        """Invalidate all lines and zero the counters."""
+        self.tags.fill(-1)
+        self.ages.fill(0)
+        self.clock = 0
+        self.reset_counters()
+
+
+@dataclass
+class TraceResult:
+    """Outcome of replaying a trace through a hierarchy."""
+
+    #: Total accesses replayed.
+    accesses: int
+    #: Hits per level, innermost first.
+    level_hits: list[int]
+    #: Accesses that missed every level (fetched from memory).
+    memory_fetches: int
+    #: Per-structure access / memory-fetch counts, when structure ids were
+    #: provided with the trace.
+    structure_accesses: dict[int, int] = field(default_factory=dict)
+    structure_fetches: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Overall hit rate across all levels (the paper's alpha)."""
+        if self.accesses == 0:
+            return 1.0
+        return 1.0 - self.memory_fetches / self.accesses
+
+    def structure_hit_rate(self, structure: int) -> float:
+        """Hit rate restricted to one structure's accesses."""
+        n = self.structure_accesses.get(structure, 0)
+        if n == 0:
+            return 1.0
+        return 1.0 - self.structure_fetches.get(structure, 0) / n
+
+
+class CacheHierarchy:
+    """A stack of inclusive LRU levels driven by a line-address trace."""
+
+    def __init__(self, machine: MachineSpec) -> None:
+        self.machine = machine
+        self.levels = [SetAssociativeCache(c) for c in machine.caches]
+        line = machine.caches[0].line_bytes
+        for c in machine.caches[1:]:
+            if c.line_bytes != line:
+                raise ConfigError("all cache levels must share one line size")
+
+    def access(self, line_addr: int) -> int:
+        """Access one line.  Returns the index of the level that hit, or
+        ``len(levels)`` for a memory fetch.  Lower levels are filled on
+        the way back (inclusive hierarchy)."""
+        for i, lvl in enumerate(self.levels):
+            if lvl.access(line_addr):
+                return i
+        return len(self.levels)
+
+    def flush(self) -> None:
+        """Empty every level."""
+        for lvl in self.levels:
+            lvl.flush()
+
+    def run_trace(
+        self,
+        line_addrs: np.ndarray,
+        structures: "np.ndarray | None" = None,
+        *,
+        flush_first: bool = True,
+    ) -> TraceResult:
+        """Replay a trace of line addresses.
+
+        ``structures`` optionally tags each access with a structure id
+        (see :data:`repro.machine.trace.STRUCTURES`) for per-structure
+        hit-rate attribution.
+        """
+        line_addrs = np.asarray(line_addrs, dtype=np.int64)
+        require(line_addrs.ndim == 1, "trace must be 1-D")
+        if structures is not None:
+            structures = np.asarray(structures, dtype=np.int64)
+            require(
+                structures.shape == line_addrs.shape,
+                "structure tags must match the trace length",
+            )
+        if flush_first:
+            self.flush()
+
+        n_levels = len(self.levels)
+        level_hits = [0] * n_levels
+        memory_fetches = 0
+        struct_acc: dict[int, int] = {}
+        struct_fetch: dict[int, int] = {}
+        access = self.access  # bind for the hot loop
+        if structures is None:
+            for addr in line_addrs.tolist():
+                lvl = access(addr)
+                if lvl == n_levels:
+                    memory_fetches += 1
+                else:
+                    level_hits[lvl] += 1
+        else:
+            for addr, sid in zip(line_addrs.tolist(), structures.tolist()):
+                lvl = access(addr)
+                struct_acc[sid] = struct_acc.get(sid, 0) + 1
+                if lvl == n_levels:
+                    memory_fetches += 1
+                    struct_fetch[sid] = struct_fetch.get(sid, 0) + 1
+                else:
+                    level_hits[lvl] += 1
+        return TraceResult(
+            accesses=int(line_addrs.shape[0]),
+            level_hits=level_hits,
+            memory_fetches=memory_fetches,
+            structure_accesses=struct_acc,
+            structure_fetches=struct_fetch,
+        )

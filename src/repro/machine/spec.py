@@ -1,0 +1,220 @@
+"""Hardware description of the modeled machine.
+
+The defaults are the paper's testbed (Section VI-A): IBM POWER8, 10 cores
+per processor at up to 3.49 GHz, 64 KB L1 and 512 KB L2 per core, 128-byte
+cache lines, two 128-bit SIMD FMA issues per cycle, and ~75 GB/s read /
+35 GB/s write bandwidth per socket.
+
+:meth:`MachineSpec.scaled` shrinks the cache capacities by the dataset
+stand-in's ``machine_scale`` so that working-set/cache *ratios* match the
+paper's full-size runs (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the cache hierarchy."""
+
+    name: str
+    capacity_bytes: int
+    line_bytes: int
+    associativity: int
+
+    def __post_init__(self) -> None:
+        require(self.capacity_bytes > 0, "cache capacity must be positive")
+        require(self.line_bytes > 0, "line size must be positive")
+        require(self.associativity >= 1, "associativity must be >= 1")
+        require(
+            self.capacity_bytes % (self.line_bytes * self.associativity) == 0,
+            f"{self.name}: capacity must be a multiple of line*associativity",
+        )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of cache sets."""
+        return self.capacity_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def n_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.capacity_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A machine model for the traffic, load-unit, and time models."""
+
+    name: str
+    #: Core clock in Hz.
+    frequency_hz: float
+    #: Cache hierarchy, innermost first.
+    caches: tuple[CacheLevel, ...]
+    #: Sustained read bandwidth from memory, bytes/s.
+    read_bandwidth: float
+    #: Sustained write bandwidth to memory, bytes/s.
+    write_bandwidth: float
+    #: Double-precision flops per cycle (SIMD FMA throughput).
+    flops_per_cycle: float
+    #: Load/store micro-ops retired per cycle (the pressured resource of
+    #: Table I type 3).
+    loadstore_per_cycle: float
+    #: SIMD vector width in doubles (one 128-bit VSX lane holds 2).
+    vector_doubles: int
+    #: Architectural vector registers available for register blocking.
+    vector_registers: int
+    #: Relative efficiency of strided (non-restacked) streaming versus
+    #: sequential — models the hardware-prefetcher benefit of the paper's
+    #: strip re-stacking (Section V-B, last paragraph).
+    strided_stream_efficiency: float = 0.6
+    #: Sustained bandwidth for random row gathers served by the last-level
+    #: cache (POWER8's eDRAM L3 under SMT load).  ``None`` defaults to
+    #: twice the memory read bandwidth — L3 hits are cheaper than DRAM but
+    #: far from free, which is why the paper's blocking targets the L2
+    #: working set.
+    l3_read_bandwidth: "float | None" = None
+
+    def __post_init__(self) -> None:
+        require(self.frequency_hz > 0, "frequency must be positive")
+        require(len(self.caches) >= 1, "need at least one cache level")
+        require(self.read_bandwidth > 0, "read bandwidth must be positive")
+        require(self.write_bandwidth > 0, "write bandwidth must be positive")
+        require(self.flops_per_cycle > 0, "flops/cycle must be positive")
+        require(self.loadstore_per_cycle > 0, "load/store rate must be positive")
+        require(self.vector_doubles >= 1, "vector width must be >= 1 double")
+        require(self.vector_registers >= 1, "need >= 1 vector register")
+        require(
+            0.0 < self.strided_stream_efficiency <= 1.0,
+            "strided efficiency must be in (0, 1]",
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def line_bytes(self) -> int:
+        """Cache-line size (of the innermost level; uniform on POWER8)."""
+        return self.caches[0].line_bytes
+
+    @property
+    def last_level(self) -> CacheLevel:
+        """The outermost modeled cache level."""
+        return self.caches[-1]
+
+    @property
+    def effective_cache_bytes(self) -> int:
+        """Total capacity of the modeled hierarchy (the outermost level;
+        reuse that misses it goes to memory)."""
+        return self.last_level.capacity_bytes
+
+    @property
+    def fast_cache_bytes(self) -> int:
+        """Capacity of the *fast* tier for the two-tier traffic model: the
+        second-to-last level (aggregate L2 on POWER8).  Rows resident here
+        cost nothing; rows that only fit the last level pay the L3 gather
+        bandwidth."""
+        if len(self.caches) >= 2:
+            return self.caches[-2].capacity_bytes
+        return self.caches[-1].capacity_bytes
+
+    @property
+    def l3_bandwidth(self) -> float:
+        """Effective random-gather bandwidth of the last-level cache."""
+        if self.l3_read_bandwidth is not None:
+            return self.l3_read_bandwidth
+        return 2.0 * self.read_bandwidth
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak double-precision flop rate, flops/s."""
+        return self.frequency_hz * self.flops_per_cycle
+
+    @property
+    def loadstore_rate(self) -> float:
+        """Load/store micro-ops per second."""
+        return self.frequency_hz * self.loadstore_per_cycle
+
+    @property
+    def system_balance(self) -> float:
+        """Flops per byte at the roofline ridge (the paper cites 6-12 for
+        current CPUs/GPUs)."""
+        return self.peak_flops / self.read_bandwidth
+
+    def scaled(self, factor: float) -> "MachineSpec":
+        """Shrink cache capacities by ``factor`` (rounded to line*assoc
+        granularity), leaving rates untouched.
+
+        Pairs with the dataset stand-ins' dimension scaling: the tensors'
+        factor-matrix working sets shrink by ``factor``, so shrinking the
+        caches by the same factor preserves fits-in-cache behaviour.
+        """
+        require(0.0 < factor <= 1.0, f"scale factor must be in (0, 1], got {factor}")
+        if factor == 1.0:
+            return self
+        new_caches = []
+        for c in self.caches:
+            grain = c.line_bytes * c.associativity
+            capacity = max(grain, int(round(c.capacity_bytes * factor / grain)) * grain)
+            new_caches.append(dataclasses.replace(c, capacity_bytes=capacity))
+        return dataclasses.replace(
+            self,
+            name=f"{self.name} (x{factor:g} caches)",
+            caches=tuple(new_caches),
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        cache_desc = ", ".join(
+            f"{c.name} {c.capacity_bytes // 1024} KiB/{c.associativity}-way"
+            for c in self.caches
+        )
+        return (
+            f"{self.name}: {self.frequency_hz / 1e9:.2f} GHz, {cache_desc}, "
+            f"line {self.line_bytes} B, BW {self.read_bandwidth / 1e9:.0f}R/"
+            f"{self.write_bandwidth / 1e9:.0f}W GB/s, "
+            f"{self.flops_per_cycle:g} flops/cyc, "
+            f"{self.loadstore_per_cycle:g} ld-st/cyc"
+        )
+
+
+#: Sustained per-core memory bandwidth: a single POWER8 core's load/store
+#: machinery cannot saturate the socket's memory links, so bandwidth grows
+#: with core count up to the socket figures of Section VI-A.
+_PER_CORE_READ_BW = 20e9
+_PER_CORE_WRITE_BW = 10e9
+
+
+def power8(core_count: int = 1) -> MachineSpec:
+    """The paper's POWER8 testbed, aggregated over ``core_count`` cores.
+
+    Per core: 64 KB 8-way L1, 512 KB 8-way L2, 8 MB of eDRAM L3, 128-byte
+    lines, two 128-bit FMA pipes (8 flops/cycle), two load/store slices.
+    Read/write bandwidth is ``min(socket figure, per-core sustainable x
+    cores)``.  The PPA experiments (Table I) use a single core; the
+    single-processor results (Figure 6) use 10.
+    """
+    require(core_count >= 1, "core_count must be >= 1")
+    return MachineSpec(
+        name=f"POWER8 ({core_count} core{'s' if core_count > 1 else ''})",
+        frequency_hz=3.49e9,
+        caches=(
+            CacheLevel("L1d", 64 * 1024 * core_count, 128, 8),
+            CacheLevel("L2", 512 * 1024 * core_count, 128, 8),
+            CacheLevel("L3", 8 * 1024 * 1024 * core_count, 128, 8),
+        ),
+        read_bandwidth=min(75e9, _PER_CORE_READ_BW * core_count),
+        write_bandwidth=min(35e9, _PER_CORE_WRITE_BW * core_count),
+        flops_per_cycle=8.0 * core_count,
+        loadstore_per_cycle=2.0 * core_count,
+        vector_doubles=2,
+        vector_registers=64,
+    )
+
+
+def power8_socket() -> MachineSpec:
+    """The full 10-core socket used for the Figure 6 experiments."""
+    return power8(core_count=10)

@@ -1,0 +1,138 @@
+"""Pressure-point analysis (Section IV-B, Table I).
+
+The paper patches the SPLATT binary to create artificial "pressure
+points" — deleting instruction groups or redirecting accesses — and reads
+off each resource's contribution from the runtime change.  Our machine
+model has those resources as *explicit terms*, so each pressure point is
+an exact ablation of the corresponding term:
+
+====  =================================  ==========================================
+Type  Paper description                  Model ablation
+====  =================================  ==========================================
+1     Access to B removed                ``B`` miss traffic and ``B`` load ops -> 0
+2     All accesses to B limited to L1    ``B`` miss traffic -> 0 (loads kept)
+3     Eliminating load instructions      accumulator load ops -> 0
+4     Access to C removed                ``C`` miss traffic and ``C`` load ops -> 0
+5     Moving flops to the inner-loop     flops -> 3*R*nnz (the COO count)
+6     Unchanged                          baseline
+====  =================================  ==========================================
+
+The reproduced check is *ordering and rough magnitude*: type 1 saves the
+most, then 2, then 3, then 4; type 5 changes almost nothing — the
+evidence for "memory + load units, not flops" that motivates Section V.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.kernels.base import Plan
+from repro.machine.spec import MachineSpec
+from repro.perf.model import TimeBreakdown, predict_time
+
+
+@dataclass(frozen=True)
+class PressurePointResult:
+    """One Table I row."""
+
+    type_id: int
+    description: str
+    time: float
+    baseline_time: float
+
+    @property
+    def saving(self) -> float:
+        """Fractional runtime reduction vs. the unchanged kernel."""
+        if self.baseline_time == 0:
+            return 0.0
+        return 1.0 - self.time / self.baseline_time
+
+
+def _ablate(
+    base: TimeBreakdown,
+    machine: MachineSpec,
+    *,
+    drop_b_traffic: bool = False,
+    drop_b_loads: bool = False,
+    drop_c_traffic: bool = False,
+    drop_c_loads: bool = False,
+    drop_acc_loads: bool = False,
+    flops: "float | None" = None,
+) -> float:
+    """Total time with the selected terms removed / replaced."""
+    loads = base.loads
+    load_ops = loads.total_ops
+    if drop_b_loads:
+        load_ops -= loads.b_loads
+    if drop_c_loads:
+        load_ops -= loads.c_loads
+    if drop_acc_loads:
+        load_ops -= loads.acc_loads
+    t = dataclasses.replace(
+        base,
+        b_time=0.0 if drop_b_traffic else base.b_time,
+        c_time=0.0 if drop_c_traffic else base.c_time,
+        load_time=load_ops / machine.loadstore_rate,
+        flop_time=base.flop_time if flops is None else flops / machine.peak_flops,
+    )
+    return t.total
+
+
+#: Table I row order and descriptions.
+PRESSURE_POINTS: dict[int, str] = {
+    1: "Access to B removed",
+    2: "All accesses to B is limited to L1",
+    3: "Eliminating load instructions",
+    4: "Access to C removed",
+    5: "Moving flops to the inner-loop",
+    6: "Unchanged",
+}
+
+
+def run_ppa(
+    plan: Plan, rank: int, machine: MachineSpec
+) -> list[PressurePointResult]:
+    """Evaluate all six Table I pressure points on one plan.
+
+    The paper runs this on the baseline SPLATT kernel (a single-phase
+    plan); the harness accepts any plan, which also enables the ablation
+    question "does the load-unit pressure survive blocking?".
+    """
+    base = predict_time(plan, rank, machine)
+    baseline = base.total
+    nnz = sum(b.nnz for b in plan.block_stats())
+    results = [
+        PressurePointResult(
+            1,
+            PRESSURE_POINTS[1],
+            _ablate(base, machine, drop_b_traffic=True, drop_b_loads=True),
+            baseline,
+        ),
+        PressurePointResult(
+            2,
+            PRESSURE_POINTS[2],
+            _ablate(base, machine, drop_b_traffic=True),
+            baseline,
+        ),
+        PressurePointResult(
+            3,
+            PRESSURE_POINTS[3],
+            _ablate(base, machine, drop_acc_loads=True),
+            baseline,
+        ),
+        PressurePointResult(
+            4,
+            PRESSURE_POINTS[4],
+            _ablate(base, machine, drop_c_traffic=True, drop_c_loads=True),
+            baseline,
+        ),
+        PressurePointResult(
+            5,
+            PRESSURE_POINTS[5],
+            _ablate(base, machine, flops=3.0 * rank * nnz),
+            baseline,
+        ),
+        PressurePointResult(6, PRESSURE_POINTS[6], baseline, baseline),
+    ]
+    return results

@@ -1,0 +1,111 @@
+"""Human-readable performance reports for MTTKRP plans.
+
+Bundles the Section IV analysis into one artifact: the time-model
+breakdown, per-structure hit rates, the roofline position, and concrete
+blocking suggestions derived from which term dominates — a miniature of
+the diagnosis the paper performs by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.base import Plan
+from repro.machine.spec import MachineSpec
+from repro.machine.traffic import TrafficEstimate
+from repro.perf.model import TimeBreakdown, predict_time
+from repro.perf.roofline import arithmetic_intensity, is_memory_bound
+from repro.util.formatting import format_bytes, format_seconds, format_table
+
+
+@dataclass(frozen=True)
+class PerformanceReport:
+    """The bundled diagnosis for one (plan, rank, machine)."""
+
+    plan_name: str
+    rank: int
+    machine_name: str
+    breakdown: TimeBreakdown
+    traffic: TrafficEstimate
+    memory_bound: bool
+    intensity: float
+    suggestions: tuple[str, ...]
+
+    def render(self) -> str:
+        """Monospace report."""
+        comps = self.breakdown.components()
+        total = self.breakdown.total
+        rows = [
+            [name, format_seconds(t), f"{t / total * 100:.1f}%"]
+            for name, t in sorted(comps.items(), key=lambda kv: -kv[1])
+        ]
+        lines = [
+            f"plan: {self.plan_name}   rank: {self.rank}   "
+            f"machine: {self.machine_name}",
+            f"predicted time: {format_seconds(total)}   "
+            f"intensity: {self.intensity:.2f} flops/B   "
+            f"{'MEMORY' if self.memory_bound else 'COMPUTE'}-bound",
+            f"DRAM traffic: {format_bytes(self.traffic.total_bytes)} "
+            f"(alpha_B={self.traffic.b.alpha:.3f}, "
+            f"alpha_C={self.traffic.c.alpha:.3f})",
+            format_table(["component", "time", "share"], rows),
+        ]
+        if self.suggestions:
+            lines.append("suggestions:")
+            lines.extend(f"  - {s}" for s in self.suggestions)
+        return "\n".join(lines)
+
+
+def _suggest(
+    plan: Plan, breakdown: TimeBreakdown, traffic: TrafficEstimate
+) -> tuple[str, ...]:
+    """Map the dominant cost terms to the paper's remedies."""
+    total = breakdown.total or 1.0
+    suggestions = []
+    has_rankb = getattr(plan, "rank_blocking", None) is not None
+    blocked = len(plan.block_stats()) > 1
+
+    # B cost can come from DRAM misses or from L3-served L2 misses; either
+    # way blocking is the remedy, so check the fast-tier hit rate too.
+    if breakdown.b_time / total > 0.3 and traffic.b.fast_alpha < 0.95:
+        if not blocked:
+            suggestions.append(
+                "inner-factor (B) misses dominate: apply multi-dimensional "
+                "blocking along the inner mode (Section V-A)"
+            )
+        if not has_rankb:
+            suggestions.append(
+                "inner-factor rows exceed cache: rank blocking shrinks rows "
+                "so more stay resident (Section V-B)"
+            )
+    if breakdown.load_time / total > 0.3 and not has_rankb:
+        suggestions.append(
+            "load-unit pressure dominates: register blocking removes the "
+            "accumulator's load/store micro-ops (Algorithm 2)"
+        )
+    if breakdown.stream_time / total > 0.4 and has_rankb:
+        suggestions.append(
+            "tensor re-streaming dominates: use fewer/wider rank strips"
+        )
+    if not suggestions:
+        suggestions.append("no single bottleneck stands out; profile further")
+    return tuple(suggestions)
+
+
+def performance_report(
+    plan: Plan, rank: int, machine: MachineSpec
+) -> PerformanceReport:
+    """Diagnose one MTTKRP configuration."""
+    breakdown = predict_time(plan, rank, machine)
+    traffic = breakdown.traffic
+    alpha = traffic.factor_alpha
+    return PerformanceReport(
+        plan_name=plan.kernel_name,
+        rank=rank,
+        machine_name=machine.name,
+        breakdown=breakdown,
+        traffic=traffic,
+        memory_bound=is_memory_bound(machine, rank, alpha),
+        intensity=arithmetic_intensity(rank, alpha),
+        suggestions=_suggest(plan, breakdown, traffic),
+    )

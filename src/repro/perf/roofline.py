@@ -1,0 +1,57 @@
+"""Roofline analysis of SPLATT MTTKRP (Section IV-A, Figure 2).
+
+Implements Equations 1-3 in closed form and the roofline attainable-
+performance bound, reproducing the paper's conclusion: with system
+balances of 6-12 flops/byte on current hardware, SPLATT MTTKRP "will
+likely be memory bound in most cases" — compute-bound only when the data
+fits in cache (high alpha) *and* the rank is large (> 64).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.machine.spec import MachineSpec
+from repro.util.validation import check_rank, require
+
+#: The rank axis of Figure 2.
+FIG2_RANKS: tuple[int, ...] = (16, 32, 64, 128, 256, 512, 1024, 2048)
+
+#: The cache-hit-rate series of Figure 2.
+FIG2_ALPHAS: tuple[float, ...] = (1.0, 0.95, 0.9, 0.8, 0.7, 0.6, 0.4, 0.2, 0.0)
+
+
+def arithmetic_intensity(rank: int, alpha: float) -> float:
+    """Equation 3: ``I = R / (8 + 4R(1 - alpha))`` flops per byte.
+
+    Derived from ``W = 2R(nnz + F)`` and ``Q*8`` bytes with ``nnz`` and
+    ``F`` cancelling; exact for any nnz/F ratio.
+    """
+    rank = check_rank(rank)
+    require(0.0 <= alpha <= 1.0, f"alpha must be in [0, 1], got {alpha}")
+    return rank / (8.0 + 4.0 * rank * (1.0 - alpha))
+
+
+def figure2_grid(
+    ranks: Sequence[int] = FIG2_RANKS,
+    alphas: Sequence[float] = FIG2_ALPHAS,
+) -> dict[float, list[float]]:
+    """The Figure 2 data: for each alpha series, the intensity at every
+    rank.  Keys are alphas, values are aligned with ``ranks``."""
+    return {
+        float(a): [arithmetic_intensity(r, a) for r in ranks] for a in alphas
+    }
+
+
+def attainable_gflops(machine: MachineSpec, intensity: float) -> float:
+    """Roofline bound: ``min(peak, I * bandwidth)`` in Gflop/s."""
+    require(intensity >= 0, "intensity must be non-negative")
+    return min(machine.peak_flops, intensity * machine.read_bandwidth) / 1e9
+
+
+def is_memory_bound(
+    machine: MachineSpec, rank: int, alpha: float
+) -> bool:
+    """True when the kernel's intensity sits left of the roofline ridge
+    (i.e. bandwidth, not compute, limits it)."""
+    return arithmetic_intensity(rank, alpha) < machine.system_balance

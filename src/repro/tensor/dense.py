@@ -1,0 +1,123 @@
+"""Dense tensor helpers: matricization, Khatri-Rao product, reference MTTKRP.
+
+These implement the textbook definitions from Section III of the paper
+(following the Kolda & Bader conventions) and serve three purposes:
+
+* a slow-but-obviously-correct reference for the sparse kernels' tests;
+* the building blocks of the CP-ALS driver (:mod:`repro.cpd`);
+* small pedagogical utilities for the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import ShapeError
+from repro.util.validation import VALUE_DTYPE, check_mode, check_rank
+
+
+def matricize(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Mode-``n`` matricization (unfolding) of a dense tensor.
+
+    The mode-``n`` fibers become columns of the result, ordered so the
+    lowest remaining mode varies fastest (Kolda & Bader convention):
+    element ``(i_0, ..., i_{N-1})`` lands at row ``i_n`` and column
+    ``sum_{m != n} i_m * prod_{l < m, l != n} I_l``.
+    """
+    tensor = np.asarray(tensor)
+    mode = check_mode(mode, tensor.ndim)
+    return np.reshape(
+        np.moveaxis(tensor, mode, 0), (tensor.shape[mode], -1), order="F"
+    )
+
+
+def fold(unfolded: np.ndarray, mode: int, shape: Sequence[int]) -> np.ndarray:
+    """Inverse of :func:`matricize`: refold a mode-``n`` unfolding."""
+    shape = tuple(int(s) for s in shape)
+    mode = check_mode(mode, len(shape))
+    moved_shape = (shape[mode],) + tuple(
+        s for m, s in enumerate(shape) if m != mode
+    )
+    tensor = np.reshape(unfolded, moved_shape, order="F")
+    return np.moveaxis(tensor, 0, mode)
+
+
+def khatri_rao(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Column-wise Khatri-Rao product of two or more matrices.
+
+    For ``[U, V]`` with shapes ``(I, R)`` and ``(J, R)``, the result has
+    shape ``(I*J, R)`` with the *last* matrix varying fastest along rows:
+    ``out[i*J + j] = U[i] * V[j]`` — the convention under which the mode-0
+    MTTKRP of a 3-mode tensor is ``matricize(X, 0) @ khatri_rao([C, B])``.
+    """
+    matrices = [np.asarray(m, dtype=VALUE_DTYPE) for m in matrices]
+    if len(matrices) < 1:
+        raise ShapeError("khatri_rao needs at least one matrix")
+    rank = matrices[0].shape[1]
+    for m in matrices:
+        if m.ndim != 2:
+            raise ShapeError(f"khatri_rao operands must be 2-D, got {m.ndim}-D")
+        if m.shape[1] != rank:
+            raise ShapeError(
+                f"all operands must share the rank dimension; got "
+                f"{[mm.shape for mm in matrices]}"
+            )
+    out = matrices[0]
+    for m in matrices[1:]:
+        out = (out[:, None, :] * m[None, :, :]).reshape(-1, rank)
+    return out
+
+
+def dense_mttkrp(
+    tensor: np.ndarray, factors: Sequence[np.ndarray], mode: int
+) -> np.ndarray:
+    """Reference mode-``n`` MTTKRP on a dense tensor via ``einsum``.
+
+    ``factors`` lists one matrix per mode (the entry at ``mode`` is ignored
+    and may be ``None``); the result has shape ``(I_n, R)``.  Equivalent to
+    ``matricize(X, n) @ khatri_rao(factors[::-1] excluding n)`` but without
+    forming the Khatri-Rao product explicitly.
+    """
+    tensor = np.asarray(tensor, dtype=VALUE_DTYPE)
+    order = tensor.ndim
+    mode = check_mode(mode, order)
+    if len(factors) != order:
+        raise ShapeError(f"need {order} factors (one per mode), got {len(factors)}")
+    rank = None
+    for m, f in enumerate(factors):
+        if m == mode:
+            continue
+        f = np.asarray(f)
+        if f.ndim != 2 or f.shape[0] != tensor.shape[m]:
+            raise ShapeError(
+                f"factor {m} must be ({tensor.shape[m]}, R), got {f.shape}"
+            )
+        if rank is None:
+            rank = f.shape[1]
+        elif f.shape[1] != rank:
+            raise ShapeError("all factors must share the rank dimension")
+    if rank is None:
+        raise ShapeError("order-1 MTTKRP is undefined")
+    check_rank(rank)
+
+    # Build an einsum like 'ijk,jr,kr->ir' for mode 0 of an order-3 tensor.
+    letters = "abcdefghijklmnop"
+    if order > len(letters):
+        raise ShapeError(f"dense_mttkrp supports order <= {len(letters)}")
+    tensor_sub = letters[:order]
+    operands: list[np.ndarray] = [tensor]
+    subs = [tensor_sub]
+    for m in range(order):
+        if m == mode:
+            continue
+        subs.append(letters[m] + "r")
+        operands.append(np.asarray(factors[m], dtype=VALUE_DTYPE))
+    expr = ",".join(subs) + "->" + letters[mode] + "r"
+    return np.einsum(expr, *operands, optimize=True)
+
+
+def tensor_norm(tensor: np.ndarray) -> float:
+    """Frobenius norm of a dense tensor."""
+    return float(np.linalg.norm(np.asarray(tensor).ravel()))

@@ -1,0 +1,240 @@
+"""Synthetic sparse-tensor generators.
+
+The paper evaluates on two families of data:
+
+* **Poisson (count) synthetics** — "we use the same method presented in
+  [Hansen et al., Chi & Kolda] to generate our Poisson data": draw events
+  from a low-rank Poisson mixture model, so nonzeros are integer counts
+  with mild low-rank clustering.  :func:`poisson_tensor` implements that
+  loading-based sampler.
+* **Real tensors** (NELL2, Netflix, Reddit, Amazon) whose key property for
+  blocking is *dense sub-structure* and heavy-tailed index popularity.
+  :func:`clustered_tensor` and :func:`power_law_tensor` synthesize those
+  properties for the scaled stand-ins in :mod:`repro.tensor.datasets`.
+
+:func:`uniform_random_tensor` provides the fully unstructured control case.
+
+All generators deduplicate coordinates (summing values) and return a
+canonically sorted :class:`~repro.tensor.coo.COOTensor`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.coo import COOTensor
+from repro.util.errors import ConfigError
+from repro.util.rng import resolve_rng
+from repro.util.validation import INDEX_DTYPE, VALUE_DTYPE, check_shape, require
+
+
+def _sample_categorical(
+    rng: np.random.Generator, probs: np.ndarray, size: int
+) -> np.ndarray:
+    """Vectorized categorical sampling via inverse-CDF (much faster than
+    ``rng.choice`` with a ``p`` argument for large ``size``)."""
+    cdf = np.cumsum(probs)
+    cdf[-1] = 1.0
+    return np.searchsorted(cdf, rng.random(size), side="right").astype(INDEX_DTYPE)
+
+
+def poisson_tensor(
+    shape: Sequence[int],
+    n_events: int,
+    *,
+    gen_rank: int = 8,
+    concentration: float = 0.1,
+    support_fraction: float = 0.25,
+    seed: "int | None | np.random.Generator" = None,
+) -> COOTensor:
+    """Generate a Poisson "count" tensor from a low-rank mixture model.
+
+    The model follows the generative view of Poisson tensor factorization
+    (Chi & Kolda 2012): the tensor is the event-count histogram of
+    ``n_events`` i.i.d. draws from a rank-``gen_rank`` mixture.  Each event
+    picks a component ``r`` with probability :math:`\\lambda_r`, then picks
+    its coordinate in every mode from that component's per-mode categorical
+    distribution (a Dirichlet draw with the given ``concentration``).
+
+    Small ``concentration`` gives spiky per-mode loadings — the clustered
+    sparsity the paper's "count data" exhibits; large values approach a
+    uniform tensor.
+
+    Parameters
+    ----------
+    shape: mode lengths.
+    n_events: number of event draws; the returned ``nnz`` is smaller
+        because repeated coordinates collapse into counts.
+    gen_rank: number of mixture components of the generating model (not
+        related to the decomposition rank used in MTTKRP).
+    concentration: Dirichlet concentration of the per-mode loadings.
+    support_fraction: fraction of each mode a component's loading touches;
+        smaller values give tighter clusters and hence longer fibers
+        (higher nnz/F) in the SPLATT layout.
+    seed: RNG seed.
+    """
+    shape = check_shape(shape)
+    require(n_events >= 0, f"n_events must be >= 0, got {n_events}")
+    require(gen_rank >= 1, f"gen_rank must be >= 1, got {gen_rank}")
+    require(concentration > 0, "concentration must be positive")
+    require(
+        0.0 < support_fraction <= 1.0, "support_fraction must be in (0, 1]"
+    )
+    rng = resolve_rng(seed)
+
+    # Component weights lambda_r (normalized gamma draws).
+    lam = rng.gamma(1.0, 1.0, size=gen_rank)
+    lam /= lam.sum()
+
+    # Per-mode, per-component categorical loadings.  For very long modes a
+    # full Dirichlet draw is wasteful; concentrate each component on a
+    # random support of bounded size, which is also more realistic (a
+    # latent topic touches a bounded set of entities).
+    component = _sample_categorical(rng, lam, n_events)
+    indices = np.empty((n_events, len(shape)), dtype=INDEX_DTYPE)
+    for m, extent in enumerate(shape):
+        support_size = int(min(extent, max(8, extent * support_fraction)))
+        mode_col = np.empty(n_events, dtype=INDEX_DTYPE)
+        for r in range(gen_rank):
+            sel = component == r
+            count = int(sel.sum())
+            if count == 0:
+                continue
+            support = rng.choice(extent, size=support_size, replace=False)
+            weights = rng.gamma(concentration, 1.0, size=support_size)
+            total = weights.sum()
+            if total <= 0:
+                weights = np.full(support_size, 1.0 / support_size)
+            else:
+                weights /= total
+            local = _sample_categorical(rng, weights, count)
+            mode_col[sel] = support[local]
+        indices[:, m] = mode_col
+
+    values = np.ones(n_events, dtype=VALUE_DTYPE)
+    return COOTensor(shape, indices, values, validate=False).deduplicate()
+
+
+def uniform_random_tensor(
+    shape: Sequence[int],
+    nnz: int,
+    *,
+    seed: "int | None | np.random.Generator" = None,
+    integer_values: bool = False,
+) -> COOTensor:
+    """Fully unstructured tensor: i.i.d. uniform coordinates.
+
+    The control case for the blocking study — no dense sub-structure, so
+    multi-dimensional blocking gains the least here.
+    """
+    shape = check_shape(shape)
+    require(nnz >= 0, f"nnz must be >= 0, got {nnz}")
+    rng = resolve_rng(seed)
+    indices = np.empty((nnz, len(shape)), dtype=INDEX_DTYPE)
+    for m, extent in enumerate(shape):
+        indices[:, m] = rng.integers(0, extent, size=nnz, dtype=INDEX_DTYPE)
+    if integer_values:
+        values = rng.integers(1, 10, size=nnz).astype(VALUE_DTYPE)
+    else:
+        values = rng.random(nnz).astype(VALUE_DTYPE) + 0.5
+    return COOTensor(shape, indices, values, validate=False).deduplicate()
+
+
+def clustered_tensor(
+    shape: Sequence[int],
+    nnz: int,
+    *,
+    n_clusters: int = 32,
+    cluster_fraction: float = 0.8,
+    cluster_extent_fraction: float = 0.05,
+    seed: "int | None | np.random.Generator" = None,
+) -> COOTensor:
+    """Tensor with dense sub-boxes plus uniform background noise.
+
+    Models the "nice dense sub-structures" of real data sets that the
+    paper credits for the higher real-data speedups (Section VI-C):
+    ``cluster_fraction`` of the nonzeros land inside ``n_clusters`` random
+    axis-aligned boxes whose side length is ``cluster_extent_fraction`` of
+    each mode; the rest are uniform background.
+    """
+    shape = check_shape(shape)
+    require(nnz >= 0, f"nnz must be >= 0, got {nnz}")
+    require(n_clusters >= 1, "n_clusters must be >= 1")
+    require(0.0 <= cluster_fraction <= 1.0, "cluster_fraction must be in [0, 1]")
+    require(
+        0.0 < cluster_extent_fraction <= 1.0,
+        "cluster_extent_fraction must be in (0, 1]",
+    )
+    rng = resolve_rng(seed)
+    order = len(shape)
+
+    n_clustered = int(round(nnz * cluster_fraction))
+    n_background = nnz - n_clustered
+
+    # Box corners and sizes per cluster.
+    sizes = np.empty((n_clusters, order), dtype=INDEX_DTYPE)
+    corners = np.empty((n_clusters, order), dtype=INDEX_DTYPE)
+    for m, extent in enumerate(shape):
+        size_m = max(1, int(round(extent * cluster_extent_fraction)))
+        sizes[:, m] = size_m
+        corners[:, m] = rng.integers(0, max(1, extent - size_m + 1), size=n_clusters)
+
+    # Clusters get geometric-ish (heavy-tailed) shares of the nonzeros.
+    weights = rng.gamma(0.7, 1.0, size=n_clusters)
+    weights /= weights.sum()
+    cluster_of = _sample_categorical(rng, weights, n_clustered)
+
+    indices = np.empty((nnz, order), dtype=INDEX_DTYPE)
+    for m in range(order):
+        offs = rng.integers(0, sizes[cluster_of, m])
+        indices[:n_clustered, m] = corners[cluster_of, m] + offs
+    for m, extent in enumerate(shape):
+        indices[n_clustered:, m] = rng.integers(
+            0, extent, size=n_background, dtype=INDEX_DTYPE
+        )
+
+    values = rng.random(nnz).astype(VALUE_DTYPE) + 0.5
+    return COOTensor(shape, indices, values, validate=False).deduplicate()
+
+
+def power_law_tensor(
+    shape: Sequence[int],
+    nnz: int,
+    *,
+    alphas: "Sequence[float] | float" = 1.1,
+    seed: "int | None | np.random.Generator" = None,
+) -> COOTensor:
+    """Tensor whose per-mode index popularity follows a Zipf law.
+
+    Models recommender-style data (Netflix, Amazon): a few very hot rows
+    (popular users/items) and a long cold tail — the regime where factor
+    rows for hot indices stay cached while the tail thrashes.
+
+    ``alphas`` is the Zipf exponent per mode (or a single exponent for all
+    modes); larger means more skew.
+    """
+    shape = check_shape(shape)
+    require(nnz >= 0, f"nnz must be >= 0, got {nnz}")
+    rng = resolve_rng(seed)
+    order = len(shape)
+    if np.isscalar(alphas):
+        alphas = [float(alphas)] * order
+    alphas = [float(a) for a in alphas]
+    if len(alphas) != order:
+        raise ConfigError(f"need {order} alphas, got {len(alphas)}")
+
+    indices = np.empty((nnz, order), dtype=INDEX_DTYPE)
+    for m, (extent, alpha) in enumerate(zip(shape, alphas)):
+        ranks = np.arange(1, extent + 1, dtype=VALUE_DTYPE)
+        probs = ranks ** (-alpha)
+        probs /= probs.sum()
+        popular = _sample_categorical(rng, probs, nnz)
+        # Scatter popularity ranks over the index space so hot indices are
+        # not artificially contiguous.
+        perm = rng.permutation(extent)
+        indices[:, m] = perm[popular]
+
+    values = rng.random(nnz).astype(VALUE_DTYPE) + 0.5
+    return COOTensor(shape, indices, values, validate=False).deduplicate()

@@ -1,0 +1,128 @@
+"""Sparse tensor IO: FROSTT ``.tns`` text format and NumPy ``.npz``.
+
+The FROSTT repository (reference [29] of the paper, co-authored by two of
+the paper's authors) distributes tensors as whitespace-separated text with
+one nonzero per line — **1-based** coordinates followed by the value::
+
+    1 1 1 5.0
+    1 2 2 3.0
+
+:func:`load_tns` / :func:`save_tns` speak that format so real FROSTT
+downloads drop in whenever network access is available; ``.npz`` is the
+fast binary path used internally.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.coo import COOTensor
+from repro.util.errors import FormatError
+from repro.util.validation import INDEX_DTYPE, VALUE_DTYPE
+
+
+def save_tns(tensor: COOTensor, path: "str | os.PathLike[str]") -> None:
+    """Write a COO tensor as FROSTT ``.tns`` text (1-based coordinates)."""
+    data = np.empty((tensor.nnz, tensor.order + 1), dtype=VALUE_DTYPE)
+    data[:, : tensor.order] = tensor.indices + 1
+    data[:, tensor.order] = tensor.values
+    fmt = ["%d"] * tensor.order + ["%.17g"]
+    header = " ".join(str(s) for s in tensor.shape)
+    np.savetxt(path, data, fmt=fmt, header=header, comments="# shape: ")
+
+
+def load_tns(
+    path: "str | os.PathLike[str] | io.TextIOBase",
+    shape: Sequence[int] | None = None,
+) -> COOTensor:
+    """Read a FROSTT ``.tns`` file into a COO tensor.
+
+    The shape is taken from (in priority order): the explicit ``shape``
+    argument, a ``# shape: I J K`` comment header (written by
+    :func:`save_tns`), or the per-mode coordinate maxima.  Paths ending
+    in ``.gz`` are transparently decompressed (FROSTT distributes tensors
+    gzipped).
+    """
+    header_shape: tuple[int, ...] | None = None
+    if hasattr(path, "read"):
+        text = path.read()
+    elif str(path).endswith(".gz"):
+        import gzip
+
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    lines = text.splitlines()
+    rows: list[list[float]] = []
+    for line in lines:
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            body = stripped.lstrip("#").strip()
+            if body.lower().startswith("shape:"):
+                header_shape = tuple(
+                    int(tok) for tok in body.split(":", 1)[1].split()
+                )
+            continue
+        rows.append([float(tok) for tok in stripped.split()])
+    if not rows:
+        if shape is None and header_shape is None:
+            raise FormatError("empty .tns file and no shape given")
+        final_shape = tuple(shape) if shape is not None else header_shape
+        order = len(final_shape)
+        return COOTensor(
+            final_shape,
+            np.empty((0, order), dtype=INDEX_DTYPE),
+            np.empty(0, dtype=VALUE_DTYPE),
+            validate=False,
+        )
+
+    width = len(rows[0])
+    if width < 2:
+        raise FormatError(".tns lines need at least one coordinate and a value")
+    if any(len(r) != width for r in rows):
+        raise FormatError("inconsistent column count across .tns lines")
+    data = np.asarray(rows, dtype=VALUE_DTYPE)
+    order = width - 1
+    indices = data[:, :order].astype(INDEX_DTYPE) - 1
+    values = data[:, order]
+    if np.any(indices < 0):
+        raise FormatError(".tns coordinates must be 1-based positive integers")
+
+    if shape is not None:
+        final_shape = tuple(int(s) for s in shape)
+    elif header_shape is not None:
+        final_shape = header_shape
+    else:
+        final_shape = tuple(int(indices[:, m].max()) + 1 for m in range(order))
+    return COOTensor(final_shape, indices, values)
+
+
+def save_npz(tensor: COOTensor, path: "str | os.PathLike[str]") -> None:
+    """Write a COO tensor to a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        path,
+        shape=np.asarray(tensor.shape, dtype=INDEX_DTYPE),
+        indices=tensor.indices,
+        values=tensor.values,
+    )
+
+
+def load_npz(path: "str | os.PathLike[str]") -> COOTensor:
+    """Read a COO tensor written by :func:`save_npz`."""
+    with np.load(path) as data:
+        missing = {"shape", "indices", "values"} - set(data.files)
+        if missing:
+            raise FormatError(f".npz archive missing arrays: {sorted(missing)}")
+        return COOTensor(
+            tuple(int(s) for s in data["shape"]),
+            data["indices"],
+            data["values"],
+        )

@@ -1,0 +1,22 @@
+"""Autotuning framework for blocking configurations.
+
+The paper's conclusion: "a well designed autotuning framework would allow
+the work presented here to be practical to real applications."  This
+package is that framework:
+
+* :mod:`repro.tune.signature` — a structural fingerprint of a tensor
+  (shape, nonzeros, fiber statistics, popularity skew) that generalizes
+  tuning decisions across tensors with the same structure;
+* :mod:`repro.tune.cache` — a persistent (JSON) store of tuned
+  configurations keyed by (signature, rank, machine);
+* :mod:`repro.tune.tuner` — search strategies (the Section V-C greedy,
+  exhaustive, and random search) over the model-backed cost surface, with
+  a ``get_or_tune`` entry point that amortizes tuning across runs exactly
+  the way CP-ALS amortizes plan preparation.
+"""
+
+from repro.tune.signature import TensorSignature
+from repro.tune.cache import TuningCache
+from repro.tune.tuner import TunedConfig, Tuner
+
+__all__ = ["TensorSignature", "TuningCache", "TunedConfig", "Tuner"]

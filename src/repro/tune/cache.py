@@ -1,0 +1,122 @@
+"""Persistent store of tuned blocking configurations.
+
+Entries are keyed by ``(signature key, rank, machine name)`` and carry
+the chosen block counts, rank-strip width, the modeled cost, and how the
+entry was obtained.  The JSON format is human-auditable, so a tuning
+database can be shipped alongside an application the way BLAS autotuners
+ship theirs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+
+from repro.blocking.rank import RankBlocking
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One tuned configuration."""
+
+    block_counts: "tuple[int, ...] | None"
+    rank_block_cols: "int | None"
+    cost: float
+    strategy: str
+
+    def rank_blocking(self) -> "RankBlocking | None":
+        """Materialize the RankBlocking (or None)."""
+        if self.rank_block_cols is None:
+            return None
+        return RankBlocking(block_cols=self.rank_block_cols)
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        if d["block_counts"] is not None:
+            d["block_counts"] = list(d["block_counts"])
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CacheEntry":
+        counts = d.get("block_counts")
+        return cls(
+            block_counts=None if counts is None else tuple(int(c) for c in counts),
+            rank_block_cols=d.get("rank_block_cols"),
+            cost=float(d.get("cost", 0.0)),
+            strategy=str(d.get("strategy", "unknown")),
+        )
+
+
+class TuningCache:
+    """In-memory tuning store with JSON persistence."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, int, str], CacheEntry] = {}
+
+    @staticmethod
+    def _key(signature_key: str, rank: int, machine_name: str):
+        return (str(signature_key), int(rank), str(machine_name))
+
+    def get(
+        self, signature_key: str, rank: int, machine_name: str
+    ) -> "CacheEntry | None":
+        """Look up a tuned configuration (None on miss)."""
+        return self._entries.get(self._key(signature_key, rank, machine_name))
+
+    def put(
+        self,
+        signature_key: str,
+        rank: int,
+        machine_name: str,
+        entry: CacheEntry,
+    ) -> None:
+        """Store (replacing any existing entry for the key)."""
+        self._entries[self._key(signature_key, rank, machine_name)] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return self._key(*key) in self._entries
+
+    # ------------------------------------------------------------------
+    def save(self, path: "str | os.PathLike[str]") -> None:
+        """Write the cache as JSON."""
+        payload = [
+            {
+                "signature": sig,
+                "rank": rank,
+                "machine": machine,
+                "entry": entry.to_dict(),
+            }
+            for (sig, rank, machine), entry in sorted(self._entries.items())
+        ]
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"version": 1, "entries": payload}, fh, indent=2)
+
+    @classmethod
+    def load(cls, path: "str | os.PathLike[str]") -> "TuningCache":
+        """Read a cache written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ConfigError(f"{path}: not a tuning cache file")
+        cache = cls()
+        for item in data["entries"]:
+            cache.put(
+                item["signature"],
+                int(item["rank"]),
+                item["machine"],
+                CacheEntry.from_dict(item["entry"]),
+            )
+        return cache
+
+    def merge(self, other: "TuningCache", *, prefer_cheaper: bool = True) -> None:
+        """Fold another cache in (keeping the lower-cost entry on clashes
+        when ``prefer_cheaper``)."""
+        for key, entry in other._entries.items():
+            mine = self._entries.get(key)
+            if mine is None or (prefer_cheaper and entry.cost < mine.cost):
+                self._entries[key] = entry

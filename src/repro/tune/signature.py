@@ -1,0 +1,92 @@
+"""Structural tensor fingerprints for the tuning cache.
+
+Two tensors with the same shape class, density, fiber statistics and
+popularity skew behave the same under blocking (those are exactly the
+inputs of the traffic model), so tuned configurations transfer between
+them.  :class:`TensorSignature` quantizes those properties into a stable,
+hashable key.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, asdict
+
+import numpy as np
+
+from repro.tensor.coo import COOTensor
+from repro.tensor.splatt import SplattTensor
+from repro.util.validation import check_mode
+
+
+def _log2_bucket(value: float) -> int:
+    """Quantize to the nearest power-of-two exponent (0 for values < 1)."""
+    if value < 1.0:
+        return 0
+    return int(round(math.log2(value)))
+
+
+@dataclass(frozen=True)
+class TensorSignature:
+    """A quantized structural fingerprint of one (tensor, mode) pair."""
+
+    #: Mode lengths, each bucketed to the nearest power of two.
+    shape_buckets: tuple[int, ...]
+    #: Nonzero count, bucketed.
+    nnz_bucket: int
+    #: Average fiber length (nnz/F), bucketed.
+    fiber_len_bucket: int
+    #: Inner-mode reuse (nnz / distinct inner rows), bucketed.
+    reuse_bucket: int
+    #: Fraction of inner-row accesses hitting the hottest 10% of rows,
+    #: rounded to one decimal — the popularity-skew axis of the traffic
+    #: model.
+    skew_decile: float
+    #: The MTTKRP output mode.
+    mode: int
+
+    @classmethod
+    def of(cls, tensor: COOTensor, mode: int) -> "TensorSignature":
+        """Fingerprint a tensor for one MTTKRP output mode."""
+        mode = check_mode(mode, tensor.order)
+        splatt = None
+        if tensor.order == 3:
+            splatt = SplattTensor.from_coo(tensor, output_mode=mode)
+            fiber_len = splatt.nnz / max(splatt.n_fibers, 1)
+            inner = splatt.jidx
+        else:
+            fiber_len = 1.0
+            inner = tensor.indices[:, (mode + 1) % tensor.order]
+
+        counts = np.bincount(inner) if inner.size else np.array([0])
+        counts = counts[counts > 0]
+        distinct = max(counts.size, 1)
+        reuse = tensor.nnz / distinct
+        if counts.size:
+            top = np.sort(counts)[::-1][: max(1, distinct // 10)]
+            skew = float(top.sum() / max(counts.sum(), 1))
+        else:
+            skew = 0.0
+
+        return cls(
+            shape_buckets=tuple(_log2_bucket(s) for s in tensor.shape),
+            nnz_bucket=_log2_bucket(tensor.nnz),
+            fiber_len_bucket=_log2_bucket(fiber_len),
+            reuse_bucket=_log2_bucket(reuse),
+            skew_decile=round(skew, 1),
+            mode=mode,
+        )
+
+    def key(self) -> str:
+        """Stable string key for persistence."""
+        return (
+            "s" + "-".join(str(b) for b in self.shape_buckets)
+            + f"_n{self.nnz_bucket}_f{self.fiber_len_bucket}"
+            + f"_r{self.reuse_bucket}_k{self.skew_decile:g}_m{self.mode}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        d = asdict(self)
+        d["shape_buckets"] = list(d["shape_buckets"])
+        return d

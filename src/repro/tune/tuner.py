@@ -1,0 +1,216 @@
+"""Search strategies over the blocking-configuration space.
+
+``heuristic``
+    The Section V-C greedy (delegates to
+    :func:`repro.blocking.heuristic.select_blocking`), ~20 evaluations.
+``exhaustive``
+    Full grid over power-of-two block counts x cache-line strip widths —
+    the ground truth the heuristic ablation compares against.
+``random``
+    Uniform random sampling with a budget; the baseline any smarter
+    strategy has to beat.
+
+All strategies share the model-backed cost surface through
+:class:`repro.perf.model.ConfigPlanner`, and :meth:`Tuner.get_or_tune`
+consults the :class:`repro.tune.cache.TuningCache` first.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.blocking.heuristic import select_blocking
+from repro.blocking.rank import REGISTER_BLOCK_COLS, RankBlocking
+from repro.machine.spec import MachineSpec
+from repro.perf.model import ConfigPlanner, predict_time
+from repro.tensor.coo import COOTensor
+from repro.tune.cache import CacheEntry, TuningCache
+from repro.tune.signature import TensorSignature
+from repro.util.errors import ConfigError
+from repro.util.rng import resolve_rng
+from repro.util.validation import check_mode, check_rank, require
+
+
+@dataclass(frozen=True)
+class TunedConfig:
+    """The outcome of one tuning run."""
+
+    block_counts: "tuple[int, ...] | None"
+    rank_blocking: "RankBlocking | None"
+    cost: float
+    baseline_cost: float
+    n_evaluations: int
+    strategy: str
+    from_cache: bool = False
+
+    @property
+    def speedup(self) -> float:
+        """Modeled speedup over the unblocked SPLATT baseline."""
+        return self.baseline_cost / self.cost if self.cost > 0 else 0.0
+
+
+class Tuner:
+    """Tunes blocking configurations for (tensor, mode, rank, machine)."""
+
+    def __init__(
+        self,
+        tensor: COOTensor,
+        mode: int,
+        machine: MachineSpec,
+        *,
+        cache: "TuningCache | None" = None,
+    ) -> None:
+        self.tensor = tensor
+        self.mode = check_mode(mode, tensor.order)
+        self.machine = machine
+        self.cache = cache
+        self.planner = ConfigPlanner(tensor, self.mode)
+        self._signature: "TensorSignature | None" = None
+
+    @property
+    def signature(self) -> TensorSignature:
+        """The tensor's structural fingerprint (computed lazily)."""
+        if self._signature is None:
+            self._signature = TensorSignature.of(self.tensor, self.mode)
+        return self._signature
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, counts, rb, rank: int) -> float:
+        plan = self.planner.plan_for(counts, rb)
+        return predict_time(plan, rank, self.machine).total
+
+    def tune(
+        self,
+        rank: int,
+        strategy: str = "heuristic",
+        *,
+        budget: int = 64,
+        seed: "int | None" = 0,
+        max_blocks_per_mode: int = 64,
+    ) -> TunedConfig:
+        """Search for a configuration; does not consult the cache."""
+        rank = check_rank(rank)
+        baseline = self._evaluate(None, None, rank)
+
+        if strategy == "heuristic":
+            evaluate = self.planner.evaluator(rank, self.machine)
+            choice = select_blocking(
+                self.tensor,
+                self.mode,
+                rank,
+                evaluate,
+                max_blocks_per_mode=max_blocks_per_mode,
+            )
+            return TunedConfig(
+                block_counts=choice.block_counts,
+                rank_blocking=choice.rank_blocking,
+                cost=choice.cost,
+                baseline_cost=baseline,
+                n_evaluations=choice.n_evaluations,
+                strategy=strategy,
+            )
+
+        if strategy == "exhaustive":
+            candidates = self._exhaustive_space(rank, max_blocks_per_mode)
+        elif strategy == "random":
+            candidates = self._random_space(rank, budget, seed, max_blocks_per_mode)
+        else:
+            raise ConfigError(
+                f"unknown strategy {strategy!r}; use heuristic/exhaustive/random"
+            )
+
+        best = (None, None, baseline)
+        n_evals = 1
+        for counts, rb in candidates:
+            cost = self._evaluate(counts, rb, rank)
+            n_evals += 1
+            if cost < best[2]:
+                best = (counts, rb, cost)
+        return TunedConfig(
+            block_counts=best[0],
+            rank_blocking=best[1],
+            cost=best[2],
+            baseline_cost=baseline,
+            n_evaluations=n_evals,
+            strategy=strategy,
+        )
+
+    def _count_axis(self, max_blocks: int) -> list[int]:
+        axis = [1]
+        while axis[-1] * 2 <= max_blocks:
+            axis.append(axis[-1] * 2)
+        return axis
+
+    def _strip_axis(self, rank: int) -> list["int | None"]:
+        strips: list[int | None] = [None]
+        strips.extend(
+            cols for cols in range(REGISTER_BLOCK_COLS, rank, REGISTER_BLOCK_COLS)
+        )
+        return strips
+
+    def _exhaustive_space(self, rank: int, max_blocks: int):
+        counts_axis = self._count_axis(max_blocks)
+        for counts in itertools.product(counts_axis, repeat=self.tensor.order):
+            if any(c > s for c, s in zip(counts, self.tensor.shape)):
+                continue
+            key = None if all(c == 1 for c in counts) else counts
+            for cols in self._strip_axis(rank):
+                rb = None if cols is None else RankBlocking(block_cols=cols)
+                if key is None and rb is None:
+                    continue  # baseline already scored
+                yield key, rb
+
+    def _random_space(self, rank: int, budget: int, seed, max_blocks: int):
+        require(budget >= 1, "budget must be >= 1")
+        rng = resolve_rng(seed)
+        counts_axis = self._count_axis(max_blocks)
+        strips = self._strip_axis(rank)
+        for _ in range(budget):
+            counts = tuple(
+                min(int(rng.choice(counts_axis)), s) for s in self.tensor.shape
+            )
+            cols = strips[int(rng.integers(0, len(strips)))]
+            rb = None if cols is None else RankBlocking(block_cols=cols)
+            key = None if all(c == 1 for c in counts) else counts
+            yield key, rb
+
+    # ------------------------------------------------------------------
+    def get_or_tune(
+        self, rank: int, strategy: str = "heuristic", **tune_kwargs
+    ) -> TunedConfig:
+        """Cache-first tuning: reuse a stored configuration when the
+        tensor's signature has been tuned before on this machine."""
+        if self.cache is not None:
+            hit = self.cache.get(self.signature.key(), rank, self.machine.name)
+            if hit is not None:
+                rb = hit.rank_blocking()
+                baseline = self._evaluate(None, None, rank)
+                cost = self._evaluate(hit.block_counts, rb, rank)
+                return TunedConfig(
+                    block_counts=hit.block_counts,
+                    rank_blocking=rb,
+                    cost=cost,
+                    baseline_cost=baseline,
+                    n_evaluations=2,
+                    strategy=hit.strategy,
+                    from_cache=True,
+                )
+        result = self.tune(rank, strategy, **tune_kwargs)
+        if self.cache is not None:
+            self.cache.put(
+                self.signature.key(),
+                rank,
+                self.machine.name,
+                CacheEntry(
+                    block_counts=result.block_counts,
+                    rank_block_cols=(
+                        None
+                        if result.rank_blocking is None
+                        else result.rank_blocking.resolve_block_cols(rank)
+                    ),
+                    cost=result.cost,
+                    strategy=strategy,
+                ),
+            )
+        return result

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` from misuse of NumPy, etc.)
+propagate unchanged.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array or tensor has an incompatible shape or dimensionality."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse-format invariant is violated (bad pointers, unsorted, ...)."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value (block size, machine spec, grid...)."""
+
+
+class DistributionError(ReproError, RuntimeError):
+    """An error in the simulated distributed substrate (bad grid, mismatched
+    collective participation, ...)."""

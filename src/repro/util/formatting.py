@@ -1,0 +1,100 @@
+"""Human-readable formatting used by the bench harness and __repr__ methods."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_bytes(n: float) -> str:
+    """Format a byte count with binary prefixes: ``format_bytes(2048) == '2.0 KiB'``."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB", "PiB"):
+        if n < 1024.0 or unit == "PiB":
+            if unit == "B":
+                return f"{sign}{n:.0f} {unit}"
+            return f"{sign}{n:.1f} {unit}"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_count(n: float) -> str:
+    """Format a large count compactly: ``format_count(1_500_000) == '1.50M'``."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for threshold, suffix in ((1e12, "T"), (1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if n >= threshold:
+            return f"{sign}{n / threshold:.2f}{suffix}"
+    if n == int(n):
+        return f"{sign}{int(n)}"
+    return f"{sign}{n:.2f}"
+
+
+def format_seconds(t: float) -> str:
+    """Format a duration, picking ns/us/ms/s units."""
+    t = float(t)
+    sign = "-" if t < 0 else ""
+    t = abs(t)
+    if t == 0.0:
+        return "0 s"
+    if t < 1e-6:
+        return f"{sign}{t * 1e9:.1f} ns"
+    if t < 1e-3:
+        return f"{sign}{t * 1e6:.1f} us"
+    if t < 1.0:
+        return f"{sign}{t * 1e3:.2f} ms"
+    return f"{sign}{t:.3f} s"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a simple monospace table (used by the benchmark reports).
+
+    Columns are sized to content; numeric-looking cells are right-aligned.
+    """
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    ncols = len(headers)
+    for r in str_rows:
+        if len(r) != ncols:
+            raise ValueError(f"row has {len(r)} cells, expected {ncols}")
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in str_rows)) if str_rows else len(headers[j])
+        for j in range(ncols)
+    ]
+    right = [
+        all(_is_numeric(r[j]) for r in str_rows) if str_rows else False for j in range(ncols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(
+            c.rjust(widths[j]) if right[j] else c.ljust(widths[j]) for j, c in enumerate(cells)
+        ).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _is_numeric(s: str) -> bool:
+    try:
+        float(s.rstrip("x%"))
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,38 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts ``seed`` as either an
+``int``, ``None`` or an existing :class:`numpy.random.Generator`, and passes
+it through :func:`resolve_rng`.  This gives deterministic experiments (the
+benchmark harness always passes explicit integer seeds) without forcing
+callers to build generators by hand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def resolve_rng(seed: "int | None | np.random.Generator" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(
+    seed: "int | None | np.random.Generator", n: int
+) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from one seed.
+
+    Used by the simulated cluster so each simulated process gets its own
+    stream (matching how MPI programs seed per-rank RNGs) while the whole
+    run stays reproducible from a single integer.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    if isinstance(seed, np.random.Generator):
+        # Derive children deterministically from the generator's own stream.
+        children = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(c)) for c in children]
+    seq = np.random.SeedSequence(None if seed is None else int(seed))
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

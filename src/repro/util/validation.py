@@ -1,0 +1,89 @@
+"""Validation helpers shared across the library.
+
+The sparse-format code paths are index-heavy; centralizing coercion and
+bounds checking keeps the hot modules lean and the error messages uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.util.errors import ConfigError, ShapeError
+
+#: Canonical dtype for all stored indices.  The paper assumes 64-bit indices
+#: when deriving memory footprints (Section III-C), so we follow suit.
+INDEX_DTYPE = np.int64
+
+#: Canonical dtype for all stored values (double precision, as in the paper).
+VALUE_DTYPE = np.float64
+
+
+def require(condition: bool, message: str, exc: type[Exception] = ConfigError) -> None:
+    """Raise ``exc(message)`` unless ``condition`` holds.
+
+    A tiny guard helper that keeps one-line validations readable::
+
+        require(rank > 0, "rank must be positive")
+    """
+    if not condition:
+        raise exc(message)
+
+
+def check_rank(rank: int) -> int:
+    """Validate a decomposition rank ``R`` and return it as ``int``."""
+    rank = int(rank)
+    if rank <= 0:
+        raise ConfigError(f"rank must be a positive integer, got {rank}")
+    return rank
+
+
+def check_mode(mode: int, order: int) -> int:
+    """Validate a mode index against a tensor order, allowing negatives.
+
+    Follows NumPy axis conventions: ``mode=-1`` refers to the last mode.
+    Returns the normalized non-negative mode.
+    """
+    mode = int(mode)
+    if not -order <= mode < order:
+        raise ShapeError(f"mode {mode} out of range for order-{order} tensor")
+    return mode % order
+
+
+def check_shape(shape: Sequence[int]) -> tuple[int, ...]:
+    """Validate a tensor shape: a non-empty sequence of positive ints."""
+    shape = tuple(int(s) for s in shape)
+    if len(shape) == 0:
+        raise ShapeError("tensor shape must have at least one mode")
+    if any(s <= 0 for s in shape):
+        raise ShapeError(f"all mode lengths must be positive, got {shape}")
+    return shape
+
+
+def as_index_array(values: Iterable[int], name: str = "indices") -> np.ndarray:
+    """Coerce to a 1-D contiguous ``int64`` array (the library index dtype)."""
+    arr = np.ascontiguousarray(values, dtype=INDEX_DTYPE)
+    if arr.ndim != 1:
+        raise ShapeError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def as_value_array(values: Iterable[float], name: str = "values") -> np.ndarray:
+    """Coerce to a 1-D contiguous ``float64`` array (the library value dtype)."""
+    arr = np.ascontiguousarray(values, dtype=VALUE_DTYPE)
+    if arr.ndim != 1:
+        raise ShapeError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def check_bounds(indices: np.ndarray, extent: int, name: str) -> None:
+    """Check every index lies in ``[0, extent)``; raise ShapeError otherwise."""
+    if indices.size == 0:
+        return
+    lo = int(indices.min())
+    hi = int(indices.max())
+    if lo < 0 or hi >= extent:
+        raise ShapeError(
+            f"{name} out of bounds: range [{lo}, {hi}] not within [0, {extent})"
+        )

@@ -1,0 +1,57 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.bench import bar_chart, sparkline
+from repro.util.errors import ReproError
+
+
+class TestBarChart:
+    def test_basic_structure(self):
+        out = bar_chart([16, 32], {"MB": [1.0, 2.0]}, width=20, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "1" in lines[1] and "2" in lines[2]
+
+    def test_bar_lengths_proportional(self):
+        out = bar_chart(["a", "b"], {"s": [1.0, 2.0]}, width=20)
+        bars = [line.count("#") for line in out.splitlines()]
+        assert bars[1] == pytest.approx(2 * bars[0], abs=1)
+
+    def test_reference_marker(self):
+        out = bar_chart([1], {"s": [0.5]}, width=20, reference=1.0)
+        assert "|" in out.splitlines()[0]
+        assert "marks 1" in out
+
+    def test_multi_series_grouped(self):
+        out = bar_chart(
+            [10, 20], {"A": [1, 2], "B": [3, 4]}, width=12
+        )
+        assert out.count("A ") == 2
+        assert out.count("B ") == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            bar_chart([1, 2], {"s": [1.0]})
+
+    def test_too_many_series(self):
+        with pytest.raises(ReproError):
+            bar_chart([1], {str(i): [1.0] for i in range(9)})
+
+
+class TestSparkline:
+    def test_monotone_trend(self):
+        s = sparkline([0, 1, 2, 3, 4])
+        assert len(s) == 5
+        assert s[0] == " " and s[-1] == "@"
+
+    def test_flat_series(self):
+        s = sparkline([5, 5, 5])
+        assert len(set(s)) == 1
+
+    def test_resampled_width(self):
+        s = sparkline(list(range(100)), width=10)
+        assert len(s) == 10
+
+    def test_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,98 @@
+"""Tests for COO-to-blocks reorganization."""
+
+import numpy as np
+import pytest
+
+from repro.blocking import BlockGrid, partition_coo
+from repro.tensor import uniform_random_tensor
+from repro.util import ShapeError
+
+
+@pytest.fixture
+def tensor():
+    return uniform_random_tensor((40, 60, 50), 3000, seed=61)
+
+
+class TestPartition:
+    def test_nnz_conserved(self, tensor):
+        grid = BlockGrid(tensor.shape, (2, 3, 4))
+        blocked = partition_coo(tensor, grid, 0)
+        assert blocked.nnz == tensor.nnz
+
+    def test_values_conserved(self, tensor):
+        grid = BlockGrid(tensor.shape, (4, 4, 4))
+        blocked = partition_coo(tensor, grid, 0)
+        total = sum(b.splatt.vals.sum() for b in blocked.blocks)
+        assert total == pytest.approx(tensor.values.sum())
+
+    def test_local_indices_within_block_shape(self, tensor):
+        grid = BlockGrid(tensor.shape, (2, 5, 3))
+        blocked = partition_coo(tensor, grid, 0)
+        for block in blocked.blocks:
+            local = block.splatt.to_coo()
+            for m, (lo, hi) in enumerate(block.bounds):
+                assert local.shape[m] == hi - lo
+                if local.nnz:
+                    assert local.indices[:, m].max() < hi - lo
+
+    def test_reassembled_tensor_matches(self, tensor):
+        """Shifting every block's local coords by its bounds recovers the
+        original tensor exactly — blocks cover and do not overlap."""
+        from repro.tensor import COOTensor
+
+        grid = BlockGrid(tensor.shape, (3, 3, 3))
+        blocked = partition_coo(tensor, grid, 0)
+        parts_idx, parts_val = [], []
+        for block in blocked.blocks:
+            local = block.splatt.to_coo()
+            offs = np.array([lo for lo, _ in block.bounds])
+            parts_idx.append(local.indices + offs)
+            parts_val.append(local.values)
+        rebuilt = COOTensor(
+            tensor.shape, np.concatenate(parts_idx), np.concatenate(parts_val)
+        )
+        assert rebuilt.equal(tensor)
+
+    def test_inner_blocking_splits_fibers(self, tensor):
+        """Blocking along the inner mode cannot reduce the fiber count."""
+        from repro.tensor import SplattTensor
+
+        base = SplattTensor.from_coo(tensor, 0).n_fibers
+        grid = BlockGrid(tensor.shape, (1, 6, 1))
+        blocked = partition_coo(tensor, grid, 0)
+        assert blocked.n_fibers >= base
+
+    def test_fiber_mode_blocking_preserves_fiber_count(self, tensor):
+        """Blocking along the fiber-label mode only regroups fibers."""
+        from repro.tensor import SplattTensor
+
+        base = SplattTensor.from_coo(tensor, 0).n_fibers
+        grid = BlockGrid(tensor.shape, (1, 1, 5))
+        blocked = partition_coo(tensor, grid, 0)
+        assert blocked.n_fibers == base
+
+    def test_loop_order_output_outermost(self, tensor):
+        grid = BlockGrid(tensor.shape, (3, 2, 2))
+        blocked = partition_coo(tensor, grid, 0)
+        out_coords = [b.coords[0] for b in blocked.blocks]
+        assert out_coords == sorted(out_coords)
+
+    def test_trivial_grid_single_block(self, tensor):
+        grid = BlockGrid(tensor.shape, (1, 1, 1))
+        blocked = partition_coo(tensor, grid, 0)
+        assert len(blocked) == 1
+        assert blocked.blocks[0].splatt.nnz == tensor.nnz
+
+    def test_shape_mismatch_rejected(self, tensor):
+        grid = BlockGrid((10, 10, 10), (2, 2, 2))
+        with pytest.raises(ShapeError):
+            partition_coo(tensor, grid, 0)
+
+    def test_orientation_respected(self, tensor):
+        grid = BlockGrid(tensor.shape, (2, 2, 2))
+        blocked = partition_coo(tensor, grid, output_mode=1, inner_mode=2)
+        assert blocked.output_mode == 1
+        assert blocked.inner_mode == 2
+        assert blocked.fiber_mode == 0
+        for block in blocked.blocks:
+            assert block.splatt.output_mode == 1

@@ -1,0 +1,78 @@
+"""Tests for rank blocking configuration."""
+
+import pytest
+
+from repro.blocking import REGISTER_BLOCK_COLS, RankBlocking
+from repro.util import ConfigError
+
+
+class TestStrips:
+    def test_identity_default(self):
+        rb = RankBlocking()
+        assert rb.is_identity
+        assert rb.strips(64) == [(0, 64)]
+
+    def test_n_blocks(self):
+        rb = RankBlocking(n_blocks=4)
+        strips = rb.strips(64)
+        assert len(strips) == 4
+        assert strips[0] == (0, 16)
+        assert strips[-1] == (48, 64)
+
+    def test_block_cols(self):
+        rb = RankBlocking(block_cols=48)
+        strips = rb.strips(128)
+        assert strips == [(0, 48), (48, 96), (96, 128)]
+
+    def test_strips_cover_and_disjoint(self):
+        for rb in (RankBlocking(n_blocks=3), RankBlocking(block_cols=20)):
+            strips = rb.strips(70)
+            assert strips[0][0] == 0
+            assert strips[-1][1] == 70
+            for (a, b), (c, d) in zip(strips, strips[1:]):
+                assert b == c
+
+    def test_block_cols_larger_than_rank(self):
+        rb = RankBlocking(block_cols=256)
+        assert rb.strips(64) == [(0, 64)]
+
+    def test_non_divisible_rank(self):
+        rb = RankBlocking(n_blocks=3)
+        strips = rb.strips(100)
+        assert sum(hi - lo for lo, hi in strips) == 100
+
+    def test_n_strips(self):
+        assert RankBlocking(block_cols=16).n_strips(512) == 32
+
+
+class TestValidation:
+    def test_mutually_exclusive(self):
+        with pytest.raises(ConfigError):
+            RankBlocking(n_blocks=2, block_cols=16)
+
+    def test_positive(self):
+        with pytest.raises(ConfigError):
+            RankBlocking(n_blocks=0)
+        with pytest.raises(ConfigError):
+            RankBlocking(block_cols=0)
+        with pytest.raises(ConfigError):
+            RankBlocking(register_block=0)
+
+    def test_too_many_blocks(self):
+        with pytest.raises(ConfigError):
+            RankBlocking(n_blocks=100).strips(64)
+
+
+class TestRegisterBlocking:
+    def test_paper_default_is_one_cache_line(self):
+        assert REGISTER_BLOCK_COLS == 16  # 16 doubles = 128 bytes
+
+    def test_register_blocks_per_strip(self):
+        rb = RankBlocking(block_cols=64)
+        assert rb.register_blocks(64) == 4
+        assert rb.register_blocks(17) == 2
+        assert rb.register_blocks(1) == 1
+
+    def test_describe(self):
+        text = RankBlocking(n_blocks=4).describe(64)
+        assert "4 strip" in text

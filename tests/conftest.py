@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import poisson_tensor, uniform_random_tensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_tensor():
+    """A small 3-mode Poisson tensor exercised by most kernel tests."""
+    return poisson_tensor((18, 25, 21), 1500, seed=42)
+
+
+@pytest.fixture
+def medium_tensor():
+    """A mid-size tensor for plan/partition tests (too big to densify in
+    every test, structurally interesting)."""
+    return uniform_random_tensor((60, 200, 80), 8000, seed=7)
+
+
+@pytest.fixture
+def factors_for(rng):
+    """Factory: random factor matrices for a tensor and rank."""
+
+    def make(tensor, rank: int):
+        return [rng.standard_normal((n, rank)) for n in tensor.shape]
+
+    return make

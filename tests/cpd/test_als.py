@@ -1,0 +1,119 @@
+"""Tests for CP-ALS."""
+
+import numpy as np
+import pytest
+
+from repro.cpd import KruskalTensor, cp_als, init_factors
+from repro.tensor import COOTensor, poisson_tensor
+from repro.util import ConfigError
+from repro.util.errors import ReproError
+
+
+def planted_problem(shape=(12, 10, 11), rank=3, seed=5):
+    rng = np.random.default_rng(seed)
+    kt = KruskalTensor(
+        np.ones(rank), [rng.random((n, rank)) + 0.1 for n in shape]
+    )
+    return COOTensor.from_dense(kt.full()), kt
+
+
+class TestRecovery:
+    def test_planted_rank3_recovered(self):
+        x, _ = planted_problem()
+        res = cp_als(x, 3, n_iters=300, tol=1e-10, seed=1)
+        assert res.final_fit > 0.98
+
+    def test_fit_non_decreasing_tail(self):
+        """ALS fit is monotone (up to tiny numerical wiggle)."""
+        x, _ = planted_problem(seed=6)
+        res = cp_als(x, 3, n_iters=40, tol=0.0, seed=2)
+        fits = np.array(res.fits)
+        assert np.all(np.diff(fits) > -1e-8)
+
+    def test_convergence_flag(self):
+        x, _ = planted_problem(seed=7)
+        res = cp_als(x, 3, n_iters=500, tol=1e-6, seed=3)
+        assert res.converged
+        assert res.n_iters < 500
+
+
+class TestKernelEquivalence:
+    """Every kernel must drive ALS down the same trajectory."""
+
+    @pytest.mark.parametrize(
+        "kernel,params",
+        [
+            ("coo", {}),
+            ("csf", {}),
+            ("csf-any", {}),
+            ("csf-blocked", {"block_counts": (2, 2, 2)}),
+            ("mb", {"block_counts": (2, 2, 2)}),
+            ("rankb", {"n_rank_blocks": 2}),
+            ("mb+rankb", {"block_counts": (2, 2, 2), "n_rank_blocks": 2}),
+        ],
+    )
+    def test_same_fits_as_splatt(self, kernel, params):
+        x = poisson_tensor((15, 18, 16), 900, seed=9)
+        baseline = cp_als(x, 4, n_iters=5, tol=0.0, kernel="splatt", seed=4)
+        other = cp_als(
+            x, 4, n_iters=5, tol=0.0, kernel=kernel, kernel_params=params, seed=4
+        )
+        np.testing.assert_allclose(other.fits, baseline.fits, rtol=1e-8)
+
+
+class TestAPI:
+    def test_explicit_init(self):
+        x, kt = planted_problem(seed=8)
+        res = cp_als(x, 3, n_iters=3, init=[f.copy() for f in kt.factors])
+        assert res.final_fit > 0.9  # started at the solution
+
+    def test_wrong_init_count(self):
+        x, _ = planted_problem()
+        with pytest.raises(ConfigError):
+            cp_als(x, 3, init=[np.ones((12, 3))])
+
+    def test_model_shape(self):
+        x, _ = planted_problem()
+        res = cp_als(x, 5, n_iters=2)
+        assert res.model.rank == 5
+        assert res.model.shape == x.shape
+
+    def test_param_validation(self):
+        x, _ = planted_problem()
+        with pytest.raises(ReproError):
+            cp_als(x, 0)
+        with pytest.raises(ReproError):
+            cp_als(x, 3, n_iters=0)
+
+
+class TestInit:
+    def test_shapes(self):
+        x, _ = planted_problem()
+        for method in ("random", "randn", "hosvd"):
+            fs = init_factors(x, 4, method=method, seed=1)
+            assert [f.shape for f in fs] == [(12, 4), (10, 4), (11, 4)]
+
+    def test_deterministic(self):
+        x, _ = planted_problem()
+        a = init_factors(x, 3, seed=2)
+        b = init_factors(x, 3, seed=2)
+        for fa, fb in zip(a, b):
+            np.testing.assert_array_equal(fa, fb)
+
+    def test_unknown_method(self):
+        x, _ = planted_problem()
+        with pytest.raises(ConfigError):
+            init_factors(x, 3, method="magic")
+
+    def test_hosvd_orthogonal_leading_block(self):
+        x, _ = planted_problem()
+        f = init_factors(x, 3, method="hosvd", seed=0)[0]
+        gram = f.T @ f
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-8)
+
+    def test_hosvd_beats_random_start(self):
+        """HOSVD init should reach a good fit in fewer iterations."""
+        x, _ = planted_problem(seed=11)
+        hosvd = cp_als(x, 3, n_iters=5, tol=0.0, init="hosvd", seed=1)
+        rand = cp_als(x, 3, n_iters=5, tol=0.0, init="randn", seed=1)
+        assert hosvd.final_fit >= rand.final_fit - 0.05

@@ -1,0 +1,105 @@
+"""Tests for CP-APR (Poisson nonnegative CP)."""
+
+import numpy as np
+import pytest
+
+from repro.cpd import KruskalTensor, cp_apr, poisson_log_likelihood
+from repro.tensor import COOTensor, poisson_tensor
+from repro.util import ConfigError
+
+
+@pytest.fixture(scope="module")
+def count_tensor():
+    return poisson_tensor((20, 24, 22), 4000, seed=55, concentration=0.3)
+
+
+class TestUpdates:
+    def test_log_likelihood_monotone(self, count_tensor):
+        """Multiplicative updates must not decrease the likelihood."""
+        res = cp_apr(count_tensor, 4, n_iters=15, tol=0.0, seed=1)
+        lls = np.array(res.log_likelihoods)
+        assert np.all(np.diff(lls) > -1e-6 * np.abs(lls[:-1]))
+
+    def test_factors_nonnegative(self, count_tensor):
+        res = cp_apr(count_tensor, 4, n_iters=10, seed=2)
+        assert np.all(res.model.weights >= 0)
+        for f in res.model.factors:
+            assert np.all(f >= 0)
+
+    def test_columns_normalized(self, count_tensor):
+        """Factor columns are stochastic (sum to 1); scale lives in the
+        weights — the Chi-Kolda parameterization."""
+        res = cp_apr(count_tensor, 4, n_iters=5, seed=3)
+        for f in res.model.factors:
+            np.testing.assert_allclose(f.sum(axis=0), 1.0, rtol=1e-8)
+
+    def test_total_mass_matched(self, count_tensor):
+        """At convergence the model's total mass equals the data's
+        (a stationarity property of Poisson MU updates)."""
+        res = cp_apr(count_tensor, 4, n_iters=40, tol=1e-10, seed=4)
+        assert res.model.weights.sum() == pytest.approx(
+            count_tensor.values.sum(), rel=0.01
+        )
+
+
+class TestRecovery:
+    def test_planted_components(self):
+        """CP-APR should reconstruct a planted low-rank Poisson model well
+        enough to beat a rank-1 fit decisively."""
+        rng = np.random.default_rng(6)
+        true_rank = 3
+        shape = (15, 14, 16)
+        factors = [
+            rng.dirichlet(np.full(n, 0.3), size=true_rank).T for n in shape
+        ]
+        truth = KruskalTensor(np.full(true_rank, 2000.0), factors)
+        dense = rng.poisson(truth.full())
+        x = COOTensor.from_dense(dense.astype(float))
+
+        full = cp_apr(x, true_rank, n_iters=50, seed=7)
+        low = cp_apr(x, 1, n_iters=50, seed=7)
+        assert full.final_log_likelihood > low.final_log_likelihood
+
+    def test_convergence_flag(self, count_tensor):
+        res = cp_apr(count_tensor, 3, n_iters=200, tol=1e-4, seed=8)
+        assert res.converged
+        assert res.n_iters < 200
+
+
+class TestValidation:
+    def test_negative_values_rejected(self):
+        x = COOTensor((3, 3, 3), np.array([[0, 0, 0]]), np.array([-1.0]))
+        with pytest.raises(ConfigError):
+            cp_apr(x, 2)
+
+    def test_bad_init_rejected(self, count_tensor):
+        with pytest.raises(ConfigError):
+            cp_apr(count_tensor, 2, init="hosvd")
+        with pytest.raises(ConfigError):
+            cp_apr(count_tensor, 2, init=[np.ones((20, 2))])
+        bad = [-np.ones((n, 2)) for n in count_tensor.shape]
+        with pytest.raises(ConfigError):
+            cp_apr(count_tensor, 2, init=bad)
+
+    def test_explicit_init_used(self, count_tensor):
+        init = [
+            np.full((n, 2), 1.0 / n) for n in count_tensor.shape
+        ]
+        res = cp_apr(count_tensor, 2, n_iters=2, init=init)
+        assert res.model.rank == 2
+
+
+class TestLogLikelihood:
+    def test_matches_dense_formula(self, count_tensor):
+        rng = np.random.default_rng(9)
+        weights = rng.random(3) * 100 + 1
+        factors = [
+            rng.dirichlet(np.ones(n), size=3).T for n in count_tensor.shape
+        ]
+        ll = poisson_log_likelihood(count_tensor, weights, factors)
+        model = KruskalTensor(weights, factors).full()
+        dense = count_tensor.to_dense()
+        expected = float(
+            np.sum(dense[dense > 0] * np.log(model[dense > 0])) - model.sum()
+        )
+        assert ll == pytest.approx(expected, rel=1e-6)

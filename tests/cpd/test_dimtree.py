@@ -1,0 +1,102 @@
+"""Tests for dimension-tree (memoized) CP-ALS."""
+
+import numpy as np
+import pytest
+
+from repro.cpd import cp_als, cp_als_dimtree, init_factors
+from repro.cpd.dimtree import DimTreePlan
+from repro.kernels import reference_mttkrp
+from repro.tensor import COOTensor, poisson_tensor, uniform_random_tensor
+from repro.util import ConfigError
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    # Clustered counts: pairs are heavily reused (P << nnz would need
+    # duplicate (i,j); with counts, fibers along k give P < nnz).
+    return poisson_tensor((20, 25, 22), 5000, seed=71, concentration=0.2)
+
+
+class TestPlanStructure:
+    def test_pairs_cover_nonzeros(self, tensor):
+        plan = DimTreePlan(tensor)
+        assert plan.pair_ptr[-1] == tensor.nnz
+        assert plan.n_pairs <= tensor.nnz
+        assert np.all(np.diff(plan.pair_ptr) >= 1)
+
+    def test_pair_reuse_exists(self, tensor):
+        plan = DimTreePlan(tensor)
+        assert plan.n_pairs < tensor.nnz  # fibers along k are non-trivial
+
+    def test_flop_saving_vs_three_mttkrps(self, tensor):
+        """The memoized sweep must cost fewer flops than three SPLATT
+        MTTKRPs whenever pairs are reused."""
+        from repro.tensor import SplattTensor
+
+        plan = DimTreePlan(tensor)
+        rank = 64
+        standard = 0.0
+        for mode in range(3):
+            s = SplattTensor.from_coo(tensor, output_mode=mode)
+            standard += 2.0 * rank * (s.nnz + s.n_fibers)
+        assert plan.flops_per_sweep(rank) < standard
+
+    def test_memo_bytes(self, tensor):
+        plan = DimTreePlan(tensor)
+        assert plan.memo_bytes(16) == 8 * 16 * plan.n_pairs
+
+    def test_3mode_only(self):
+        t4 = uniform_random_tensor((4, 4, 4, 4), 20, seed=1)
+        with pytest.raises(ConfigError):
+            DimTreePlan(t4)
+
+
+class TestMTTKRPExactness:
+    """Each memoized update is an exact MTTKRP."""
+
+    def test_all_modes(self, tensor):
+        rng = np.random.default_rng(72)
+        factors = [rng.standard_normal((n, 7)) for n in tensor.shape]
+        plan = DimTreePlan(tensor)
+        memo = plan.contract_mode2(factors[2])
+
+        m0 = plan.mttkrp_mode0(memo, factors[1])
+        np.testing.assert_allclose(
+            m0, reference_mttkrp(tensor, factors, 0), rtol=1e-10, atol=1e-12
+        )
+        m1 = plan.mttkrp_mode1(memo, factors[0])
+        np.testing.assert_allclose(
+            m1, reference_mttkrp(tensor, factors, 1), rtol=1e-10, atol=1e-12
+        )
+        m2 = plan.mttkrp_mode2(factors[0], factors[1])
+        np.testing.assert_allclose(
+            m2, reference_mttkrp(tensor, factors, 2), rtol=1e-10, atol=1e-12
+        )
+
+    def test_empty_tensor(self):
+        t = COOTensor((3, 4, 5), np.empty((0, 3)), np.empty(0))
+        plan = DimTreePlan(t)
+        rng = np.random.default_rng(0)
+        memo = plan.contract_mode2(rng.random((5, 3)))
+        assert plan.mttkrp_mode0(memo, rng.random((4, 3))).shape == (3, 3)
+
+
+class TestTrajectoryEquivalence:
+    def test_same_fits_as_standard_als(self, tensor):
+        init = init_factors(tensor, 5, seed=3)
+        standard = cp_als(
+            tensor, 5, n_iters=6, tol=0.0, init=[f.copy() for f in init]
+        )
+        memoized = cp_als_dimtree(
+            tensor, 5, n_iters=6, tol=0.0, init=[f.copy() for f in init]
+        )
+        np.testing.assert_allclose(memoized.fits, standard.fits, rtol=1e-9)
+
+    def test_convergence(self, tensor):
+        res = cp_als_dimtree(tensor, 4, n_iters=100, tol=1e-4, seed=4)
+        assert res.converged
+        assert res.final_fit > 0
+
+    def test_bad_init(self, tensor):
+        with pytest.raises(ConfigError):
+            cp_als_dimtree(tensor, 3, init=[np.ones((20, 3))])

@@ -1,0 +1,74 @@
+"""Tests for the Equation 1-3 operation counters."""
+
+import pytest
+
+from repro.kernels import coo_op_counts, splatt_op_counts
+from repro.util.errors import ReproError
+
+
+class TestSplattCounts:
+    def test_equation_1_terms(self):
+        """Q = 2nnz + 2F + (1-a)R nnz + (1-a)R F, in words."""
+        c = splatt_op_counts(nnz=1000, n_fibers=100, rank=16, alpha=0.5)
+        expected = 2 * 1000 + 2 * 100 + 0.5 * 16 * 1000 + 0.5 * 16 * 100
+        assert c.memory_words == pytest.approx(expected)
+
+    def test_equation_2(self):
+        c = splatt_op_counts(nnz=1000, n_fibers=100, rank=16, alpha=0.5)
+        assert c.flops == pytest.approx(2 * 16 * 1100)
+
+    def test_intensity_limits(self):
+        """Equation 3: I ranges from R/(8+4R) at a=0 to R/8 at a=1."""
+        for rank in (16, 128, 2048):
+            lo = splatt_op_counts(10**6, 10**5, rank, 0.0)
+            hi = splatt_op_counts(10**6, 10**5, rank, 1.0)
+            # With F = nnz/10 the closed forms hold exactly:
+            # I = 2R(nnz+F) / 8(2(nnz+F) + (1-a)R(nnz+F)) = R/(8 + 4R(1-a))
+            assert lo.arithmetic_intensity == pytest.approx(
+                rank / (8 + 4 * rank), rel=1e-12
+            )
+            assert hi.arithmetic_intensity == pytest.approx(rank / 8, rel=1e-12)
+
+    def test_paper_fig2_alpha95_extremes(self):
+        """At a=0.95 the AI spans ~1.43 (R=16) to ~4.90 (R=2048)."""
+        lo = splatt_op_counts(10**6, 10**5, 16, 0.95).arithmetic_intensity
+        hi = splatt_op_counts(10**6, 10**5, 2048, 0.95).arithmetic_intensity
+        assert lo == pytest.approx(1.43, abs=0.01)
+        assert hi == pytest.approx(4.90, abs=0.01)
+
+    def test_intensity_monotone_in_alpha(self):
+        vals = [
+            splatt_op_counts(10**5, 10**4, 64, a).arithmetic_intensity
+            for a in (0.0, 0.4, 0.8, 1.0)
+        ]
+        assert vals == sorted(vals)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            splatt_op_counts(-1, 0, 16, 0.5)
+        with pytest.raises(ReproError):
+            splatt_op_counts(10, 1, 16, 1.5)
+        with pytest.raises(ReproError):
+            splatt_op_counts(10, 1, 0, 0.5)
+
+
+class TestCOOCounts:
+    def test_flops_3r_per_nnz(self):
+        c = coo_op_counts(nnz=500, rank=8, alpha=0.0)
+        assert c.flops == pytest.approx(3 * 8 * 500)
+
+    def test_coo_does_more_work_than_splatt(self):
+        """SPLATT saves flops whenever fibers hold >1 nonzero on average."""
+        coo = coo_op_counts(nnz=10_000, rank=32, alpha=0.5)
+        spl = splatt_op_counts(nnz=10_000, n_fibers=2_000, rank=32, alpha=0.5)
+        assert spl.flops < coo.flops
+        assert spl.memory_words < coo.memory_words
+
+    def test_load_counts_positive(self):
+        c = coo_op_counts(nnz=10, rank=4, alpha=0.5)
+        assert c.load_instructions > 0
+        assert c.store_instructions > 0
+
+    def test_memory_bytes_is_words_times_8(self):
+        c = coo_op_counts(nnz=10, rank=4, alpha=0.5)
+        assert c.memory_bytes == pytest.approx(8 * c.memory_words)

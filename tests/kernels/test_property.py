@@ -1,0 +1,113 @@
+"""Property-based tests for MTTKRP kernels (hypothesis).
+
+These check algebraic identities any correct MTTKRP must satisfy,
+independent of the dense reference: linearity in the tensor values and
+in the factors, additivity over tensor partitions, and invariance of the
+blocked kernels to the block grid.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import get_kernel
+from repro.tensor import COOTensor
+
+
+@st.composite
+def mttkrp_problems(draw):
+    """A small 3-mode tensor plus factors and a mode."""
+    shape = tuple(draw(st.integers(2, 10)) for _ in range(3))
+    nnz = draw(st.integers(1, 40))
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    indices = np.stack(
+        [rng.integers(0, s, nnz) for s in shape], axis=1
+    )
+    values = rng.standard_normal(nnz)
+    tensor = COOTensor(shape, indices, values)
+    rank = draw(st.integers(1, 6))
+    factors = [rng.standard_normal((s, rank)) for s in shape]
+    mode = draw(st.integers(0, 2))
+    return tensor, factors, mode
+
+
+@given(mttkrp_problems(), st.floats(-5, 5, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_linearity_in_values(problem, scale):
+    """MTTKRP(a*X) == a * MTTKRP(X)."""
+    tensor, factors, mode = problem
+    kernel = get_kernel("splatt")
+    base = kernel.mttkrp(tensor, factors, mode)
+    scaled_tensor = COOTensor(tensor.shape, tensor.indices, tensor.values * scale)
+    scaled = kernel.mttkrp(scaled_tensor, factors, mode)
+    np.testing.assert_allclose(scaled, scale * base, rtol=1e-9, atol=1e-9)
+
+
+@given(mttkrp_problems())
+@settings(max_examples=40, deadline=None)
+def test_linearity_in_inner_factor(problem):
+    """MTTKRP is linear in each non-output factor."""
+    tensor, factors, mode = problem
+    kernel = get_kernel("splatt")
+    inner = (mode + 1) % 3
+    f1 = [f.copy() for f in factors]
+    f2 = [f.copy() for f in factors]
+    rng = np.random.default_rng(0)
+    f2[inner] = rng.standard_normal(f2[inner].shape)
+    f_sum = [f.copy() for f in factors]
+    f_sum[inner] = f1[inner] + f2[inner]
+    out = kernel.mttkrp(tensor, f_sum, mode)
+    expected = kernel.mttkrp(tensor, f1, mode) + kernel.mttkrp(tensor, f2, mode)
+    np.testing.assert_allclose(out, expected, rtol=1e-9, atol=1e-9)
+
+
+@given(mttkrp_problems(), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_additivity_over_partitions(problem, split_seed):
+    """Splitting the nonzeros arbitrarily and summing the partial MTTKRPs
+    recovers the whole — the identity every blocking scheme relies on."""
+    tensor, factors, mode = problem
+    kernel = get_kernel("coo")
+    whole = kernel.mttkrp(tensor, factors, mode)
+    rng = np.random.default_rng(split_seed)
+    mask = rng.random(tensor.nnz) < 0.5
+    part_a = tensor.filter(mask)
+    part_b = tensor.filter(~mask)
+    total = kernel.mttkrp(part_a, factors, mode) + kernel.mttkrp(
+        part_b, factors, mode
+    )
+    np.testing.assert_allclose(total, whole, rtol=1e-9, atol=1e-9)
+
+
+@given(
+    mttkrp_problems(),
+    st.tuples(st.integers(1, 3), st.integers(1, 3), st.integers(1, 3)),
+    st.integers(1, 4),
+)
+@settings(max_examples=40, deadline=None)
+def test_blocking_invariance(problem, counts, n_rank_blocks):
+    """Any valid block grid and strip count computes the same MTTKRP."""
+    tensor, factors, mode = problem
+    counts = tuple(min(c, s) for c, s in zip(counts, tensor.shape))
+    rank = factors[0].shape[1]
+    n_rank_blocks = min(n_rank_blocks, rank)
+    base = get_kernel("splatt").mttkrp(tensor, factors, mode)
+    blocked = get_kernel("mb+rankb").mttkrp(
+        tensor, factors, mode, block_counts=counts, n_rank_blocks=n_rank_blocks
+    )
+    np.testing.assert_allclose(blocked, base, rtol=1e-9, atol=1e-9)
+
+
+@given(mttkrp_problems())
+@settings(max_examples=30, deadline=None)
+def test_mode_permutation_consistency(problem):
+    """Permuting tensor modes and the factor list permutes the MTTKRP."""
+    tensor, factors, mode = problem
+    kernel = get_kernel("splatt")
+    base = kernel.mttkrp(tensor, factors, mode)
+    perm = (2, 0, 1)
+    permuted_tensor = tensor.permute_modes(perm)
+    permuted_factors = [factors[p] for p in perm]
+    new_mode = perm.index(mode)
+    out = kernel.mttkrp(permuted_tensor, permuted_factors, new_mode)
+    np.testing.assert_allclose(out, base, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,110 @@
+"""Tests for the exact set-associative LRU cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.machine import CacheHierarchy, CacheLevel, MachineSpec, SetAssociativeCache
+
+
+def tiny_machine(l1_lines=8, l2_lines=32, assoc=2, line=64):
+    return MachineSpec(
+        name="tiny",
+        frequency_hz=1e9,
+        caches=(
+            CacheLevel("L1", l1_lines * line, line, assoc),
+            CacheLevel("L2", l2_lines * line, line, assoc),
+        ),
+        read_bandwidth=1e9,
+        write_bandwidth=1e9,
+        flops_per_cycle=1,
+        loadstore_per_cycle=1,
+        vector_doubles=2,
+        vector_registers=32,
+    )
+
+
+class TestSingleLevel:
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache(CacheLevel("L1", 1024, 64, 2))
+        assert c.access(5) is False
+        assert c.access(5) is True
+        assert c.hits == 1 and c.misses == 1
+
+    def test_lru_eviction_within_set(self):
+        # 2-way, n_sets = 1024/(64*2) = 8; lines 0, 8, 16 map to set 0.
+        c = SetAssociativeCache(CacheLevel("L1", 1024, 64, 2))
+        c.access(0)
+        c.access(8)
+        c.access(16)  # evicts 0 (LRU)
+        assert c.access(8) is True
+        assert c.access(0) is False  # was evicted
+
+    def test_lru_refresh_on_hit(self):
+        c = SetAssociativeCache(CacheLevel("L1", 1024, 64, 2))
+        c.access(0)
+        c.access(8)
+        c.access(0)  # refresh 0: now 8 is LRU
+        c.access(16)  # evicts 8
+        assert c.access(0) is True
+        assert c.access(8) is False
+
+    def test_capacity_working_set_all_hits(self):
+        c = SetAssociativeCache(CacheLevel("L1", 1024, 64, 2))
+        lines = np.arange(16)  # exactly the capacity
+        for addr in lines:
+            c.access(int(addr))
+        c.reset_counters()
+        for addr in lines:
+            assert c.access(int(addr)) is True
+
+    def test_flush(self):
+        c = SetAssociativeCache(CacheLevel("L1", 1024, 64, 2))
+        c.access(3)
+        c.flush()
+        assert c.access(3) is False
+
+
+class TestHierarchy:
+    def test_l2_catches_l1_evictions(self):
+        h = CacheHierarchy(tiny_machine(l1_lines=4, l2_lines=64))
+        # Working set of 16 lines: too big for L1 (4 lines), fits L2.
+        trace = np.tile(np.arange(16), 3)
+        res = h.run_trace(trace)
+        assert res.memory_fetches == 16  # only compulsory
+        assert res.level_hits[1] > 0  # L2 served the re-reads
+
+    def test_result_accounting_conserves(self):
+        h = CacheHierarchy(tiny_machine())
+        trace = np.array([1, 2, 3, 1, 2, 3, 99])
+        res = h.run_trace(trace)
+        assert res.accesses == 7
+        assert sum(res.level_hits) + res.memory_fetches == 7
+
+    def test_hit_rate(self):
+        h = CacheHierarchy(tiny_machine())
+        res = h.run_trace(np.array([1, 1, 1, 1]))
+        assert res.hit_rate == pytest.approx(0.75)
+
+    def test_structure_attribution(self):
+        h = CacheHierarchy(tiny_machine())
+        trace = np.array([1, 2, 1, 2])
+        tags = np.array([0, 1, 0, 1])
+        res = h.run_trace(trace, tags)
+        assert res.structure_accesses == {0: 2, 1: 2}
+        assert res.structure_fetches == {0: 1, 1: 1}
+        assert res.structure_hit_rate(0) == pytest.approx(0.5)
+        assert res.structure_hit_rate(42) == 1.0  # no accesses
+
+    def test_empty_trace(self):
+        h = CacheHierarchy(tiny_machine())
+        res = h.run_trace(np.empty(0, dtype=np.int64))
+        assert res.accesses == 0
+        assert res.hit_rate == 1.0
+
+    def test_flush_between_runs(self):
+        h = CacheHierarchy(tiny_machine())
+        h.run_trace(np.array([7]))
+        res = h.run_trace(np.array([7]), flush_first=True)
+        assert res.memory_fetches == 1
+        res2 = h.run_trace(np.array([7]), flush_first=False)
+        assert res2.memory_fetches == 0

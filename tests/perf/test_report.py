@@ -1,0 +1,57 @@
+"""Tests for the performance-report generator."""
+
+import pytest
+
+from repro.blocking import RankBlocking
+from repro.kernels import get_kernel
+from repro.machine import power8_socket
+from repro.perf import performance_report
+from repro.tensor import load_dataset
+from repro.tensor.datasets import DATASETS
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tensor = load_dataset("poisson3", nnz=400_000)
+    machine = power8_socket().scaled(DATASETS["poisson3"].machine_scale)
+    return tensor, machine
+
+
+class TestReport:
+    def test_baseline_diagnosis(self, setup):
+        """An unblocked plan at high rank must be diagnosed memory-bound
+        with blocking suggestions."""
+        tensor, machine = setup
+        plan = get_kernel("splatt").prepare(tensor, 0)
+        report = performance_report(plan, 512, machine)
+        assert report.plan_name == "splatt"
+        joined = " ".join(report.suggestions)
+        assert "blocking" in joined
+
+    def test_optimized_plan_fewer_complaints(self, setup):
+        tensor, machine = setup
+        base = get_kernel("splatt").prepare(tensor, 0)
+        tuned = get_kernel("mb+rankb").prepare(
+            tensor, 0, block_counts=(1, 4, 2),
+            rank_blocking=RankBlocking(block_cols=64),
+        )
+        base_report = performance_report(base, 512, machine)
+        tuned_report = performance_report(tuned, 512, machine)
+        assert tuned_report.breakdown.total < base_report.breakdown.total
+        joined = " ".join(tuned_report.suggestions)
+        assert "register blocking" not in joined  # already applied
+
+    def test_render_structure(self, setup):
+        tensor, machine = setup
+        plan = get_kernel("splatt").prepare(tensor, 0)
+        text = performance_report(plan, 128, machine).render()
+        assert "predicted time" in text
+        assert "component" in text
+        assert "suggestions:" in text
+
+    def test_shares_sum_to_one(self, setup):
+        tensor, machine = setup
+        plan = get_kernel("splatt").prepare(tensor, 0)
+        report = performance_report(plan, 128, machine)
+        comps = report.breakdown.components()
+        assert sum(comps.values()) == pytest.approx(report.breakdown.total)

@@ -1,0 +1,80 @@
+"""Tests for the roofline analysis (Figure 2 / Equations 1-3)."""
+
+import pytest
+
+from repro.machine import power8_socket
+from repro.perf import (
+    FIG2_ALPHAS,
+    FIG2_RANKS,
+    arithmetic_intensity,
+    attainable_gflops,
+    figure2_grid,
+    is_memory_bound,
+)
+from repro.util.errors import ReproError
+
+
+class TestEquation3:
+    def test_alpha_zero_limit(self):
+        """I = R/(8+4R) at alpha = 0."""
+        for r in (16, 128, 2048):
+            assert arithmetic_intensity(r, 0.0) == pytest.approx(r / (8 + 4 * r))
+
+    def test_alpha_one_limit(self):
+        """I = R/8 at alpha = 1."""
+        for r in (16, 128, 2048):
+            assert arithmetic_intensity(r, 1.0) == pytest.approx(r / 8)
+
+    def test_paper_quoted_values(self):
+        """'Even for a very high cache hit rate of 95%, the arithmetic
+        intensity ranges from 1.43 at rank 16 to at most 4.90 at 2048.'"""
+        assert arithmetic_intensity(16, 0.95) == pytest.approx(1.43, abs=0.005)
+        assert arithmetic_intensity(2048, 0.95) == pytest.approx(4.90, abs=0.005)
+
+    def test_monotone_in_rank_and_alpha(self):
+        ranks = [16, 64, 256, 1024]
+        for a in (0.5, 0.9):
+            vals = [arithmetic_intensity(r, a) for r in ranks]
+            assert vals == sorted(vals)
+        for r in ranks:
+            vals = [arithmetic_intensity(r, a) for a in (0.0, 0.5, 0.9, 1.0)]
+            assert vals == sorted(vals)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            arithmetic_intensity(16, 1.5)
+        with pytest.raises(ReproError):
+            arithmetic_intensity(0, 0.5)
+
+
+class TestFigure2Grid:
+    def test_axes(self):
+        grid = figure2_grid()
+        assert set(grid) == set(FIG2_ALPHAS)
+        assert all(len(v) == len(FIG2_RANKS) for v in grid.values())
+
+    def test_series_ordering(self):
+        """Higher alpha series sit strictly above lower ones."""
+        grid = figure2_grid()
+        for i in range(len(FIG2_RANKS)):
+            assert grid[0.95][i] > grid[0.6][i] > grid[0.0][i]
+
+
+class TestMemoryBoundVerdict:
+    def test_paper_conclusion(self):
+        """SPLATT MTTKRP is memory bound 'unless all the factor matrices
+        fit in cache and the rank is large enough (> 64)'."""
+        m = power8_socket()
+        # Realistic alpha, any rank: memory bound.
+        for r in (16, 128, 2048):
+            assert is_memory_bound(m, r, 0.9)
+        # Perfect cache residency and big rank: compute bound.
+        assert not is_memory_bound(m, 2048, 1.0)
+        # Perfect cache but small rank: still memory bound (I = R/8 < balance).
+        assert is_memory_bound(m, 16, 1.0)
+
+    def test_attainable_caps_at_peak(self):
+        m = power8_socket()
+        assert attainable_gflops(m, 1e9) == pytest.approx(m.peak_flops / 1e9)
+        low = attainable_gflops(m, 0.5)
+        assert low == pytest.approx(0.5 * m.read_bandwidth / 1e9)

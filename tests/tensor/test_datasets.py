@@ -1,0 +1,77 @@
+"""Tests for the Table II dataset registry."""
+
+import pytest
+
+from repro.tensor import DATASETS, load_dataset
+from repro.util import ConfigError
+
+
+EXPECTED_NAMES = {
+    "poisson1",
+    "poisson2",
+    "poisson3",
+    "nell2",
+    "netflix",
+    "reddit",
+    "amazon",
+}
+
+
+class TestRegistry:
+    def test_all_table2_rows_present(self):
+        assert set(DATASETS) == EXPECTED_NAMES
+
+    def test_paper_stats_match_table2(self):
+        assert DATASETS["poisson3"].paper_dims == (30_000, 30_000, 30_000)
+        assert DATASETS["poisson3"].paper_nnz == 135_000_000
+        assert DATASETS["netflix"].paper_dims == (480_000, 18_000, 80)
+        assert DATASETS["amazon"].paper_nnz == 1_700_000_000
+
+    def test_dim_ratios_preserved(self):
+        """Stand-in dims scale every mode by (close to) the same factor."""
+        for info in DATASETS.values():
+            scales = [
+                p / s for p, s in zip(info.paper_dims, info.standin_dims)
+            ]
+            # Netflix keeps its tiny time mode unscaled; other ratios agree
+            # within 10%.  Poisson1 is unscaled entirely (all ratios 1).
+            big = [s for s, p in zip(scales, info.paper_dims) if p > 1000]
+            if not big:
+                assert all(s == 1.0 for s in scales), info.name
+                continue
+            assert max(big) / min(big) < 1.1, info.name
+
+    def test_machine_scale_consistent_with_dims(self):
+        for info in DATASETS.values():
+            longest = max(info.paper_dims)
+            standin_longest = max(info.standin_dims)
+            implied = standin_longest / longest
+            assert implied == pytest.approx(info.machine_scale, rel=0.05), info.name
+
+    def test_generators_valid(self):
+        for info in DATASETS.values():
+            assert info.kind in ("poisson", "clustered", "power_law")
+
+
+class TestLoading:
+    def test_load_small_override(self):
+        t = load_dataset("poisson2", nnz=5000)
+        assert t.shape == DATASETS["poisson2"].standin_dims
+        assert 0 < t.nnz <= 5000
+
+    def test_deterministic_default_seed(self):
+        a = load_dataset("nell2", nnz=3000)
+        b = load_dataset("nell2", nnz=3000)
+        assert a.equal(b)
+
+    def test_case_insensitive(self):
+        t = load_dataset("NELL2", nnz=1000)
+        assert t.shape == DATASETS["nell2"].standin_dims
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError, match="unknown dataset"):
+            load_dataset("enron")
+
+    def test_bad_nnz_rejected(self):
+        with pytest.raises(ConfigError):
+            load_dataset("nell2", nnz=0)

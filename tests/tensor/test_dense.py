@@ -1,0 +1,98 @@
+"""Tests for dense helpers: matricization, Khatri-Rao, dense MTTKRP."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import dense_mttkrp, khatri_rao, matricize, tensor_norm
+from repro.tensor.dense import fold
+from repro.util import ShapeError
+
+
+class TestMatricize:
+    def test_shape(self, rng):
+        x = rng.random((3, 4, 5))
+        assert matricize(x, 0).shape == (3, 20)
+        assert matricize(x, 1).shape == (4, 15)
+        assert matricize(x, 2).shape == (5, 12)
+
+    def test_fibers_are_columns(self, rng):
+        x = rng.random((3, 4, 5))
+        # Column 0 of the mode-0 unfolding is the fiber x[:, 0, 0].
+        np.testing.assert_array_equal(matricize(x, 0)[:, 0], x[:, 0, 0])
+
+    def test_fold_roundtrip(self, rng):
+        x = rng.random((3, 4, 5, 2))
+        for mode in range(4):
+            np.testing.assert_array_equal(
+                fold(matricize(x, mode), mode, x.shape), x
+            )
+
+
+class TestKhatriRao:
+    def test_definition(self, rng):
+        u = rng.random((3, 4))
+        v = rng.random((5, 4))
+        k = khatri_rao([u, v])
+        assert k.shape == (15, 4)
+        # out[i*J + j] = u[i] * v[j]  (second operand fastest).
+        np.testing.assert_allclose(k[1 * 5 + 2], u[1] * v[2])
+
+    def test_column_kron_structure(self, rng):
+        u = rng.random((3, 2))
+        v = rng.random((4, 2))
+        k = khatri_rao([u, v])
+        for r in range(2):
+            np.testing.assert_allclose(k[:, r], np.kron(u[:, r], v[:, r]))
+
+    def test_three_operands_associative(self, rng):
+        a, b, c = rng.random((2, 3)), rng.random((4, 3)), rng.random((5, 3))
+        np.testing.assert_allclose(
+            khatri_rao([a, b, c]), khatri_rao([khatri_rao([a, b]), c])
+        )
+
+    def test_rank_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            khatri_rao([rng.random((3, 4)), rng.random((3, 5))])
+
+
+class TestDenseMTTKRP:
+    def test_matches_unfolding_formula(self, rng):
+        x = rng.random((4, 5, 6))
+        A, B, C = rng.random((4, 3)), rng.random((5, 3)), rng.random((6, 3))
+        np.testing.assert_allclose(
+            dense_mttkrp(x, [None, B, C], 0), matricize(x, 0) @ khatri_rao([C, B])
+        )
+        np.testing.assert_allclose(
+            dense_mttkrp(x, [A, None, C], 1), matricize(x, 1) @ khatri_rao([C, A])
+        )
+        np.testing.assert_allclose(
+            dense_mttkrp(x, [A, B, None], 2), matricize(x, 2) @ khatri_rao([B, A])
+        )
+
+    def test_order_4(self, rng):
+        x = rng.random((3, 4, 5, 6))
+        fs = [rng.random((n, 2)) for n in x.shape]
+        got = dense_mttkrp(x, fs, 1)
+        expected = matricize(x, 1) @ khatri_rao([fs[3], fs[2], fs[0]])
+        np.testing.assert_allclose(got, expected)
+
+    def test_factor_shape_checked(self, rng):
+        x = rng.random((3, 4, 5))
+        with pytest.raises(ShapeError):
+            dense_mttkrp(x, [None, rng.random((99, 3)), rng.random((5, 3))], 0)
+
+    def test_rank_mismatch_checked(self, rng):
+        x = rng.random((3, 4, 5))
+        with pytest.raises(ShapeError):
+            dense_mttkrp(x, [None, rng.random((4, 3)), rng.random((5, 2))], 0)
+
+    def test_wrong_factor_count(self, rng):
+        x = rng.random((3, 4, 5))
+        with pytest.raises(ShapeError):
+            dense_mttkrp(x, [None, rng.random((4, 3))], 0)
+
+
+class TestNorm:
+    def test_frobenius(self):
+        x = np.ones((2, 3, 4))
+        assert tensor_norm(x) == pytest.approx(np.sqrt(24))

@@ -1,0 +1,114 @@
+"""Tests for the synthetic tensor generators."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    clustered_tensor,
+    poisson_tensor,
+    power_law_tensor,
+    uniform_random_tensor,
+)
+from repro.util import ConfigError
+from repro.util.errors import ReproError
+
+
+class TestPoisson:
+    def test_counts_are_positive_integers(self):
+        t = poisson_tensor((20, 20, 20), 3000, seed=1)
+        assert np.all(t.values >= 1)
+        assert np.all(t.values == np.round(t.values))
+
+    def test_total_events_conserved(self):
+        t = poisson_tensor((20, 20, 20), 3000, seed=1)
+        assert t.values.sum() == 3000
+
+    def test_deterministic(self):
+        a = poisson_tensor((10, 10, 10), 500, seed=5)
+        b = poisson_tensor((10, 10, 10), 500, seed=5)
+        assert a.equal(b)
+
+    def test_seeds_differ(self):
+        a = poisson_tensor((10, 10, 10), 500, seed=5)
+        b = poisson_tensor((10, 10, 10), 500, seed=6)
+        assert not a.equal(b)
+
+    def test_clustering_beats_uniform(self):
+        """Low-rank mixture data collapses to fewer distinct coordinates
+        than uniform sampling with the same event count."""
+        shape, n = (40, 40, 40), 5000
+        p = poisson_tensor(shape, n, seed=2, gen_rank=4, concentration=0.05)
+        u = uniform_random_tensor(shape, n, seed=2)
+        assert p.nnz < u.nnz
+
+    def test_zero_events(self):
+        assert poisson_tensor((5, 5, 5), 0, seed=1).nnz == 0
+
+    def test_bad_params(self):
+        with pytest.raises(ReproError):
+            poisson_tensor((5, 5), -1)
+        with pytest.raises(ReproError):
+            poisson_tensor((5, 5), 10, gen_rank=0)
+
+
+class TestUniform:
+    def test_shape_and_bounds(self):
+        t = uniform_random_tensor((7, 8, 9), 200, seed=3)
+        for m, extent in enumerate(t.shape):
+            assert t.indices[:, m].min() >= 0
+            assert t.indices[:, m].max() < extent
+
+    def test_integer_values(self):
+        t = uniform_random_tensor((10, 10, 10), 200, seed=3, integer_values=True)
+        assert np.all(t.values == np.round(t.values))
+
+    def test_nnz_close_to_target(self):
+        # Dedup shrinks only on collisions; sparse space has few.
+        t = uniform_random_tensor((100, 100, 100), 1000, seed=4)
+        assert t.nnz >= 990
+
+
+class TestClustered:
+    def test_cluster_concentration(self):
+        """Most nonzeros should fall in a small portion of the index space."""
+        t = clustered_tensor(
+            (200, 200, 200),
+            4000,
+            n_clusters=4,
+            cluster_fraction=1.0,
+            cluster_extent_fraction=0.05,
+            seed=5,
+        )
+        # 4 boxes of (0.05 * 200)^3 = 1000 cells each cover <= 4000 of 8M
+        # cells; all nonzeros land there.
+        occupied = t.distinct_per_mode()
+        assert all(d <= 4 * 10 for d in occupied)
+
+    def test_background_spread(self):
+        t = clustered_tensor(
+            (200, 200, 200), 4000, cluster_fraction=0.0, seed=6
+        )
+        assert all(d > 100 for d in t.distinct_per_mode())
+
+    def test_param_validation(self):
+        with pytest.raises(ReproError):
+            clustered_tensor((5, 5, 5), 10, cluster_fraction=1.5)
+        with pytest.raises(ReproError):
+            clustered_tensor((5, 5, 5), 10, n_clusters=0)
+
+
+class TestPowerLaw:
+    def test_skew(self):
+        """The hottest index should capture far more than 1/extent mass."""
+        t = power_law_tensor((500, 500, 500), 20000, alphas=1.3, seed=7)
+        counts = t.slice_nnz(0)
+        assert counts.max() > 10 * counts[counts > 0].mean()
+
+    def test_per_mode_alphas(self):
+        t = power_law_tensor((100, 100, 100), 5000, alphas=(2.0, 0.1, 1.0), seed=8)
+        skew = [t.slice_nnz(m).max() for m in range(3)]
+        assert skew[0] > skew[1]
+
+    def test_alpha_count_mismatch(self):
+        with pytest.raises(ConfigError):
+            power_law_tensor((5, 5, 5), 10, alphas=(1.0, 1.0))

@@ -1,0 +1,89 @@
+"""Tests for .tns / .npz tensor IO."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    COOTensor,
+    load_npz,
+    load_tns,
+    save_npz,
+    save_tns,
+    uniform_random_tensor,
+)
+from repro.util import FormatError
+
+
+class TestTns:
+    def test_roundtrip(self, tmp_path):
+        t = uniform_random_tensor((9, 11, 13), 150, seed=21)
+        path = tmp_path / "t.tns"
+        save_tns(t, path)
+        assert load_tns(path).equal(t)
+
+    def test_shape_header_written(self, tmp_path):
+        t = uniform_random_tensor((9, 11, 13), 50, seed=22)
+        path = tmp_path / "t.tns"
+        save_tns(t, path)
+        assert "# shape: 9 11 13" in path.read_text().splitlines()[0]
+
+    def test_explicit_shape_wins(self):
+        src = io.StringIO("1 1 1 5.0\n2 2 2 3.0\n")
+        t = load_tns(src, shape=(10, 10, 10))
+        assert t.shape == (10, 10, 10)
+
+    def test_shape_inferred_from_coords(self):
+        src = io.StringIO("1 1 1 5.0\n3 2 4 1.0\n")
+        t = load_tns(src)
+        assert t.shape == (3, 2, 4)
+
+    def test_one_based_conversion(self):
+        src = io.StringIO("1 1 1 5.0\n")
+        t = load_tns(src)
+        np.testing.assert_array_equal(t.indices[0], [0, 0, 0])
+
+    def test_zero_coordinate_rejected(self):
+        src = io.StringIO("0 1 1 5.0\n")
+        with pytest.raises(FormatError, match="1-based"):
+            load_tns(src)
+
+    def test_ragged_lines_rejected(self):
+        src = io.StringIO("1 1 1 5.0\n1 1 2.0\n")
+        with pytest.raises(FormatError, match="inconsistent"):
+            load_tns(src)
+
+    def test_empty_needs_shape(self):
+        with pytest.raises(FormatError):
+            load_tns(io.StringIO(""))
+        t = load_tns(io.StringIO(""), shape=(2, 3))
+        assert t.nnz == 0
+
+    def test_comments_and_blanks_skipped(self):
+        src = io.StringIO("# a comment\n\n1 1 1 2.5\n")
+        assert load_tns(src).nnz == 1
+
+    def test_gzip_transparent(self, tmp_path):
+        import gzip
+
+        t = uniform_random_tensor((6, 7, 8), 40, seed=24)
+        plain = tmp_path / "t.tns"
+        save_tns(t, plain)
+        gz = tmp_path / "t.tns.gz"
+        gz.write_bytes(gzip.compress(plain.read_bytes()))
+        assert load_tns(gz).equal(t)
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        t = uniform_random_tensor((6, 7, 8, 9), 200, seed=23)
+        path = tmp_path / "t.npz"
+        save_npz(t, path)
+        assert load_npz(path).equal(t)
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, shape=np.array([2, 2]))
+        with pytest.raises(FormatError, match="missing"):
+            load_npz(path)

@@ -1,0 +1,89 @@
+"""Property-based tests for the tensor formats (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import COOTensor, CSFTensor, SplattTensor
+
+
+@st.composite
+def coo_tensors(draw, max_order=4, max_extent=12, max_nnz=60):
+    """Random small COO tensors (possibly with duplicate coordinates)."""
+    order = draw(st.integers(2, max_order))
+    shape = tuple(
+        draw(st.integers(1, max_extent)) for _ in range(order)
+    )
+    nnz = draw(st.integers(0, max_nnz))
+    idx_cols = [
+        draw(
+            st.lists(
+                st.integers(0, extent - 1), min_size=nnz, max_size=nnz
+            )
+        )
+        for extent in shape
+    ]
+    indices = np.array(idx_cols, dtype=np.int64).T.reshape(nnz, order)
+    values = np.array(
+        draw(
+            st.lists(
+                st.floats(-100, 100, allow_nan=False, width=32),
+                min_size=nnz,
+                max_size=nnz,
+            )
+        ),
+        dtype=np.float64,
+    )
+    return COOTensor(shape, indices, values)
+
+
+@given(coo_tensors())
+@settings(max_examples=60, deadline=None)
+def test_dedup_preserves_sum_and_canonicalizes(t):
+    d = t.deduplicate()
+    assert d.nnz <= t.nnz
+    np.testing.assert_allclose(d.values.sum(), t.values.sum(), rtol=1e-9, atol=1e-9)
+    # Canonical: sorted and duplicate-free.
+    if d.nnz > 1:
+        keys = [tuple(row) for row in d.indices]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+
+
+@given(coo_tensors())
+@settings(max_examples=60, deadline=None)
+def test_csf_roundtrip_any_order(t):
+    c = CSFTensor.from_coo(t.deduplicate())
+    c.check_invariants()
+    assert c.to_coo().equal(t.deduplicate())
+
+
+@given(coo_tensors(max_order=3), st.integers(0, 2))
+@settings(max_examples=60, deadline=None)
+def test_splatt_roundtrip_any_mode(t, mode):
+    if t.order != 3:
+        t3_shape = (t.shape + (3, 3))[:3]
+        return  # composite gives mixed orders; only 3-mode is valid here
+    s = SplattTensor.from_coo(t, output_mode=mode)
+    s.check_invariants()
+    assert s.to_coo().equal(t)
+    # The paper's memory formula is exact.
+    assert s.memory_bytes() == 16 + 8 * s.n_rows + 16 * s.n_fibers + 16 * s.nnz
+
+
+@given(coo_tensors(max_order=3))
+@settings(max_examples=40, deadline=None)
+def test_permutation_roundtrip(t):
+    order = t.order
+    perm = tuple(reversed(range(order)))
+    inverse = tuple(perm.index(m) for m in range(order))
+    assert t.permute_modes(perm).permute_modes(inverse).equal(t)
+
+
+@given(coo_tensors(max_order=3, max_nnz=40))
+@settings(max_examples=40, deadline=None)
+def test_slice_nnz_partitions_nonzeros(t):
+    for mode in range(t.order):
+        counts = t.slice_nnz(mode)
+        assert counts.shape[0] == t.shape[mode]
+        assert counts.sum() == t.nnz

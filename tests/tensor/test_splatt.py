@@ -1,0 +1,133 @@
+"""Tests for the SPLATT fiber-compressed format."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import COOTensor, SplattTensor, uniform_random_tensor
+from repro.util import FormatError, ShapeError
+from repro.util.errors import ReproError
+
+
+def figure1_tensor():
+    """The paper's Figure 1 example (converted to 0-based indices)."""
+    idx = np.array(
+        [
+            [0, 0, 0],
+            [0, 1, 1],
+            [0, 1, 2],
+            [1, 0, 2],
+            [1, 1, 1],
+            [1, 2, 2],
+            [2, 0, 0],
+        ]
+    )
+    vals = np.array([5.0, 3.0, 1.0, 2.0, 9.0, 7.0, 9.0])
+    return COOTensor((3, 3, 3), idx, vals)
+
+
+class TestFigure1:
+    """Check the compressed arrays against the structures drawn in Fig 1b."""
+
+    def test_fiber_count(self):
+        s = SplattTensor.from_coo(figure1_tensor(), output_mode=0)
+        assert s.n_fibers == 6
+
+    def test_pointers(self):
+        s = SplattTensor.from_coo(figure1_tensor(), output_mode=0)
+        # Rows own 3, 2, 1 fibers; the row-1 fiber at k=2 holds 2 nonzeros.
+        np.testing.assert_array_equal(s.row_ptr, [0, 3, 5, 6])
+        np.testing.assert_array_equal(s.fiber_ptr, [0, 1, 2, 3, 4, 6, 7])
+
+    def test_fiber_kidx(self):
+        s = SplattTensor.from_coo(figure1_tensor(), output_mode=0)
+        # Figure 1b's k_index column (0-based): rows sorted by (i, k).
+        np.testing.assert_array_equal(s.fiber_kidx, [0, 1, 2, 1, 2, 0])
+
+    def test_values_and_jidx(self):
+        s = SplattTensor.from_coo(figure1_tensor(), output_mode=0)
+        np.testing.assert_array_equal(s.vals, [5.0, 3.0, 1.0, 9.0, 2.0, 7.0, 9.0])
+        np.testing.assert_array_equal(s.jidx, [0, 1, 1, 1, 0, 2, 0])
+
+    def test_memory_formula(self):
+        s = SplattTensor.from_coo(figure1_tensor(), output_mode=0)
+        expected = 16 + 8 * 3 + 16 * 6 + 16 * 7
+        assert s.memory_bytes() == expected
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_all_output_modes(self, mode):
+        t = uniform_random_tensor((10, 12, 14), 300, seed=3)
+        s = SplattTensor.from_coo(t, output_mode=mode)
+        assert s.to_coo().equal(t)
+
+    @pytest.mark.parametrize("inner", [1, 2])
+    def test_inner_mode_choice(self, inner):
+        t = uniform_random_tensor((10, 12, 14), 300, seed=3)
+        s = SplattTensor.from_coo(t, output_mode=0, inner_mode=inner)
+        assert s.inner_mode == inner
+        assert s.to_coo().equal(t)
+
+    def test_empty_tensor(self):
+        t = COOTensor((4, 5, 6), np.empty((0, 3)), np.empty(0))
+        s = SplattTensor.from_coo(t)
+        assert s.nnz == 0
+        assert s.n_fibers == 0
+        assert s.to_coo().equal(t)
+
+    def test_duplicates_preserved(self):
+        idx = np.array([[0, 1, 0], [0, 1, 0]])
+        t = COOTensor((2, 2, 2), idx, np.array([1.0, 2.0]))
+        s = SplattTensor.from_coo(t)
+        assert s.nnz == 2
+        assert s.n_fibers == 1
+
+
+class TestProperties:
+    def test_fiber_stats(self):
+        s = SplattTensor.from_coo(figure1_tensor())
+        assert s.nnz_per_fiber().sum() == s.nnz
+        assert s.fibers_per_row().sum() == s.n_fibers
+
+    def test_extents(self):
+        t = uniform_random_tensor((5, 7, 9), 50, seed=4)
+        s = SplattTensor.from_coo(t, output_mode=1)
+        assert s.n_rows == 7
+        assert s.inner_extent == t.shape[s.inner_mode]
+        assert s.fiber_extent == t.shape[s.fiber_mode]
+
+    def test_fewer_fibers_than_nnz_when_clustered(self):
+        # Dense-ish tensor: fibers group multiple nonzeros.
+        t = uniform_random_tensor((5, 20, 5), 400, seed=5)
+        s = SplattTensor.from_coo(t)
+        assert s.n_fibers < s.nnz
+
+
+class TestValidation:
+    def test_order_check(self):
+        t4 = uniform_random_tensor((3, 3, 3, 3), 10, seed=6)
+        with pytest.raises(ShapeError):
+            SplattTensor.from_coo(t4)
+
+    def test_bad_orientation(self):
+        t = figure1_tensor()
+        with pytest.raises(ShapeError):
+            SplattTensor.from_coo(t, output_mode=0, inner_mode=0)
+
+    def test_invariant_bad_row_ptr(self):
+        s = SplattTensor.from_coo(figure1_tensor())
+        s.row_ptr[-1] += 1
+        with pytest.raises(FormatError):
+            s.check_invariants()
+
+    def test_invariant_empty_fiber(self):
+        s = SplattTensor.from_coo(figure1_tensor())
+        s.fiber_ptr[1] = s.fiber_ptr[0]
+        with pytest.raises(FormatError):
+            s.check_invariants()
+
+    def test_invariant_jidx_bounds(self):
+        s = SplattTensor.from_coo(figure1_tensor())
+        s.jidx[0] = 99
+        with pytest.raises(ReproError):
+            s.check_invariants()

@@ -1,0 +1,60 @@
+"""Tests for tensor structure analysis."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    COOTensor,
+    analyze,
+    power_law_tensor,
+    uniform_random_tensor,
+)
+
+
+class TestAnalyze:
+    def test_basic_fields(self):
+        t = uniform_random_tensor((20, 30, 25), 800, seed=61)
+        stats = analyze(t)
+        assert stats.shape == t.shape
+        assert stats.nnz == t.nnz
+        assert stats.coo_bytes == t.memory_bytes()
+        assert stats.splatt_bytes is not None
+        assert stats.splatt_bytes < stats.coo_bytes
+        assert len(stats.modes) == 3
+
+    def test_mode_stats_consistent(self):
+        t = uniform_random_tensor((20, 30, 25), 800, seed=62)
+        stats = analyze(t)
+        for m in stats.modes:
+            assert m.distinct <= m.extent
+            assert m.reuse == pytest.approx(t.nnz / m.distinct)
+            assert 0.0 < m.top_decile_share <= 1.0
+
+    def test_skew_detected(self):
+        flat = uniform_random_tensor((500, 50, 50), 10_000, seed=63)
+        hot = power_law_tensor((500, 50, 50), 10_000, alphas=(1.6, 0.3, 0.3), seed=63)
+        assert (
+            analyze(hot).modes[0].top_decile_share
+            > analyze(flat).modes[0].top_decile_share
+        )
+        assert analyze(hot).modes[0].imbalance > analyze(flat).modes[0].imbalance
+
+    def test_uniform_low_imbalance(self):
+        dense = COOTensor.from_dense(np.ones((10, 10, 10)))
+        stats = analyze(dense)
+        for m in stats.modes:
+            assert m.imbalance == pytest.approx(0.0)
+            assert m.top_decile_share == pytest.approx(0.1)
+
+    def test_higher_order_no_splatt(self):
+        t = uniform_random_tensor((8, 9, 10, 11), 300, seed=64)
+        stats = analyze(t)
+        assert stats.splatt_bytes is None
+        assert len(stats.modes) == 4
+
+    def test_render_contains_key_facts(self):
+        t = uniform_random_tensor((20, 30, 25), 500, seed=65)
+        text = analyze(t).render()
+        assert "20x30x25" in text
+        assert "SPLATT" in text
+        assert "reuse" in text

@@ -1,0 +1,102 @@
+"""Tests for the tuning cache and search strategies."""
+
+import pytest
+
+from repro.machine import power8_socket
+from repro.tensor import poisson_tensor
+from repro.tune import TensorSignature, Tuner, TuningCache
+from repro.tune.cache import CacheEntry
+from repro.util import ConfigError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tensor = poisson_tensor((40, 200, 60), 15_000, seed=31, concentration=0.2)
+    machine = power8_socket().scaled(1.0 / 128.0)
+    return tensor, machine
+
+
+class TestCache:
+    def test_put_get(self):
+        cache = TuningCache()
+        entry = CacheEntry((1, 4, 1), 32, 0.005, "heuristic")
+        cache.put("sig", 128, "m", entry)
+        assert cache.get("sig", 128, "m") == entry
+        assert cache.get("sig", 64, "m") is None
+        assert len(cache) == 1
+
+    def test_save_load_roundtrip(self, tmp_path):
+        cache = TuningCache()
+        cache.put("a", 16, "m1", CacheEntry((2, 2, 2), None, 1.0, "exhaustive"))
+        cache.put("b", 32, "m2", CacheEntry(None, 48, 2.0, "heuristic"))
+        path = tmp_path / "tune.json"
+        cache.save(path)
+        loaded = TuningCache.load(path)
+        assert len(loaded) == 2
+        assert loaded.get("a", 16, "m1").block_counts == (2, 2, 2)
+        assert loaded.get("b", 32, "m2").rank_blocking().block_cols == 48
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigError):
+            TuningCache.load(path)
+
+    def test_merge_prefers_cheaper(self):
+        a = TuningCache()
+        b = TuningCache()
+        a.put("s", 16, "m", CacheEntry(None, None, 5.0, "random"))
+        b.put("s", 16, "m", CacheEntry((2, 2, 2), None, 1.0, "exhaustive"))
+        a.merge(b)
+        assert a.get("s", 16, "m").cost == 1.0
+
+
+class TestTuner:
+    def test_heuristic_beats_baseline(self, setup):
+        tensor, machine = setup
+        tuner = Tuner(tensor, 0, machine)
+        result = tuner.tune(256, "heuristic")
+        assert result.cost <= result.baseline_cost
+        assert result.speedup >= 1.0
+
+    def test_exhaustive_at_least_as_good(self, setup):
+        tensor, machine = setup
+        tuner = Tuner(tensor, 0, machine)
+        heur = tuner.tune(128, "heuristic")
+        exh = tuner.tune(128, "exhaustive", max_blocks_per_mode=8)
+        assert exh.cost <= heur.cost * 1.001
+
+    def test_random_respects_budget(self, setup):
+        tensor, machine = setup
+        tuner = Tuner(tensor, 0, machine)
+        result = tuner.tune(128, "random", budget=10, seed=3)
+        assert result.n_evaluations <= 11
+        assert result.cost <= result.baseline_cost
+
+    def test_unknown_strategy(self, setup):
+        tensor, machine = setup
+        with pytest.raises(ConfigError):
+            Tuner(tensor, 0, machine).tune(64, "simulated-annealing")
+
+    def test_get_or_tune_caches(self, setup):
+        tensor, machine = setup
+        cache = TuningCache()
+        tuner = Tuner(tensor, 0, machine, cache=cache)
+        first = tuner.get_or_tune(256)
+        assert not first.from_cache
+        assert len(cache) == 1
+        second = tuner.get_or_tune(256)
+        assert second.from_cache
+        assert second.block_counts == first.block_counts
+        assert second.n_evaluations <= 2
+
+    def test_cache_transfers_across_same_structure(self, setup):
+        """A tensor with the same signature reuses the stored config."""
+        tensor, machine = setup
+        other = poisson_tensor((40, 200, 60), 15_000, seed=77, concentration=0.2)
+        if TensorSignature.of(other, 0) != TensorSignature.of(tensor, 0):
+            pytest.skip("draws landed in different signature buckets")
+        cache = TuningCache()
+        Tuner(tensor, 0, machine, cache=cache).get_or_tune(256)
+        reused = Tuner(other, 0, machine, cache=cache).get_or_tune(256)
+        assert reused.from_cache

@@ -1,0 +1,80 @@
+"""Tests for repro.util.formatting."""
+
+import pytest
+
+from repro.util import format_bytes, format_count, format_seconds, format_table
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (2048, "2.0 KiB"),
+            (1536, "1.5 KiB"),
+            (1024**2, "1.0 MiB"),
+            (3 * 1024**3, "3.0 GiB"),
+        ],
+    )
+    def test_values(self, n, expected):
+        assert format_bytes(n) == expected
+
+    def test_negative(self):
+        assert format_bytes(-2048) == "-2.0 KiB"
+
+
+class TestFormatCount:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0"),
+            (999, "999"),
+            (1500, "1.50K"),
+            (1_500_000, "1.50M"),
+            (2_000_000_000, "2.00B"),
+        ],
+    )
+    def test_values(self, n, expected):
+        assert format_count(n) == expected
+
+
+class TestFormatSeconds:
+    def test_zero(self):
+        assert format_seconds(0) == "0 s"
+
+    def test_nanoseconds(self):
+        assert format_seconds(5e-9) == "5.0 ns"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.0042).endswith("ms")
+
+    def test_seconds(self):
+        assert format_seconds(2.5) == "2.500 s"
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "name" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_numeric_right_aligned(self):
+        out = format_table(["n"], [[1], [100]])
+        rows = out.splitlines()[2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100")
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out

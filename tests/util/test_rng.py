@@ -1,0 +1,43 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util import resolve_rng, spawn_rngs
+
+
+class TestResolveRng:
+    def test_int_seed_deterministic(self):
+        a = resolve_rng(7).random(5)
+        b = resolve_rng(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert resolve_rng(gen) is gen
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(1, 4)) == 4
+
+    def test_children_differ(self):
+        children = spawn_rngs(1, 3)
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_deterministic(self):
+        a = [c.random(3).tolist() for c in spawn_rngs(9, 2)]
+        b = [c.random(3).tolist() for c in spawn_rngs(9, 2)]
+        assert a == b
+
+    def test_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(5), 2)
+        assert len(children) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)

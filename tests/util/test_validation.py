@@ -1,0 +1,102 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    ConfigError,
+    ShapeError,
+    as_index_array,
+    as_value_array,
+    check_mode,
+    check_rank,
+    check_shape,
+    require,
+)
+from repro.util.validation import INDEX_DTYPE, VALUE_DTYPE, check_bounds
+
+
+class TestCheckRank:
+    def test_accepts_positive(self):
+        assert check_rank(16) == 16
+
+    def test_coerces_numpy_int(self):
+        assert check_rank(np.int64(8)) == 8
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ConfigError):
+            check_rank(bad)
+
+
+class TestCheckMode:
+    def test_in_range(self):
+        assert check_mode(2, 3) == 2
+
+    def test_negative_wraps(self):
+        assert check_mode(-1, 3) == 2
+        assert check_mode(-3, 3) == 0
+
+    @pytest.mark.parametrize("bad", [3, -4, 10])
+    def test_out_of_range(self, bad):
+        with pytest.raises(ShapeError):
+            check_mode(bad, 3)
+
+
+class TestCheckShape:
+    def test_valid(self):
+        assert check_shape([3, 4, 5]) == (3, 4, 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            check_shape([])
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(ShapeError):
+            check_shape([3, 0, 5])
+
+
+class TestArrayCoercion:
+    def test_index_array_dtype(self):
+        arr = as_index_array([1, 2, 3])
+        assert arr.dtype == INDEX_DTYPE
+        assert arr.flags.c_contiguous
+
+    def test_value_array_dtype(self):
+        arr = as_value_array([1.5, 2.5])
+        assert arr.dtype == VALUE_DTYPE
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            as_index_array(np.zeros((2, 2)))
+        with pytest.raises(ShapeError):
+            as_value_array(np.zeros((2, 2)))
+
+
+class TestCheckBounds:
+    def test_ok(self):
+        check_bounds(np.array([0, 4]), 5, "x")
+
+    def test_too_large(self):
+        with pytest.raises(ShapeError, match="out of bounds"):
+            check_bounds(np.array([0, 5]), 5, "x")
+
+    def test_negative(self):
+        with pytest.raises(ShapeError):
+            check_bounds(np.array([-1]), 5, "x")
+
+    def test_empty_ok(self):
+        check_bounds(np.array([], dtype=np.int64), 5, "x")
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises_default(self):
+        with pytest.raises(ConfigError, match="boom"):
+            require(False, "boom")
+
+    def test_raises_custom(self):
+        with pytest.raises(ShapeError):
+            require(False, "boom", ShapeError)

@@ -1,0 +1,69 @@
+"""Static analysis for the kernel zoo and its parallel schedules.
+
+Three passes behind one diagnostic model (``repro check``):
+
+* :mod:`repro.analysis.contract` — AST kernel-contract checker: every
+  registered kernel conforms to the :class:`~repro.kernels.base.Kernel` /
+  :class:`~repro.kernels.base.Plan` ABCs (rules KC101-KC111);
+* :mod:`repro.analysis.races` — symbolic blocked-schedule race detector:
+  proves parallel tasks write disjoint mode-n output rows, or reports the
+  conflicting pairs and whether privatized accumulators fix them (rules
+  RS201-RS202); wired into :mod:`repro.perf.parallel` and
+  :mod:`repro.dist.mttkrp`;
+* :mod:`repro.analysis.hotpath` — hot-path performance lint for kernel
+  modules: devectorized loops, repeated attribute lookups, silent dtype
+  promotion (rules HP301-HP303).
+
+Rule catalog with rationale and suppression: ``docs/static-analysis.md``.
+"""
+
+from repro.analysis.diagnostics import (
+    RULES,
+    Diagnostic,
+    Rule,
+    Severity,
+    render_json,
+    render_text,
+    resolve_rules,
+)
+from repro.analysis.races import (
+    Conflict,
+    RaceReport,
+    TaskWriteSet,
+    check_schedule,
+    detect_conflicts,
+    verify_fold_covers_conflicts,
+    verify_safe,
+    write_sets_for_blocked,
+    write_sets_for_boundaries,
+    write_sets_for_coo_chunks,
+    write_sets_for_decomposition,
+    write_sets_for_grid,
+    write_sets_for_ranges,
+)
+from repro.analysis.runner import CheckResult, run_check
+
+__all__ = [
+    "RULES",
+    "Diagnostic",
+    "Rule",
+    "Severity",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+    "Conflict",
+    "RaceReport",
+    "TaskWriteSet",
+    "check_schedule",
+    "detect_conflicts",
+    "verify_fold_covers_conflicts",
+    "verify_safe",
+    "write_sets_for_blocked",
+    "write_sets_for_boundaries",
+    "write_sets_for_coo_chunks",
+    "write_sets_for_decomposition",
+    "write_sets_for_grid",
+    "write_sets_for_ranges",
+    "CheckResult",
+    "run_check",
+]

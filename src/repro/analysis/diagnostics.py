@@ -1,0 +1,210 @@
+"""Unified diagnostic model for the static-analysis passes.
+
+Every pass (:mod:`repro.analysis.contract`, :mod:`repro.analysis.races`,
+:mod:`repro.analysis.hotpath`) reports findings as :class:`Diagnostic`
+records — rule id, severity, location, message, fix hint — so the CLI can
+render one consistent text or JSON stream and CI can consume it.
+
+Rules are registered in :data:`RULES`; each is individually suppressible,
+either inline (``# repro: noqa`` or ``# repro: noqa[HP302]`` on the
+flagged line) or globally (``repro check --ignore HP302``).  The full rule
+catalog with rationale and examples lives in ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import re
+from dataclasses import dataclass, field
+
+from repro.util.errors import ConfigError
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.  ``ERROR`` findings are contract or safety
+    violations; ``WARNING`` findings are performance hazards."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One checkable invariant: id, default severity, one-line summary."""
+
+    id: str
+    severity: Severity
+    summary: str
+
+
+#: The rule catalog.  Ids are stable; docs/static-analysis.md documents
+#: each with rationale, an example, and the suppression spelling.
+RULES: dict[str, Rule] = {
+    r.id: r
+    for r in [
+        # --- kernel contract (KC1xx) ---------------------------------
+        Rule("KC101", Severity.ERROR, "duplicate kernel registry name"),
+        Rule("KC102", Severity.ERROR, "kernel class without a class-level name"),
+        Rule("KC103", Severity.ERROR, "prepare() signature breaks the Kernel ABC"),
+        Rule("KC104", Severity.ERROR, "execute() signature breaks the Kernel ABC"),
+        Rule("KC105", Severity.ERROR, "execute() does not allocate via alloc_output"),
+        Rule("KC106", Severity.ERROR, "execute() does not validate via check_factors"),
+        Rule("KC107", Severity.ERROR, "Plan subclass missing block_stats()"),
+        Rule("KC108", Severity.ERROR, "Plan subclass missing kernel_name"),
+        Rule("KC109", Severity.ERROR, "register_kernel() called with a class, not an instance"),
+        Rule("KC110", Severity.ERROR, "Plan.nnz/n_fibers overridden without @property"),
+        Rule("KC111", Severity.ERROR, "Kernel subclass missing prepare()/execute()"),
+        # --- blocked-schedule races (RS2xx) ---------------------------
+        Rule("RS201", Severity.ERROR, "parallel tasks write overlapping output rows"),
+        Rule("RS202", Severity.ERROR, "block-parallel schedule over a grid with one output-mode block"),
+        # --- hot-path performance (HP3xx) -----------------------------
+        Rule("HP301", Severity.WARNING, "per-element Python loop over an array"),
+        Rule("HP302", Severity.WARNING, "loop-invariant attribute chain looked up repeatedly in a hot loop"),
+        Rule("HP303", Severity.WARNING, "numpy allocation without an explicit dtype"),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, pointing at a file:line with a fix hint."""
+
+    rule: str
+    file: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    severity: Severity = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.rule not in RULES:
+            raise ConfigError(f"unknown diagnostic rule {self.rule!r}")
+        if self.severity is None:
+            object.__setattr__(self, "severity", RULES[self.rule].severity)
+
+    def format(self) -> str:
+        """``file:line:col: RULE [severity] message (hint: ...)``."""
+        loc = f"{self.file}:{self.line}:{self.col}"
+        text = f"{loc}: {self.rule} [{self.severity.value}] {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the ``--format json`` record)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def resolve_rules(spec: "str | list[str] | None") -> "set[str] | None":
+    """Parse a ``--select`` / ``--ignore`` rule list (comma or space
+    separated ids, or prefixes like ``HP``); ``None`` means no filter."""
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        parts = [p for p in re.split(r"[,\s]+", spec) if p]
+    else:
+        parts = list(spec)
+    resolved: set[str] = set()
+    for part in parts:
+        part = part.upper()
+        matches = {rid for rid in RULES if rid == part or rid.startswith(part)}
+        if not matches:
+            raise ConfigError(
+                f"unknown rule or prefix {part!r}; known: {sorted(RULES)}"
+            )
+        resolved |= matches
+    return resolved
+
+
+#: Inline suppression marker: ``# repro: noqa`` (all rules) or
+#: ``# repro: noqa[KC105,HP302]`` (listed rules only).
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[\w,\s]+)\])?")
+
+
+def suppressions_for_source(source: str) -> "dict[int, set[str] | None]":
+    """Map 1-based line numbers to their suppressed rule ids.
+
+    A value of ``None`` suppresses every rule on that line.
+    """
+    out: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        rules = m.group("rules")
+        if rules is None:
+            out[lineno] = None
+        else:
+            out[lineno] = {r.strip().upper() for r in rules.split(",") if r.strip()}
+    return out
+
+
+def apply_suppressions(
+    diags: list[Diagnostic], suppressions: "dict[int, set[str] | None]"
+) -> list[Diagnostic]:
+    """Drop diagnostics whose line carries a matching ``repro: noqa``."""
+    kept = []
+    for d in diags:
+        rules = suppressions.get(d.line, ...)
+        if rules is ...:
+            kept.append(d)
+        elif rules is not None and d.rule not in rules:
+            kept.append(d)
+    return kept
+
+
+def filter_rules(
+    diags: list[Diagnostic],
+    select: "set[str] | None" = None,
+    ignore: "set[str] | None" = None,
+) -> list[Diagnostic]:
+    """Apply ``--select`` / ``--ignore`` filters."""
+    out = []
+    for d in diags:
+        if select is not None and d.rule not in select:
+            continue
+        if ignore is not None and d.rule in ignore:
+            continue
+        out.append(d)
+    return out
+
+
+def render_text(diags: list[Diagnostic], files_checked: int) -> str:
+    """The human-readable report."""
+    lines = [d.format() for d in diags]
+    errors = sum(1 for d in diags if d.severity is Severity.ERROR)
+    warnings = len(diags) - errors
+    lines.append(
+        f"repro check: {files_checked} file(s), "
+        f"{errors} error(s), {warnings} warning(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(diags: list[Diagnostic], files_checked: int) -> str:
+    """The machine-readable report (``--format json``)."""
+    errors = sum(1 for d in diags if d.severity is Severity.ERROR)
+    return json.dumps(
+        {
+            "diagnostics": [d.to_dict() for d in diags],
+            "summary": {
+                "files_checked": files_checked,
+                "errors": errors,
+                "warnings": len(diags) - errors,
+            },
+        },
+        indent=2,
+    )

@@ -1,0 +1,133 @@
+"""Orchestrates the static-analysis passes over a file tree.
+
+``repro check`` calls :func:`run_check`:
+
+* the **contract pass** (:mod:`repro.analysis.contract`) scans every
+  Python file — it only speaks up for ``Kernel``/``Plan`` subclasses and
+  ``register_kernel`` sites, so scanning broadly is free and catches
+  kernels living outside ``kernels/``;
+* the **hot-path pass** (:mod:`repro.analysis.hotpath`) is restricted to
+  files under a directory named ``kernels`` (the hot path by
+  construction; coarse-grained orchestration loops elsewhere are not
+  performance hazards);
+* the **race pass** (:mod:`repro.analysis.races`) is schedule-shaped, not
+  file-shaped — the CLI exposes it through ``--race-grid`` and the
+  library wires it into the parallel/distributed entry points directly.
+
+Inline ``# repro: noqa[...]`` suppressions are honoured per file before
+``--select`` / ``--ignore`` filters apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis import contract, hotpath
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    apply_suppressions,
+    filter_rules,
+    suppressions_for_source,
+)
+
+#: Directories never scanned (caches, VCS internals).
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def default_paths() -> list[Path]:
+    """The repo's own package — ``repro check`` with no arguments is the
+    self-hosted run CI gates on."""
+    import repro
+
+    return [Path(repro.__file__).parent]
+
+
+def iter_python_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    out: set[Path] = set()
+    for p in paths:
+        p = Path(p)
+        if p.is_file() and p.suffix == ".py":
+            out.add(p)
+        elif p.is_dir():
+            for f in p.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in f.parts):
+                    out.add(f)
+    return sorted(out)
+
+
+def is_hot_path(path: Path) -> bool:
+    """Hot-path lint scope: modules under a ``kernels`` directory."""
+    return "kernels" in path.parts[:-1]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one ``repro check`` run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return len(self.diagnostics) - self.errors
+
+    @property
+    def exit_code(self) -> int:
+        """Non-zero when any diagnostic survives filtering — warnings
+        included, so CI fails on new hot-path hazards too."""
+        return 1 if self.diagnostics else 0
+
+
+def run_check(
+    paths: "Sequence[Path | str] | None" = None,
+    select: "set[str] | None" = None,
+    ignore: "set[str] | None" = None,
+) -> CheckResult:
+    """Run the contract and hot-path passes over ``paths``.
+
+    ``select`` / ``ignore`` are resolved rule-id sets
+    (:func:`repro.analysis.diagnostics.resolve_rules`).
+    """
+    files = iter_python_files(
+        [Path(p) for p in paths] if paths else default_paths()
+    )
+    diags: list[Diagnostic] = []
+    registrations: list[contract.RegisteredKernel] = []
+    sources: dict[str, str] = {}
+
+    for f in files:
+        rel = str(f)
+        try:
+            source = f.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        sources[rel] = source
+        scan = contract.scan_source(source, rel)
+        file_diags = list(scan.diagnostics)
+        registrations.extend(scan.registrations)
+        if is_hot_path(f):
+            file_diags.extend(hotpath.scan_source(source, rel))
+        diags.extend(
+            apply_suppressions(file_diags, suppressions_for_source(source))
+        )
+
+    dup = contract.duplicate_name_diagnostics(registrations)
+    # Duplicate-name findings honour suppressions on the registration line.
+    for d in dup:
+        source = sources.get(d.file)
+        if source is not None:
+            if not apply_suppressions([d], suppressions_for_source(source)):
+                continue
+        diags.append(d)
+
+    diags = filter_rules(diags, select=select, ignore=ignore)
+    diags.sort(key=lambda d: (d.file, d.line, d.col, d.rule))
+    return CheckResult(diagnostics=diags, files_checked=len(files))

@@ -9,6 +9,8 @@ Commands
 ``cpd``       CP-ALS / CP-APR decomposition with any kernel
 ``scaling``   the Table III distributed strong-scaling experiment
 ``datasets``  list the Table II registry
+``check``     static analysis: kernel contracts, schedule races, hot-path
+              lint (see docs/static-analysis.md)
 
 Every command accepts ``--dataset <name>`` (a Table II stand-in) or
 ``--tns <path>`` (a FROSTT text file).
@@ -227,6 +229,68 @@ def cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the static-analysis passes (``repro check``).
+
+    With no paths the repo's own package is checked (the self-hosted CI
+    gate).  ``--race-grid`` additionally runs the symbolic race detector
+    on a described blocked schedule.  Exit code 1 when any diagnostic
+    survives filtering.
+    """
+    from pathlib import Path
+
+    from repro.analysis import (
+        check_schedule,
+        render_json,
+        render_text,
+        resolve_rules,
+        run_check,
+        write_sets_for_grid,
+    )
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        # A typo'd path must not read as "checked clean" in CI.
+        print(f"repro check: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    result = run_check(
+        paths=args.paths or None,
+        select=resolve_rules(args.select),
+        ignore=resolve_rules(args.ignore),
+    )
+    diags = result.diagnostics
+
+    if args.race_grid:
+        from repro.blocking import BlockGrid
+
+        shape = tuple(args.race_shape) if args.race_shape else None
+        if shape is None:
+            # Without a tensor shape, analyze the block-index space itself.
+            shape = tuple(args.race_grid)
+        grid = BlockGrid(shape, args.race_grid)
+        report = check_schedule(
+            write_sets_for_grid(grid, args.race_mode, parallel=args.race_parallel),
+            args.race_mode,
+        )
+        race_diags = report.diagnostics(file=f"<grid {grid!r}>")
+        from repro.analysis.diagnostics import filter_rules
+
+        diags = diags + filter_rules(
+            race_diags,
+            select=resolve_rules(args.select),
+            ignore=resolve_rules(args.ignore),
+        )
+        if args.format == "text":
+            print(report.describe())
+
+    if args.format == "json":
+        print(render_json(diags, result.files_checked))
+    else:
+        print(render_text(diags, result.files_checked))
+    return 1 if diags else 0
+
+
 def cmd_reproduce(args: argparse.Namespace) -> int:
     """Regenerate every paper artifact into one markdown report."""
     import time
@@ -359,6 +423,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--skip-fig6", action="store_true", help="skip the slowest sweep")
     p.add_argument("--skip-table3", action="store_true")
     p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser(
+        "check",
+        help="static analysis: kernel contracts, schedule races, hot-path lint",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to check (default: the repro package itself)",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--select", help="only these rule ids/prefixes (e.g. KC,HP301)")
+    p.add_argument("--ignore", help="skip these rule ids/prefixes")
+    p.add_argument(
+        "--race-grid",
+        type=int,
+        nargs=3,
+        metavar=("NA", "NB", "NC"),
+        help="also race-check a blocked schedule with this block grid",
+    )
+    p.add_argument(
+        "--race-shape",
+        type=int,
+        nargs=3,
+        metavar=("I", "J", "K"),
+        help="tensor shape for --race-grid (default: the grid itself)",
+    )
+    p.add_argument("--race-mode", type=int, default=0, help="output mode")
+    p.add_argument(
+        "--race-parallel",
+        choices=("blocks", "output"),
+        default="blocks",
+        help="parallelization axis: every block, or output-mode blocks only",
+    )
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("scaling", help="distributed strong scaling (Table III)")
     _add_tensor_args(p)

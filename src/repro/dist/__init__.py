@@ -1,0 +1,62 @@
+"""Simulated distributed substrate — the substitute for the paper's
+64-node POWER8/MPI cluster.
+
+The package executes the distributed MTTKRP *numerically* (per-rank NumPy
+blocks exchanged through simulated collectives, so results are exact and
+testable against the shared-memory kernels) while an alpha-beta cost
+ledger accounts every byte moved; per-rank compute time comes from the
+machine model.  Table III's shape is governed by communication volume
+versus per-node work, which this reproduces mechanism-for-mechanism
+(DESIGN.md §2).
+
+* :mod:`repro.dist.comm` — :class:`SimCluster`: collectives over per-rank
+  buffers with cost accounting.
+* :mod:`repro.dist.costmodel` — the alpha-beta network model.
+* :mod:`repro.dist.grid` — 3D and 4D (rank-extended) process grids.
+* :mod:`repro.dist.mediumgrain` — the medium-grained decomposition of
+  Smith & Karypis (random mode permutation + greedy nnz-balanced slabs).
+* :mod:`repro.dist.mttkrp` — the distributed MTTKRP (gather factor rows,
+  local kernel, fold partial outputs).
+* :mod:`repro.dist.driver` — strong-scaling experiments (Table III).
+"""
+
+from repro.dist.costmodel import NetworkModel, infiniband_edr
+from repro.dist.comm import CommLedger, SimCluster
+from repro.dist.grid import ProcessGrid
+from repro.dist.mediumgrain import MediumGrainDecomposition, medium_grain_decompose
+from repro.dist.mttkrp import DistMTTKRPResult, distributed_mttkrp
+from repro.dist.driver import (
+    ScalingPoint,
+    choose_grid,
+    choose_rank_groups,
+    network_for_dataset,
+    strong_scaling,
+)
+from repro.dist.als import DistALSResult, distributed_cp_als
+from repro.dist.coarsegrain import (
+    CoarseGrainDecomposition,
+    coarse_grain_decompose,
+    coarse_grained_mttkrp,
+)
+
+__all__ = [
+    "NetworkModel",
+    "infiniband_edr",
+    "CommLedger",
+    "SimCluster",
+    "ProcessGrid",
+    "MediumGrainDecomposition",
+    "medium_grain_decompose",
+    "DistMTTKRPResult",
+    "distributed_mttkrp",
+    "ScalingPoint",
+    "choose_grid",
+    "choose_rank_groups",
+    "network_for_dataset",
+    "strong_scaling",
+    "DistALSResult",
+    "distributed_cp_als",
+    "CoarseGrainDecomposition",
+    "coarse_grain_decompose",
+    "coarse_grained_mttkrp",
+]

@@ -1,0 +1,88 @@
+"""Alpha-beta network cost model.
+
+Collective costs follow the standard LogP-style estimates used throughout
+the distributed linear-algebra literature (and by the medium-grained
+SPLATT paper's analysis): a message of ``m`` bytes costs
+``alpha + m / beta``; tree/ring collectives over ``p`` ranks pay
+``ceil(log2 p)`` latency terms and move the textbook ring volumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Per-link latency/bandwidth of the simulated interconnect."""
+
+    name: str
+    #: Point-to-point message latency, seconds.
+    alpha: float
+    #: Point-to-point bandwidth, bytes/second.
+    beta: float
+
+    def __post_init__(self) -> None:
+        require(self.alpha >= 0, "latency must be non-negative")
+        require(self.beta > 0, "bandwidth must be positive")
+
+    def scaled(self, time_factor: float, volume_factor: float) -> "NetworkModel":
+        """Re-scale the network for a scaled-down experiment.
+
+        A stand-in tensor shrinks compute time by ``time_factor`` (the
+        nonzero ratio) and communication volume by ``volume_factor`` (the
+        dimension ratio).  Preserving the paper's latency- and
+        bandwidth-shares of runtime requires ``alpha' = alpha *
+        time_factor`` and ``beta' = beta * volume_factor / time_factor``.
+        """
+        require(time_factor > 0 and volume_factor > 0, "factors must be positive")
+        return NetworkModel(
+            name=f"{self.name} (scaled)",
+            alpha=self.alpha * time_factor,
+            beta=self.beta * volume_factor / time_factor,
+        )
+
+    # ------------------------------------------------------------------
+    def p2p(self, nbytes: float) -> float:
+        """One point-to-point message."""
+        require(nbytes >= 0, "message size must be non-negative")
+        return self.alpha + nbytes / self.beta
+
+    def allgather(self, p: int, nbytes_per_rank: float) -> float:
+        """Ring allgather: each rank contributes ``nbytes_per_rank`` and
+        ends with all ``p`` contributions."""
+        require(p >= 1, "need at least one rank")
+        if p == 1:
+            return 0.0
+        moved = (p - 1) * nbytes_per_rank
+        return (p - 1) * self.alpha + moved / self.beta
+
+    def reduce_scatter(self, p: int, nbytes_total: float) -> float:
+        """Ring reduce-scatter of a ``nbytes_total`` buffer: each rank ends
+        owning (and having reduced) ``nbytes_total / p``."""
+        require(p >= 1, "need at least one rank")
+        if p == 1:
+            return 0.0
+        moved = (p - 1) / p * nbytes_total
+        return (p - 1) * self.alpha + moved / self.beta
+
+    def allreduce(self, p: int, nbytes: float) -> float:
+        """Rabenseifner allreduce = reduce-scatter + allgather."""
+        if p == 1:
+            return 0.0
+        return self.reduce_scatter(p, nbytes) + self.allgather(p, nbytes / p)
+
+    def barrier(self, p: int) -> float:
+        """Dissemination barrier latency."""
+        if p <= 1:
+            return 0.0
+        return math.ceil(math.log2(p)) * self.alpha
+
+
+def infiniband_edr() -> NetworkModel:
+    """EDR InfiniBand-class interconnect (typical of POWER8 clusters of
+    the paper's era): ~1.5 us MPI latency, ~12 GB/s per direction."""
+    return NetworkModel(name="EDR InfiniBand", alpha=1.5e-6, beta=12e9)

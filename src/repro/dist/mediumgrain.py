@@ -1,0 +1,213 @@
+"""The medium-grained decomposition (Smith & Karypis, reproduced from the
+paper's Section VI-D description):
+
+1. randomly permute the mode order, to eliminate load imbalance inherited
+   from the data-collection process;
+2. partition the first permuted mode into ``q`` chunks, greedily adding
+   slices to a chunk until it holds at least ``nnz/q`` nonzeros;
+3. repeat for the second (``r``) and third (``s``) permuted modes.
+
+The Cartesian product of chunks assigns every nonzero to exactly one
+process of the ``q x r x s`` grid.  Factor rows are owned within *slabs*:
+the ``r x s`` processes sharing output chunk ``a`` co-own that chunk of
+the output factor (and symmetrically for the other modes), which is the
+granularity of the gather/fold collectives in the distributed MTTKRP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dist.grid import ProcessGrid
+from repro.tensor.coo import COOTensor
+from repro.util.errors import DistributionError
+from repro.util.rng import resolve_rng
+from repro.util.validation import INDEX_DTYPE
+
+
+def greedy_slice_partition(slice_nnz: np.ndarray, n_chunks: int) -> np.ndarray:
+    """Greedy nnz-balanced partition of a mode into chunks.
+
+    Returns boundaries of length ``n_chunks + 1``.  Slices are added to a
+    chunk until it reaches the ideal share of the *remaining* nonzeros —
+    the standard greedy that avoids starving the last chunk.
+    """
+    extent = slice_nnz.shape[0]
+    if n_chunks > extent:
+        raise DistributionError(
+            f"cannot partition a mode of length {extent} into {n_chunks} chunks"
+        )
+    boundaries = np.zeros(n_chunks + 1, dtype=INDEX_DTYPE)
+    boundaries[-1] = extent
+    pos = 0
+    remaining = int(slice_nnz.sum())
+    for chunk in range(n_chunks - 1):
+        chunks_left = n_chunks - chunk
+        target = remaining / chunks_left
+        acc = 0
+        # Leave enough slices for the remaining chunks (>= 1 slice each).
+        limit = extent - (chunks_left - 1)
+        while pos < limit and (acc < target or acc == 0):
+            acc += int(slice_nnz[pos])
+            pos += 1
+        boundaries[chunk + 1] = pos
+        remaining -= acc
+    return boundaries
+
+
+@dataclass
+class ProcessBlock:
+    """One process's share of the tensor (global coordinates)."""
+
+    coords: tuple[int, int, int]
+    #: Half-open global index range per tensor mode.
+    bounds: tuple[tuple[int, int], tuple[int, int], tuple[int, int]]
+    tensor: COOTensor
+
+
+class MediumGrainDecomposition:
+    """The result of :func:`medium_grain_decompose` for one rank group."""
+
+    def __init__(
+        self,
+        tensor_shape: tuple[int, ...],
+        grid: ProcessGrid,
+        mode_of_axis: tuple[int, int, int],
+        boundaries: tuple[np.ndarray, np.ndarray, np.ndarray],
+        blocks: "dict[tuple[int, int, int], ProcessBlock]",
+    ) -> None:
+        self.tensor_shape = tensor_shape
+        self.grid = grid
+        #: ``mode_of_axis[g]`` is the tensor mode partitioned by grid axis g.
+        self.mode_of_axis = mode_of_axis
+        #: Chunk boundaries per *tensor mode* (index by mode, not axis).
+        self.boundaries = boundaries
+        self.blocks = blocks
+
+    def axis_of_mode(self, mode: int) -> int:
+        """Grid axis that partitions a tensor mode."""
+        return self.mode_of_axis.index(mode)
+
+    def mode_chunk(self, mode: int, chunk: int) -> tuple[int, int]:
+        """Global index range of one chunk of a tensor mode."""
+        b = self.boundaries[mode]
+        return int(b[chunk]), int(b[chunk + 1])
+
+    def nnz_per_process(self) -> np.ndarray:
+        """Load vector (nonzeros per process, grid C order)."""
+        q, r, s = self.grid.dims
+        out = np.zeros(q * r * s, dtype=INDEX_DTYPE)
+        for (a, b, c), block in self.blocks.items():
+            out[(a * r + b) * s + c] = block.tensor.nnz
+        return out
+
+    def imbalance(self) -> float:
+        """max/mean load ratio (1.0 = perfect balance)."""
+        loads = self.nnz_per_process()
+        mean = loads.mean()
+        return float(loads.max() / mean) if mean > 0 else 1.0
+
+
+def medium_grain_decompose(
+    tensor: COOTensor,
+    grid: ProcessGrid,
+    seed: "int | None | np.random.Generator" = 0,
+    mode_perm: "tuple[int, int, int] | None" = None,
+) -> MediumGrainDecomposition:
+    """Decompose a 3-mode tensor over a grid's rank group.
+
+    Every process receives its block with **global** coordinates (factor
+    slicing happens through the chunk bounds); blocks may be empty.
+    ``mode_perm`` overrides the random mode permutation (axis ``g``
+    partitions mode ``perm[g]``) — the driver uses this to align large
+    grid factors with long tensor modes, as the paper's Table III grids
+    do.
+    """
+    if tensor.order != 3:
+        raise DistributionError("medium-grained decomposition is 3-mode")
+    rng = resolve_rng(seed)
+
+    # Step 1: random mode permutation — axis g partitions mode perm[g].
+    if mode_perm is None:
+        perm = tuple(int(m) for m in rng.permutation(3))
+    else:
+        perm = tuple(int(m) for m in mode_perm)
+        if sorted(perm) != [0, 1, 2]:
+            raise DistributionError(f"{mode_perm} is not a mode permutation")
+
+    # Steps 2-3: greedy nnz-balanced chunking, one mode at a time.
+    boundaries_by_mode: "list[np.ndarray | None]" = [None, None, None]
+    for axis, n_chunks in enumerate(grid.dims):
+        mode = perm[axis]
+        boundaries_by_mode[mode] = greedy_slice_partition(
+            tensor.slice_nnz(mode), n_chunks
+        )
+
+    # Assign nonzeros to processes.
+    chunk_of = np.empty((tensor.nnz, 3), dtype=INDEX_DTYPE)
+    for axis in range(3):
+        mode = perm[axis]
+        bounds = boundaries_by_mode[mode]
+        chunk_of[:, axis] = (
+            np.searchsorted(bounds[1:-1], tensor.indices[:, mode], side="right")
+        )
+    q, r, s = grid.dims
+    flat = (chunk_of[:, 0] * r + chunk_of[:, 1]) * s + chunk_of[:, 2]
+    order = np.argsort(flat, kind="stable")
+    flat_sorted = flat[order]
+    blocks: dict[tuple[int, int, int], ProcessBlock] = {}
+
+    def block_bounds(a: int, b: int, c: int):
+        chunk_for_axis = (a, b, c)
+        bounds = [None, None, None]
+        for axis in range(3):
+            mode = perm[axis]
+            bmode = boundaries_by_mode[mode]
+            ch = chunk_for_axis[axis]
+            bounds[mode] = (int(bmode[ch]), int(bmode[ch + 1]))
+        return tuple(bounds)
+
+    if tensor.nnz:
+        starts = np.flatnonzero(
+            np.concatenate(([True], flat_sorted[1:] != flat_sorted[:-1]))
+        )
+        ends = np.concatenate((starts[1:], [tensor.nnz]))
+        for st, en in zip(starts, ends):
+            fid = int(flat_sorted[st])
+            a, rem = divmod(fid, r * s)
+            b, c = divmod(rem, s)
+            sel = order[st:en]
+            sub = COOTensor(
+                tensor.shape,
+                tensor.indices[sel],
+                tensor.values[sel],
+                validate=False,
+            )
+            blocks[(a, b, c)] = ProcessBlock(
+                coords=(a, b, c), bounds=block_bounds(a, b, c), tensor=sub
+            )
+
+    # Materialize empty blocks so every process exists.
+    empty_idx = np.empty((0, 3), dtype=INDEX_DTYPE)
+    empty_val = np.empty(0)
+    for a in range(q):
+        for b in range(r):
+            for c in range(s):
+                if (a, b, c) not in blocks:
+                    blocks[(a, b, c)] = ProcessBlock(
+                        coords=(a, b, c),
+                        bounds=block_bounds(a, b, c),
+                        tensor=COOTensor(
+                            tensor.shape, empty_idx, empty_val, validate=False
+                        ),
+                    )
+
+    return MediumGrainDecomposition(
+        tensor_shape=tensor.shape,
+        grid=grid,
+        mode_of_axis=perm,
+        boundaries=tuple(boundaries_by_mode),
+        blocks=blocks,
+    )

@@ -23,7 +23,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.tensor.coo import COOTensor
-from repro.util.errors import ConfigError, ShapeError
+from repro.util.errors import ConfigError, RegistrationError, ShapeError
 from repro.util.validation import VALUE_DTYPE, check_mode, check_rank
 
 #: Bound on the temporary ``(nonzeros x rank)`` expansion used by the
@@ -199,7 +199,19 @@ def check_factors(
         if m == mode:
             coerced.append(None)  # type: ignore[arg-type]
             continue
-        f = np.ascontiguousarray(f, dtype=VALUE_DTYPE)
+        arr = np.asarray(f)
+        if arr.dtype == object or not np.issubdtype(arr.dtype, np.number):
+            raise ShapeError(
+                f"factor {m} must be a numeric array, got dtype {arr.dtype}"
+            )
+        if np.issubdtype(arr.dtype, np.complexfloating):
+            raise ShapeError(
+                f"factor {m} is complex ({arr.dtype}); MTTKRP factors are real"
+            )
+        # Uniform coercion for every kernel: C-contiguous float64, so
+        # float32/int inputs behave identically across the kernel zoo and
+        # the gather-heavy inner loops see contiguous rows.
+        f = np.ascontiguousarray(arr, dtype=VALUE_DTYPE)
         if f.ndim != 2 or f.shape[0] != shape[m]:
             raise ShapeError(
                 f"factor {m} must have shape ({shape[m]}, R), got {f.shape}"
@@ -235,9 +247,27 @@ def alloc_output(
 KERNELS: dict[str, Kernel] = {}
 
 
-def register_kernel(kernel: Kernel) -> Kernel:
-    """Add a kernel instance to the global registry (idempotent by name)."""
-    KERNELS[kernel.name] = kernel
+def register_kernel(kernel: Kernel, *, replace: bool = False) -> Kernel:
+    """Add a kernel instance to the global registry.
+
+    Re-registering the *same* instance is a no-op (modules may be
+    re-imported); a *different* kernel claiming an existing name raises
+    :class:`RegistrationError` unless ``replace=True`` — silent
+    overwrites previously let a misnamed kernel shadow a working one.
+    """
+    name = getattr(kernel, "name", None)
+    if not isinstance(name, str) or not name or name == "abstract":
+        raise RegistrationError(
+            f"kernel {kernel!r} must define a non-empty class-level `name` "
+            f"(got {name!r})"
+        )
+    existing = KERNELS.get(name)
+    if existing is not None and existing is not kernel and not replace:
+        raise RegistrationError(
+            f"kernel name {name!r} is already registered by "
+            f"{type(existing).__name__}; pass replace=True to override"
+        )
+    KERNELS[name] = kernel
     return kernel
 
 

@@ -139,6 +139,9 @@ def execute_csf_into(
 
     # Leaves -> last internal level, in bounded-scratch chunks.
     last = csf.levels[-1]
+    fptr = last.fptr
+    vals = csf.vals
+    leaf_fids = csf.leaf_fids
     leaf_factor = factors[csf.mode_order[-1]]
     target_nnz = max(1, scratch_elems // max(rank, 1))
     chunks: list[np.ndarray] = []
@@ -146,13 +149,12 @@ def execute_csf_into(
     f0 = 0
     while f0 < n_nodes:
         f1 = int(
-            np.searchsorted(last.fptr, last.fptr[f0] + target_nnz, side="right")
-            - 1
+            np.searchsorted(fptr, fptr[f0] + target_nnz, side="right") - 1
         )
         f1 = min(max(f1, f0 + 1), n_nodes)
-        lo, hi = int(last.fptr[f0]), int(last.fptr[f1])
-        prod = csf.vals[lo:hi, None] * leaf_factor[csf.leaf_fids[lo:hi]]
-        chunks.append(np.add.reduceat(prod, last.fptr[f0:f1] - lo, axis=0))
+        lo, hi = int(fptr[f0]), int(fptr[f1])
+        prod = vals[lo:hi, None] * leaf_factor[leaf_fids[lo:hi]]
+        chunks.append(np.add.reduceat(prod, fptr[f0:f1] - lo, axis=0))
         f0 = f1
     acc = np.concatenate(chunks, axis=0) if len(chunks) > 1 else chunks[0]
 

@@ -13,6 +13,13 @@ carries.  This module models that execution:
   threads and per-core caches private; the result is the makespan;
 * :func:`thread_scaling` — the thread-count sweep, quantifying how far
   imbalance and shared bandwidth bend the scaling curve.
+
+Every schedule is vetted by the race detector
+(:mod:`repro.analysis.races`) before the time model trusts it: the
+per-thread output row ranges must be disjoint (each output row has one
+writer — the invariant SPLATT's slice parallelization relies on), and an
+overlapping ``thread_ranges`` override raises
+:class:`~repro.util.errors.ScheduleError`.
 """
 
 from __future__ import annotations
@@ -23,6 +30,11 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.races import (
+    verify_safe,
+    write_sets_for_boundaries,
+    write_sets_for_ranges,
+)
 from repro.blocking.rank import RankBlocking
 from repro.dist.mediumgrain import greedy_slice_partition
 from repro.machine.spec import MachineSpec
@@ -105,16 +117,35 @@ def parallel_predict_time(
     socket_write_bandwidth: "float | None" = 35e9,
     block_counts: "Sequence[int] | None" = None,
     rank_blocking: "RankBlocking | None" = None,
+    thread_ranges: "Sequence[tuple[int, int]] | None" = None,
 ) -> ParallelTimeEstimate:
     """Model a threaded MTTKRP: slice-partition the output mode, build
     each thread's plan on its sub-tensor, and predict with the per-thread
     resource share.  ``core_machine`` is a single core's spec
-    (e.g. ``power8(1)``), optionally cache-scaled for a stand-in."""
+    (e.g. ``power8(1)``), optionally cache-scaled for a stand-in.
+
+    ``thread_ranges`` overrides the greedy partition with explicit
+    half-open output-row ranges per thread; the race detector rejects
+    overlapping ranges (:class:`~repro.util.errors.ScheduleError`) before
+    any time is predicted — an unsafe schedule has no meaningful time.
+    """
     rank = check_rank(rank)
     mode = check_mode(mode, tensor.order)
     n_threads = int(n_threads)
-    boundaries = partition_rows(tensor, mode, min(n_threads, tensor.shape[mode]))
-    n_threads = boundaries.shape[0] - 1
+    if thread_ranges is not None:
+        ranges = [(int(lo), int(hi)) for lo, hi in thread_ranges]
+        write_sets = write_sets_for_ranges(ranges, label="thread")
+    else:
+        boundaries = partition_rows(
+            tensor, mode, min(n_threads, tensor.shape[mode])
+        )
+        ranges = [
+            (int(boundaries[t]), int(boundaries[t + 1]))
+            for t in range(boundaries.shape[0] - 1)
+        ]
+        write_sets = write_sets_for_boundaries(boundaries)
+    verify_safe(write_sets, mode, "threaded MTTKRP schedule")
+    n_threads = len(ranges)
     thread_machine = per_thread_machine(
         core_machine,
         n_threads,
@@ -125,8 +156,7 @@ def parallel_predict_time(
     rows = tensor.indices[:, mode]
     times: list[float] = []
     nnzs: list[int] = []
-    for t in range(n_threads):
-        lo, hi = int(boundaries[t]), int(boundaries[t + 1])
+    for lo, hi in ranges:
         sel = (rows >= lo) & (rows < hi)
         sub = tensor.filter(sel)
         nnzs.append(sub.nnz)

@@ -26,3 +26,13 @@ class ConfigError(ReproError, ValueError):
 class DistributionError(ReproError, RuntimeError):
     """An error in the simulated distributed substrate (bad grid, mismatched
     collective participation, ...)."""
+
+
+class RegistrationError(ReproError, ValueError):
+    """A kernel registration conflict (duplicate registry name, missing or
+    invalid kernel name)."""
+
+
+class ScheduleError(ReproError, RuntimeError):
+    """A parallel schedule is unsafe: concurrent tasks write overlapping
+    rows of the output factor (see :mod:`repro.analysis.races`)."""

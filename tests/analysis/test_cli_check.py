@@ -1,0 +1,145 @@
+"""The ``repro check`` CLI surface: exit codes, JSON output, race flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = "import numpy as np\nA = np.zeros((3, 4), dtype=np.float64)\n"
+HAZARD = "import numpy as np\nA = np.zeros((3, 4))\n"
+
+
+@pytest.fixture
+def seeded_kernels(tmp_path):
+    kdir = tmp_path / "kernels"
+    kdir.mkdir()
+    (kdir / "k.py").write_text(HAZARD)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_self_check_is_clean(self, capsys):
+        assert main(["check"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_clean_path_exits_zero(self, tmp_path, capsys):
+        kdir = tmp_path / "kernels"
+        kdir.mkdir()
+        (kdir / "k.py").write_text(CLEAN)
+        assert main(["check", str(tmp_path)]) == 0
+
+    def test_seeded_violation_exits_one(self, seeded_kernels, capsys):
+        assert main(["check", str(seeded_kernels)]) == 1
+        out = capsys.readouterr().out
+        assert "HP303" in out
+        assert ":2:" in out  # line number of the allocation
+        assert "hint:" in out
+
+    def test_ignore_filters_to_clean(self, seeded_kernels, capsys):
+        assert main(["check", str(seeded_kernels), "--ignore", "HP303"]) == 0
+
+    def test_select_other_family_is_clean(self, seeded_kernels, capsys):
+        assert main(["check", str(seeded_kernels), "--select", "KC"]) == 0
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        # A typo'd path must not read as "checked clean" in CI.
+        assert main(["check", str(tmp_path / "nope")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+
+class TestJSONFormat:
+    def test_json_payload(self, seeded_kernels, capsys):
+        assert main(["check", str(seeded_kernels), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["warnings"] == 1
+        assert payload["summary"]["errors"] == 0
+        (diag,) = payload["diagnostics"]
+        assert diag["rule"] == "HP303"
+        assert diag["severity"] == "warning"
+        assert diag["file"].endswith("k.py")
+        assert diag["hint"]
+
+    def test_json_race_diags_included(self, tmp_path, capsys):
+        (tmp_path / "empty.py").write_text("x = 1\n")
+        code = main(
+            [
+                "check",
+                str(tmp_path),
+                "--format",
+                "json",
+                "--race-grid",
+                "1",
+                "2",
+                "2",
+                "--race-shape",
+                "30",
+                "20",
+                "10",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        rules = [d["rule"] for d in payload["diagnostics"]]
+        assert "RS202" in rules and "RS201" in rules
+
+
+class TestRaceFlags:
+    def test_unsafe_grid_reported(self, tmp_path, capsys):
+        (tmp_path / "empty.py").write_text("x = 1\n")
+        code = main(
+            [
+                "check",
+                str(tmp_path),
+                "--race-grid",
+                "1",
+                "2",
+                "2",
+                "--race-shape",
+                "30",
+                "20",
+                "10",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "UNSAFE" in out
+        assert "RS201" in out and "RS202" in out
+
+    def test_safe_grid_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "empty.py").write_text("x = 1\n")
+        code = main(
+            [
+                "check",
+                str(tmp_path),
+                "--race-grid",
+                "4",
+                "1",
+                "1",
+                "--race-shape",
+                "30",
+                "20",
+                "10",
+            ]
+        )
+        assert code == 0
+        assert "schedule safe" in capsys.readouterr().out
+
+    def test_output_parallel_axis_safe(self, tmp_path, capsys):
+        (tmp_path / "empty.py").write_text("x = 1\n")
+        code = main(
+            [
+                "check",
+                str(tmp_path),
+                "--race-grid",
+                "2",
+                "3",
+                "2",
+                "--race-parallel",
+                "output",
+            ]
+        )
+        assert code == 0

@@ -1,0 +1,94 @@
+"""Tests for the coarse-grained distributed baseline."""
+
+import numpy as np
+import pytest
+
+from repro.dist import (
+    ProcessGrid,
+    coarse_grain_decompose,
+    coarse_grained_mttkrp,
+    distributed_mttkrp,
+    medium_grain_decompose,
+)
+from repro.kernels import get_kernel
+from repro.machine import power8_socket
+from repro.tensor import poisson_tensor
+
+
+@pytest.fixture(scope="module")
+def problem():
+    t = poisson_tensor((60, 50, 40), 8000, seed=91)
+    rng = np.random.default_rng(92)
+    factors = [rng.standard_normal((n, 16)) for n in t.shape]
+    ref = get_kernel("splatt").mttkrp(t, factors, 0)
+    return t, factors, ref
+
+
+MACHINE = power8_socket()
+
+
+class TestDecomposition:
+    def test_slabs_cover(self, problem):
+        t, _, _ = problem
+        dec = coarse_grain_decompose(t, 4, mode=0)
+        assert sum(dec.nnz_per_process()) == t.nnz
+        assert dec.boundaries[0] == 0 and dec.boundaries[-1] == t.shape[0]
+
+    def test_balanced(self, problem):
+        t, _, _ = problem
+        dec = coarse_grain_decompose(t, 4, mode=0)
+        loads = dec.nnz_per_process()
+        assert max(loads) / (sum(loads) / 4) < 1.5
+
+
+class TestExactness:
+    @pytest.mark.parametrize("p", [1, 2, 5])
+    def test_matches_shared_memory(self, problem, p):
+        t, factors, ref = problem
+        dec = coarse_grain_decompose(t, p, mode=0)
+        res = coarse_grained_mttkrp(dec, list(factors), MACHINE)
+        np.testing.assert_allclose(res.output, ref, rtol=1e-10, atol=1e-12)
+
+    def test_blocked_local_kernel(self, problem):
+        t, factors, ref = problem
+        dec = coarse_grain_decompose(t, 3, mode=0)
+        res = coarse_grained_mttkrp(
+            dec, list(factors), MACHINE, local_block_counts=(2, 2, 2)
+        )
+        np.testing.assert_allclose(res.output, ref, rtol=1e-10, atol=1e-12)
+
+
+class TestVersusMediumGrained:
+    def test_coarse_replication_volume_constant(self, problem):
+        """The replication allgather moves ``(p-1)/p`` of the full factor
+        to each of ``p`` ranks, i.e. normalized volume/(p-1) is exactly
+        the factor's size regardless of p — coarse-grained's scaling sin."""
+        t, factors, _ = problem
+        rank = factors[0].shape[1]
+        factor_bytes = t.shape[0] * rank * 8
+        for p in (2, 4, 8):
+            dec = coarse_grain_decompose(t, p, mode=0)
+            res = coarse_grained_mttkrp(dec, list(factors), MACHINE)
+            assert res.comm_bytes / (p - 1) == pytest.approx(factor_bytes)
+
+    def test_medium_grained_wins_at_scale(self):
+        """Past the crossover process count, medium-grained moves fewer
+        total bytes than coarse-grained — the motivation for the
+        decomposition the paper builds on."""
+        t = poisson_tensor((150, 130, 120), 20_000, seed=93)
+        rng = np.random.default_rng(94)
+        factors = [rng.standard_normal((n, 16)) for n in t.shape]
+        coarse = coarse_grained_mttkrp(
+            coarse_grain_decompose(t, 27, mode=0), list(factors), MACHINE
+        )
+        medium = distributed_mttkrp(
+            medium_grain_decompose(t, ProcessGrid((3, 3, 3)), seed=1),
+            factors,
+            0,
+            MACHINE,
+        )
+        assert medium.comm_bytes < coarse.comm_bytes
+        # And both remain numerically exact.
+        ref = get_kernel("splatt").mttkrp(t, factors, 0)
+        np.testing.assert_allclose(coarse.output, ref, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(medium.output, ref, rtol=1e-10, atol=1e-12)

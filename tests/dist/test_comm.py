@@ -1,0 +1,100 @@
+"""Tests for the simulated MPI collectives."""
+
+import numpy as np
+import pytest
+
+from repro.dist import SimCluster
+from repro.util.errors import DistributionError
+
+
+@pytest.fixture
+def cluster():
+    return SimCluster(8)
+
+
+class TestAllgather:
+    def test_everyone_gets_everything(self, cluster):
+        bufs = [np.full(3, float(r)) for r in range(4)]
+        out = cluster.allgather([0, 1, 2, 3], bufs)
+        assert len(out) == 4
+        for per_rank in out:
+            np.testing.assert_array_equal(
+                np.concatenate(per_rank), [0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]
+            )
+
+    def test_ledger_records(self, cluster):
+        cluster.allgather([0, 1], [np.zeros(10), np.zeros(10)])
+        assert len(cluster.ledger.records) == 1
+        assert cluster.ledger.records[0].op == "allgather"
+        assert cluster.ledger.total_bytes > 0
+
+    def test_group_validation(self, cluster):
+        with pytest.raises(DistributionError):
+            cluster.allgather([0, 0], [np.zeros(1), np.zeros(1)])
+        with pytest.raises(DistributionError):
+            cluster.allgather([0, 99], [np.zeros(1), np.zeros(1)])
+        with pytest.raises(DistributionError):
+            cluster.allgather([0, 1], [np.zeros(1)])
+
+
+class TestReduceScatter:
+    def test_sum_and_scatter(self, cluster):
+        bufs = [np.ones((4, 2)) * (r + 1) for r in range(2)]
+        chunks = cluster.reduce_scatter([2, 5], bufs)
+        assert len(chunks) == 2
+        np.testing.assert_array_equal(chunks[0], np.full((2, 2), 3.0))
+        np.testing.assert_array_equal(chunks[1], np.full((2, 2), 3.0))
+
+    def test_uneven_rows(self, cluster):
+        bufs = [np.arange(5.0).reshape(5, 1)] * 3
+        chunks = cluster.reduce_scatter([0, 1, 2], bufs)
+        assert sum(c.shape[0] for c in chunks) == 5
+        np.testing.assert_array_equal(np.concatenate(chunks).ravel(), 3 * np.arange(5.0))
+
+    def test_shape_mismatch(self, cluster):
+        with pytest.raises(DistributionError):
+            cluster.reduce_scatter([0, 1], [np.zeros(3), np.zeros(4)])
+
+
+class TestAllreduce:
+    def test_sum_everywhere(self, cluster):
+        bufs = [np.full(3, float(r)) for r in range(3)]
+        out = cluster.allreduce([0, 1, 2], bufs)
+        for o in out:
+            np.testing.assert_array_equal(o, [3.0, 3.0, 3.0])
+
+    def test_input_not_mutated(self, cluster):
+        a = np.ones(2)
+        cluster.allreduce([0, 1], [a, np.ones(2)])
+        np.testing.assert_array_equal(a, [1.0, 1.0])
+
+
+class TestLedger:
+    def test_rank_time_synchronizes_groups(self, cluster):
+        """A collective finishes at the latest participant's arrival."""
+        cluster.ledger.advance(0, 5.0)
+        cluster.allgather([0, 1], [np.zeros(1), np.zeros(1)])
+        # Rank 1 waited for rank 0.
+        assert cluster.ledger.rank_time[1] >= 5.0
+        assert cluster.ledger.makespan >= 5.0
+
+    def test_makespan_is_max(self, cluster):
+        cluster.ledger.advance(3, 2.0)
+        cluster.ledger.advance(5, 7.0)
+        assert cluster.ledger.makespan == pytest.approx(7.0)
+
+    def test_barrier_costs_latency_only(self, cluster):
+        cluster.barrier([0, 1, 2, 3])
+        rec = cluster.ledger.records[-1]
+        assert rec.bytes_moved == 0.0
+        assert rec.time > 0.0
+
+
+class TestSplit:
+    def test_groups_by_color(self):
+        groups = SimCluster.split([0, 1, 2, 3, 4, 5], [0, 1, 0, 1, 0, 1])
+        assert groups == {0: [0, 2, 4], 1: [1, 3, 5]}
+
+    def test_length_mismatch(self):
+        with pytest.raises(DistributionError):
+            SimCluster.split([0, 1], [0])

@@ -1,0 +1,68 @@
+"""Tests for the alpha-beta network model."""
+
+import pytest
+
+from repro.dist import NetworkModel, infiniband_edr
+from repro.util.errors import ReproError
+
+
+@pytest.fixture
+def net():
+    return NetworkModel("test", alpha=1e-6, beta=1e9)
+
+
+class TestPrimitives:
+    def test_p2p(self, net):
+        assert net.p2p(1e6) == pytest.approx(1e-6 + 1e-3)
+
+    def test_allgather_single_rank_free(self, net):
+        assert net.allgather(1, 1e6) == 0.0
+
+    def test_allgather_ring_volume(self, net):
+        # p=4, 1 MB per rank: each rank receives 3 MB over 3 steps.
+        t = net.allgather(4, 1e6)
+        assert t == pytest.approx(3e-6 + 3e6 / 1e9)
+
+    def test_reduce_scatter_volume(self, net):
+        t = net.reduce_scatter(4, 4e6)
+        assert t == pytest.approx(3e-6 + 3e6 / 1e9)
+
+    def test_allreduce_is_rs_plus_ag(self, net):
+        t = net.allreduce(8, 1e6)
+        assert t == pytest.approx(
+            net.reduce_scatter(8, 1e6) + net.allgather(8, 1e6 / 8)
+        )
+
+    def test_barrier_log_latency(self, net):
+        assert net.barrier(8) == pytest.approx(3e-6)
+        assert net.barrier(1) == 0.0
+
+    def test_cost_grows_with_ranks(self, net):
+        costs = [net.allgather(p, 1e6) for p in (2, 4, 8, 16)]
+        assert costs == sorted(costs)
+
+
+class TestScaling:
+    def test_scaled_preserves_balance(self, net):
+        """Latency scales with compute time; the bandwidth term scales
+        with volume/time."""
+        s = net.scaled(time_factor=1e-3, volume_factor=1e-2)
+        assert s.alpha == pytest.approx(net.alpha * 1e-3)
+        # A message 100x smaller should take 1000x less bandwidth time:
+        t_orig = 1e6 / net.beta
+        t_scaled = 1e4 / s.beta
+        assert t_scaled == pytest.approx(t_orig * 1e-3)
+
+    def test_bad_factors(self, net):
+        with pytest.raises(ReproError):
+            net.scaled(0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            NetworkModel("x", alpha=-1, beta=1)
+        with pytest.raises(ReproError):
+            NetworkModel("x", alpha=0, beta=0)
+
+    def test_infiniband_defaults(self):
+        ib = infiniband_edr()
+        assert ib.alpha > 0 and ib.beta > 1e9

@@ -1,0 +1,76 @@
+"""Tests for process grids."""
+
+import pytest
+
+from repro.dist import ProcessGrid
+from repro.util.errors import ReproError
+
+
+class TestGeometry:
+    def test_sizes(self):
+        g = ProcessGrid((2, 3, 4))
+        assert g.group_size == 24
+        assert g.n_ranks == 24
+        assert not g.is_4d
+
+    def test_4d_sizes(self):
+        g = ProcessGrid((2, 3, 4), rank_groups=2)
+        assert g.n_ranks == 48
+        assert g.is_4d
+
+    def test_describe_notation(self):
+        assert ProcessGrid((4, 2, 8)).describe() == "4x2x8"
+        assert ProcessGrid((2, 1, 4), 16).describe() == "2x1x4x16"
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ProcessGrid((2, 3))
+        with pytest.raises(ReproError):
+            ProcessGrid((0, 1, 1))
+
+
+class TestCoordinates:
+    def test_roundtrip(self):
+        g = ProcessGrid((2, 3, 4), rank_groups=2)
+        for rank in range(g.n_ranks):
+            a, b, c, layer = g.coords(rank)
+            assert g.rank_of(a, b, c, layer) == rank
+
+    def test_layers_are_contiguous(self):
+        g = ProcessGrid((2, 2, 2), rank_groups=3)
+        assert g.group_ranks(0) == list(range(0, 8))
+        assert g.group_ranks(2) == list(range(16, 24))
+
+    def test_out_of_range(self):
+        g = ProcessGrid((2, 2, 2))
+        with pytest.raises(ReproError):
+            g.coords(8)
+        with pytest.raises(ReproError):
+            g.rank_of(2, 0, 0)
+
+
+class TestGroupings:
+    def test_slab_sizes(self):
+        g = ProcessGrid((2, 3, 4))
+        assert len(g.slab_ranks(0, 0)) == 12  # r*s
+        assert len(g.slab_ranks(1, 1)) == 8  # q*s
+        assert len(g.slab_ranks(2, 3)) == 6  # q*r
+
+    def test_slabs_partition_the_group(self):
+        g = ProcessGrid((2, 3, 4))
+        for mode in range(3):
+            seen = []
+            for idx in range(g.dims[mode]):
+                seen.extend(g.slab_ranks(mode, idx))
+            assert sorted(seen) == list(range(24))
+
+    def test_slab_membership_consistent_with_coords(self):
+        g = ProcessGrid((2, 3, 4))
+        for rank in g.slab_ranks(1, 2):
+            assert g.coords(rank)[1] == 2
+
+    def test_layer_peers(self):
+        g = ProcessGrid((2, 2, 2), rank_groups=4)
+        peers = g.layer_peers(1, 0, 1)
+        assert len(peers) == 4
+        assert all(g.coords(r)[:3] == (1, 0, 1) for r in peers)

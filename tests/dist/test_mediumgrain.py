@@ -1,0 +1,110 @@
+"""Tests for the medium-grained decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.dist import ProcessGrid, medium_grain_decompose
+from repro.dist.mediumgrain import greedy_slice_partition
+from repro.tensor import power_law_tensor, uniform_random_tensor
+from repro.util.errors import DistributionError
+
+
+@pytest.fixture
+def tensor():
+    return uniform_random_tensor((40, 60, 50), 5000, seed=21)
+
+
+class TestGreedyPartition:
+    def test_boundaries_valid(self):
+        counts = np.array([5, 1, 1, 1, 8, 1, 1, 2])
+        b = greedy_slice_partition(counts, 3)
+        assert b[0] == 0 and b[-1] == 8
+        assert np.all(np.diff(b) >= 1)
+
+    def test_balances_uniform(self):
+        counts = np.ones(100, dtype=int)
+        b = greedy_slice_partition(counts, 4)
+        np.testing.assert_array_equal(np.diff(b), [25, 25, 25, 25])
+
+    def test_respects_heavy_slices(self):
+        counts = np.array([100, 1, 1, 1])
+        b = greedy_slice_partition(counts, 2)
+        # The heavy slice alone fills the first chunk.
+        assert b[1] == 1
+
+    def test_too_many_chunks(self):
+        with pytest.raises(DistributionError):
+            greedy_slice_partition(np.ones(3, dtype=int), 4)
+
+    def test_every_chunk_nonempty(self):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(0, 50, size=37)
+        b = greedy_slice_partition(counts, 8)
+        assert np.all(np.diff(b) >= 1)
+
+
+class TestDecomposition:
+    def test_blocks_cover_all_nonzeros(self, tensor):
+        dec = medium_grain_decompose(tensor, ProcessGrid((2, 3, 2)), seed=3)
+        total = sum(b.tensor.nnz for b in dec.blocks.values())
+        assert total == tensor.nnz
+        assert len(dec.blocks) == 12
+
+    def test_blocks_respect_bounds(self, tensor):
+        dec = medium_grain_decompose(tensor, ProcessGrid((2, 2, 2)), seed=3)
+        for block in dec.blocks.values():
+            for m, (lo, hi) in enumerate(block.bounds):
+                if block.tensor.nnz:
+                    col = block.tensor.indices[:, m]
+                    assert col.min() >= lo and col.max() < hi
+
+    def test_bounds_tile_index_space(self, tensor):
+        dec = medium_grain_decompose(tensor, ProcessGrid((2, 3, 2)), seed=3)
+        for mode in range(3):
+            b = dec.boundaries[mode]
+            assert b[0] == 0 and b[-1] == tensor.shape[mode]
+            assert np.all(np.diff(b) >= 1)
+
+    def test_mode_perm_override(self, tensor):
+        dec = medium_grain_decompose(
+            tensor, ProcessGrid((4, 1, 1)), seed=3, mode_perm=(1, 0, 2)
+        )
+        assert dec.mode_of_axis == (1, 0, 2)
+        # Axis 0 (4 chunks) partitions mode 1.
+        assert len(dec.boundaries[1]) == 5
+        assert len(dec.boundaries[0]) == 2
+
+    def test_bad_perm_rejected(self, tensor):
+        with pytest.raises(DistributionError):
+            medium_grain_decompose(
+                tensor, ProcessGrid((2, 2, 1)), mode_perm=(0, 0, 1)
+            )
+
+    def test_balance_on_skewed_data(self):
+        """The greedy partition keeps imbalance moderate even on
+        power-law slice histograms."""
+        t = power_law_tensor((200, 100, 150), 20_000, alphas=1.1, seed=9)
+        dec = medium_grain_decompose(t, ProcessGrid((2, 2, 2)), seed=3)
+        assert dec.imbalance() < 3.0
+
+    def test_deterministic(self, tensor):
+        a = medium_grain_decompose(tensor, ProcessGrid((2, 2, 2)), seed=5)
+        b = medium_grain_decompose(tensor, ProcessGrid((2, 2, 2)), seed=5)
+        assert a.mode_of_axis == b.mode_of_axis
+        for coords in a.blocks:
+            assert a.blocks[coords].tensor.equal(b.blocks[coords].tensor)
+
+    def test_empty_blocks_materialized(self):
+        t = uniform_random_tensor((4, 4, 4), 3, seed=1)
+        dec = medium_grain_decompose(t, ProcessGrid((2, 2, 2)), seed=1)
+        assert len(dec.blocks) == 8
+
+    def test_mode_chunk_lookup(self, tensor):
+        dec = medium_grain_decompose(tensor, ProcessGrid((2, 3, 2)), seed=3)
+        for mode in range(3):
+            axis = dec.axis_of_mode(mode)
+            lo, hi = dec.mode_chunk(mode, 0)
+            assert (lo, hi) == (
+                int(dec.boundaries[mode][0]),
+                int(dec.boundaries[mode][1]),
+            )

@@ -12,7 +12,17 @@ Three passes behind one diagnostic model (``repro check``):
   :mod:`repro.dist.mttkrp`;
 * :mod:`repro.analysis.hotpath` — hot-path performance lint for kernel
   modules: devectorized loops, repeated attribute lookups, silent dtype
-  promotion (rules HP301-HP303).
+  promotion (rules HP301-HP303);
+* :mod:`repro.analysis.plans` — symbolic plan verifier: proves blocking
+  grids, rank strips, thread ranges, and distributed decompositions tile
+  their index spaces exactly once, and that tuner outputs fit their
+  cache-level target (rules PL401-PL409); wired into
+  :mod:`repro.tune.tuner`, :mod:`repro.perf.parallel`, and
+  :mod:`repro.dist.mttkrp`;
+* :mod:`repro.analysis.sanitize` — instrumented kernel execution: checks
+  observed writes against the plan's declared write-set, gather bounds,
+  NaN/Inf emergence, dtype drift, and the traffic-model footprint
+  (rules SZ501-SZ506; ``repro sanitize``).
 
 Rule catalog with rationale and suppression: ``docs/static-analysis.md``.
 """
@@ -25,7 +35,17 @@ from repro.analysis.diagnostics import (
     render_json,
     render_text,
     resolve_rules,
+    rule_family_counts,
 )
+from repro.analysis.plans import (
+    tiling_report,
+    verify_decomposition,
+    verify_grid,
+    verify_plan,
+    verify_rank_blocking,
+    verify_thread_ranges,
+)
+from repro.analysis.sanitize import SanitizeReport, sanitized_execute
 from repro.analysis.races import (
     Conflict,
     RaceReport,
@@ -64,6 +84,15 @@ __all__ = [
     "write_sets_for_decomposition",
     "write_sets_for_grid",
     "write_sets_for_ranges",
+    "rule_family_counts",
+    "tiling_report",
+    "verify_decomposition",
+    "verify_grid",
+    "verify_plan",
+    "verify_rank_blocking",
+    "verify_thread_ranges",
+    "SanitizeReport",
+    "sanitized_execute",
     "CheckResult",
     "run_check",
 ]

@@ -65,6 +65,23 @@ RULES: dict[str, Rule] = {
         Rule("HP301", Severity.WARNING, "per-element Python loop over an array"),
         Rule("HP302", Severity.WARNING, "loop-invariant attribute chain looked up repeatedly in a hot loop"),
         Rule("HP303", Severity.WARNING, "numpy allocation without an explicit dtype"),
+        # --- plan verifier (PL4xx) ------------------------------------
+        Rule("PL401", Severity.ERROR, "mode boundaries leave an index-space gap"),
+        Rule("PL402", Severity.ERROR, "mode boundaries overlap (an index lands in two blocks)"),
+        Rule("PL403", Severity.ERROR, "rank strips fail to tile [0, R)"),
+        Rule("PL404", Severity.ERROR, "register blocks do not cover their rank strip"),
+        Rule("PL405", Severity.ERROR, "decomposition blocks do not tile the index space"),
+        Rule("PL406", Severity.ERROR, "nonzero maps to zero or multiple (replica, block) owners"),
+        Rule("PL407", Severity.ERROR, "thread_ranges do not tile the output rows exactly once"),
+        Rule("PL408", Severity.ERROR, "4D rank extension breaks fold completeness or layer bijection"),
+        Rule("PL409", Severity.WARNING, "plan working set exceeds the targeted cache level"),
+        # --- execution sanitizer (SZ5xx) ------------------------------
+        Rule("SZ501", Severity.ERROR, "kernel wrote outside its declared write-set"),
+        Rule("SZ502", Severity.ERROR, "gather index out of bounds for the factor it indexes"),
+        Rule("SZ503", Severity.ERROR, "NaN emerged from finite inputs"),
+        Rule("SZ504", Severity.ERROR, "Inf emerged from finite inputs"),
+        Rule("SZ505", Severity.ERROR, "output dtype drifted from VALUE_DTYPE"),
+        Rule("SZ506", Severity.WARNING, "observed factor-row footprint diverges from the traffic model"),
     ]
 }
 
@@ -182,7 +199,39 @@ def filter_rules(
     return out
 
 
-def render_text(diags: list[Diagnostic], files_checked: int) -> str:
+#: Rule-family prefix -> human label, in catalog order (``--statistics``).
+RULE_FAMILIES: dict[str, str] = {
+    "KC": "kernel contract",
+    "RS": "schedule races",
+    "HP": "hot-path lint",
+    "PL": "plan verifier",
+    "SZ": "execution sanitizer",
+}
+
+
+def family_of(rule: str) -> str:
+    """The family prefix of a rule id (``"KC105"`` -> ``"KC"``)."""
+    alpha = rule.rstrip("0123456789")
+    return alpha if alpha in RULE_FAMILIES else rule
+
+
+def rule_family_counts(diags: list[Diagnostic]) -> dict[str, int]:
+    """Per-family diagnostic counts, keyed by prefix, catalog order first."""
+    counts: dict[str, int] = {}
+    for family in RULE_FAMILIES:
+        n = sum(1 for d in diags if family_of(d.rule) == family)
+        if n:
+            counts[family] = n
+    for d in diags:  # anything outside the known families, just in case
+        fam = family_of(d.rule)
+        if fam not in counts and fam not in RULE_FAMILIES:
+            counts[fam] = sum(1 for x in diags if family_of(x.rule) == fam)
+    return counts
+
+
+def render_text(
+    diags: list[Diagnostic], files_checked: int, statistics: bool = False
+) -> str:
     """The human-readable report."""
     lines = [d.format() for d in diags]
     errors = sum(1 for d in diags if d.severity is Severity.ERROR)
@@ -191,20 +240,30 @@ def render_text(diags: list[Diagnostic], files_checked: int) -> str:
         f"repro check: {files_checked} file(s), "
         f"{errors} error(s), {warnings} warning(s)"
     )
+    if statistics:
+        counts = rule_family_counts(diags)
+        if counts:
+            for fam, n in counts.items():
+                label = RULE_FAMILIES.get(fam, fam)
+                lines.append(f"  {fam}: {n}  ({label})")
+        else:
+            lines.append("  (no diagnostics in any rule family)")
     return "\n".join(lines)
 
 
-def render_json(diags: list[Diagnostic], files_checked: int) -> str:
+def render_json(
+    diags: list[Diagnostic], files_checked: int, statistics: bool = False
+) -> str:
     """The machine-readable report (``--format json``)."""
     errors = sum(1 for d in diags if d.severity is Severity.ERROR)
-    return json.dumps(
-        {
-            "diagnostics": [d.to_dict() for d in diags],
-            "summary": {
-                "files_checked": files_checked,
-                "errors": errors,
-                "warnings": len(diags) - errors,
-            },
+    payload = {
+        "diagnostics": [d.to_dict() for d in diags],
+        "summary": {
+            "files_checked": files_checked,
+            "errors": errors,
+            "warnings": len(diags) - errors,
         },
-        indent=2,
-    )
+    }
+    if statistics:
+        payload["statistics"] = rule_family_counts(diags)
+    return json.dumps(payload, indent=2)

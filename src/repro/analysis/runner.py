@@ -12,7 +12,11 @@
   performance hazards);
 * the **race pass** (:mod:`repro.analysis.races`) is schedule-shaped, not
   file-shaped — the CLI exposes it through ``--race-grid`` and the
-  library wires it into the parallel/distributed entry points directly.
+  library wires it into the parallel/distributed entry points directly;
+* the **plan pass** (:mod:`repro.analysis.plans`, opt-in via
+  ``plans=True`` / ``repro check --plans``) verifies literal
+  ``BlockGrid``/``RankBlocking``/``ProcessGrid`` constructions in the
+  scanned files — benchmarks, examples, and tests are its natural scope.
 
 Inline ``# repro: noqa[...]`` suppressions are honoured per file before
 ``--select`` / ``--ignore`` filters apply.
@@ -90,12 +94,16 @@ def run_check(
     paths: "Sequence[Path | str] | None" = None,
     select: "set[str] | None" = None,
     ignore: "set[str] | None" = None,
+    plans: bool = False,
 ) -> CheckResult:
     """Run the contract and hot-path passes over ``paths``.
 
     ``select`` / ``ignore`` are resolved rule-id sets
-    (:func:`repro.analysis.diagnostics.resolve_rules`).
+    (:func:`repro.analysis.diagnostics.resolve_rules`).  ``plans=True``
+    additionally runs the plan-verifier AST pass
+    (:func:`repro.analysis.plans.scan_source`) over every file.
     """
+    from repro.analysis import plans as plans_mod
     files = iter_python_files(
         [Path(p) for p in paths] if paths else default_paths()
     )
@@ -115,6 +123,8 @@ def run_check(
         registrations.extend(scan.registrations)
         if is_hot_path(f):
             file_diags.extend(hotpath.scan_source(source, rel))
+        if plans:
+            file_diags.extend(plans_mod.scan_source(source, rel))
         diags.extend(
             apply_suppressions(file_diags, suppressions_for_source(source))
         )

@@ -98,6 +98,10 @@ class BlockGrid:
 
         ``indices`` has shape ``(n, order)``; the result is ``(n,)`` flat
         ids in C order over the per-mode block coordinates.
+
+        Out-of-range coordinates raise :class:`ShapeError` — without the
+        check, ``searchsorted`` would silently clamp them into the first
+        or last block (the runtime twin of plan-verifier rule PL401).
         """
         indices = np.asarray(indices)
         if indices.ndim != 2 or indices.shape[1] != self.order:
@@ -106,7 +110,13 @@ class BlockGrid:
             )
         flat = np.zeros(indices.shape[0], dtype=INDEX_DTYPE)
         for m, bounds in enumerate(self.boundaries):
-            coord = np.searchsorted(bounds[1:], indices[:, m], side="right")
+            col = indices[:, m]
+            if col.size and (col.min() < 0 or col.max() >= self.shape[m]):
+                bad = int(((col < 0) | (col >= self.shape[m])).sum())
+                raise ShapeError(
+                    f"{bad} mode-{m} coordinate(s) outside [0, {self.shape[m]})"
+                )
+            coord = np.searchsorted(bounds[1:], col, side="right")
             flat = flat * (bounds.shape[0] - 1) + coord
         return flat
 

@@ -10,7 +10,10 @@ Commands
 ``scaling``   the Table III distributed strong-scaling experiment
 ``datasets``  list the Table II registry
 ``check``     static analysis: kernel contracts, schedule races, hot-path
-              lint (see docs/static-analysis.md)
+              lint, and (``--plans``) plan-soundness verification
+              (see docs/static-analysis.md)
+``sanitize``  instrumented kernel execution: write-set containment, gather
+              bounds, NaN/Inf, dtype drift, traffic-footprint cross-check
 
 Every command accepts ``--dataset <name>`` (a Table II stand-in) or
 ``--tns <path>`` (a FROSTT text file).
@@ -258,6 +261,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         paths=args.paths or None,
         select=resolve_rules(args.select),
         ignore=resolve_rules(args.ignore),
+        plans=args.plans,
     )
     diags = result.diagnostics
 
@@ -285,10 +289,69 @@ def cmd_check(args: argparse.Namespace) -> int:
             print(report.describe())
 
     if args.format == "json":
-        print(render_json(diags, result.files_checked))
+        print(render_json(diags, result.files_checked, statistics=args.statistics))
     else:
-        print(render_text(diags, result.files_checked))
+        print(render_text(diags, result.files_checked, statistics=args.statistics))
     return 1 if diags else 0
+
+
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    """Run one kernel under the execution sanitizer (``repro sanitize``).
+
+    Prepares the requested kernel on the chosen tensor, executes it with
+    guarded factor/output arrays, and reports SZ5xx diagnostics.  Exit
+    code 1 when any diagnostic is raised — a clean run is the proof that
+    the kernel honours its declared write-set and the traffic model's
+    access accounting.
+    """
+    import json as json_mod
+
+    import numpy as np
+
+    from repro.analysis import render_json, render_text
+    from repro.analysis.sanitize import sanitized_execute
+    from repro.kernels import get_kernel
+
+    tensor = _load_tensor(args)
+    mode = args.mode
+    params: dict = {}
+    if args.blocks:
+        params["block_counts"] = tuple(args.blocks)
+    if args.rank_blocks:
+        params["n_rank_blocks"] = args.rank_blocks
+    kernel = get_kernel(args.kernel)
+    plan = kernel.prepare(tensor, mode, **params)
+
+    rng = np.random.default_rng(args.seed)
+    factors = [
+        rng.standard_normal((s, args.rank)) for s in tensor.shape
+    ]
+    report = sanitized_execute(
+        kernel,
+        plan,
+        factors,
+        check_traffic=not args.no_traffic,
+        file=f"<sanitize {args.kernel}>",
+    )
+    if args.format == "json":
+        payload = json_mod.loads(render_json(report.diagnostics, 1))
+        payload["sanitize"] = {
+            "kernel": args.kernel,
+            "mode": mode,
+            "rank": args.rank,
+            "written_rows": report.written_rows,
+            "declared_intervals": len(report.declared_write_set),
+            "gathers": {
+                k: {"accesses": a, "distinct_rows": d}
+                for k, (a, d) in report.gathers.items()
+            },
+        }
+        print(json_mod.dumps(payload, indent=2))
+    else:
+        print(report.describe())
+        if report.diagnostics:
+            print(render_text(report.diagnostics, 1))
+    return 1 if report.diagnostics else 0
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
@@ -437,6 +500,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--select", help="only these rule ids/prefixes (e.g. KC,HP301)")
     p.add_argument("--ignore", help="skip these rule ids/prefixes")
     p.add_argument(
+        "--plans",
+        action="store_true",
+        help="also verify literal BlockGrid/RankBlocking/ProcessGrid "
+        "constructions in the checked files (rules PL4xx)",
+    )
+    p.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append a per-rule-family count summary (KC/RS/HP/PL/SZ)",
+    )
+    p.add_argument(
         "--race-grid",
         type=int,
         nargs=3,
@@ -458,6 +532,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallelization axis: every block, or output-mode blocks only",
     )
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "sanitize",
+        help="instrumented kernel run: write-set, bounds, NaN/Inf, dtype, "
+        "traffic-footprint checks (rules SZ5xx)",
+    )
+    _add_tensor_args(p)
+    p.add_argument("--kernel", default="splatt", help="registered kernel name")
+    p.add_argument("--mode", type=int, default=0, help="output mode")
+    p.add_argument("--rank", type=int, default=16)
+    p.add_argument(
+        "--blocks",
+        type=int,
+        nargs="+",
+        metavar="N",
+        help="per-mode block counts for blocked kernels",
+    )
+    p.add_argument(
+        "--rank-blocks", type=int, help="rank-strip count for RankB kernels"
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--no-traffic",
+        action="store_true",
+        help="skip the SZ506 traffic-footprint comparison",
+    )
+    p.set_defaults(func=cmd_sanitize)
 
     p = sub.add_parser("scaling", help="distributed strong scaling (Table III)")
     _add_tensor_args(p)

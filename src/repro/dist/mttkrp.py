@@ -31,6 +31,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.diagnostics import Severity
+from repro.analysis.plans import verify_decomposition, verify_rank_extension
 from repro.analysis.races import verify_fold_covers_conflicts
 from repro.blocking.rank import RankBlocking
 from repro.dist.comm import SimCluster
@@ -119,6 +121,21 @@ def distributed_mttkrp(
     # privatized partials), but a conflict *across* slabs would be folded
     # nowhere — reject the schedule outright (ScheduleError).
     verify_fold_covers_conflicts(decomp, mode)
+
+    # Soundness proof before any compute: the decomposition must tile the
+    # index space with every nonzero in exactly one block (PL405/PL406)
+    # and the t-way rank extension must tile [0, R) (PL408).
+    plan_errors = [
+        d
+        for d in verify_decomposition(decomp)
+        + verify_rank_extension(rank_groups, rank)
+        if d.severity is Severity.ERROR
+    ]
+    if plan_errors:
+        raise DistributionError(
+            "unsound decomposition: "
+            + "; ".join(d.message for d in plan_errors[:3])
+        )
 
     strips = RankBlocking(n_blocks=rank_groups).strips(rank)
     out = np.zeros((shape[mode], rank), dtype=VALUE_DTYPE)

@@ -131,6 +131,17 @@ class Plan(ABC):
         """Total fibers across all phases."""
         return sum(b.n_fibers for b in self.block_stats())
 
+    def write_set(self) -> tuple[tuple[int, int], ...]:
+        """Half-open global row intervals of the mode-``mode`` output this
+        plan's kernel may write.
+
+        The execution sanitizer checks observed writes against this
+        declaration (rule SZ501).  The base default is the full output
+        range; plans that know their structure override with something
+        tighter (e.g. only rows that own fibers).
+        """
+        return ((0, int(self.shape[self.mode])),)
+
     def describe(self) -> str:
         """One-line human-readable summary."""
         blocks = self.block_stats()
@@ -179,6 +190,34 @@ class Kernel(ABC):
         return f"<Kernel {self.name}>"
 
 
+def intervals_from_rows(rows: np.ndarray) -> tuple[tuple[int, int], ...]:
+    """Collapse a sorted, unique row-index vector into maximal half-open
+    intervals — the compact ``write_set`` form of a row footprint."""
+    rows = np.asarray(rows)
+    if rows.size == 0:
+        return ()
+    breaks = np.flatnonzero(np.diff(rows) > 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [rows.size - 1]))
+    return tuple(
+        (int(rows[s]), int(rows[e]) + 1) for s, e in zip(starts, ends)
+    )
+
+
+def merge_intervals(
+    intervals: "Sequence[tuple[int, int]]",
+) -> tuple[tuple[int, int], ...]:
+    """Union of half-open intervals as sorted maximal disjoint intervals."""
+    ivs = sorted((int(lo), int(hi)) for lo, hi in intervals if hi > lo)
+    merged: list[tuple[int, int]] = []
+    for lo, hi in ivs:
+        if merged and lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return tuple(merged)
+
+
 def check_factors(
     factors: Sequence[np.ndarray],
     shape: Sequence[int],
@@ -199,7 +238,7 @@ def check_factors(
         if m == mode:
             coerced.append(None)  # type: ignore[arg-type]
             continue
-        arr = np.asarray(f)
+        arr = np.asanyarray(f)
         if arr.dtype == object or not np.issubdtype(arr.dtype, np.number):
             raise ShapeError(
                 f"factor {m} must be a numeric array, got dtype {arr.dtype}"
@@ -210,8 +249,13 @@ def check_factors(
             )
         # Uniform coercion for every kernel: C-contiguous float64, so
         # float32/int inputs behave identically across the kernel zoo and
-        # the gather-heavy inner loops see contiguous rows.
-        f = np.ascontiguousarray(arr, dtype=VALUE_DTYPE)
+        # the gather-heavy inner loops see contiguous rows.  An already-
+        # conforming array passes through untouched — ndarray subclasses
+        # (the sanitizer's guarded factors) keep their type.
+        if arr.dtype == VALUE_DTYPE and arr.flags.c_contiguous:
+            f = arr
+        else:
+            f = np.ascontiguousarray(arr, dtype=VALUE_DTYPE)
         if f.ndim != 2 or f.shape[0] != shape[m]:
             raise ShapeError(
                 f"factor {m} must have shape ({shape[m]}, R), got {f.shape}"

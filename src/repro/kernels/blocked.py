@@ -24,6 +24,7 @@ from repro.kernels.base import (
     Plan,
     alloc_output,
     check_factors,
+    intervals_from_rows,
     register_kernel,
 )
 from repro.kernels.splatt_mttkrp import execute_splatt_into, row_of_fiber
@@ -52,6 +53,17 @@ class MBPlan(Plan):
                 for block in self.blocked.blocks
             ]
         return self._stats
+
+    def write_set(self) -> tuple[tuple[int, int], ...]:
+        """Global rows with fibers in any block (block-local fiber rows
+        shifted by each block's output-mode lower bound)."""
+        rows = [
+            fr + block.bounds[self.mode][0]
+            for fr, block in zip(self.fiber_rows, self.blocked.blocks)
+        ]
+        if not rows:
+            return ()
+        return intervals_from_rows(np.unique(np.concatenate(rows)))
 
 
 def resolve_grid(

@@ -47,6 +47,11 @@ class CombinedPlan(Plan):
     def block_stats(self) -> list[BlockStats]:
         return self.mb_plan.block_stats()
 
+    def write_set(self) -> tuple[tuple[int, int], ...]:
+        """The full output range: each strip pass stores its whole
+        ``A_s`` scratch column-block back (see :class:`RankBPlan`)."""
+        return ((0, int(self.shape[self.mode])),)
+
 
 class CombinedBlockedKernel(Kernel):
     """MB+RankB: rank strips outermost, mode blocks inside."""

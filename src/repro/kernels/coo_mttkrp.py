@@ -25,6 +25,7 @@ from repro.kernels.base import (
     Plan,
     alloc_output,
     check_factors,
+    intervals_from_rows,
     register_kernel,
 )
 from repro.tensor.coo import COOTensor
@@ -73,6 +74,10 @@ class COOPlan(Plan):
                 )
             ]
         return self._stats
+
+    def write_set(self) -> tuple[tuple[int, int], ...]:
+        """Only output rows holding at least one nonzero are written."""
+        return intervals_from_rows(np.unique(self.i))
 
 
 class COOKernel(Kernel):

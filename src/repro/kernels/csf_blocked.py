@@ -25,6 +25,7 @@ from repro.kernels.base import (
     Plan,
     alloc_output,
     check_factors,
+    intervals_from_rows,
     register_kernel,
 )
 from repro.kernels.blocked import resolve_grid
@@ -80,6 +81,17 @@ class BlockedCSFPlan(Plan):
                 )
             self._stats = stats
         return self._stats
+
+    def write_set(self) -> tuple[tuple[int, int], ...]:
+        """Per-block root rows shifted to global output coordinates."""
+        rows = [
+            csf.levels[0].fids + block.bounds[self.mode][0]
+            for block, csf in self.blocks
+            if csf.levels[0].n_nodes
+        ]
+        if not rows:
+            return ()
+        return intervals_from_rows(np.unique(np.concatenate(rows)))
 
 
 class BlockedCSFKernel(Kernel):

@@ -25,6 +25,7 @@ from repro.kernels.base import (
     Plan,
     alloc_output,
     check_factors,
+    intervals_from_rows,
     register_kernel,
 )
 from repro.tensor.coo import COOTensor
@@ -69,6 +70,10 @@ class CSFPlan(Plan):
                 )
             ]
         return self._stats
+
+    def write_set(self) -> tuple[tuple[int, int], ...]:
+        """Only root-level rows (rows owning a subtree) are written."""
+        return intervals_from_rows(np.unique(self.csf.levels[0].fids))
 
 
 class CSFKernel(Kernel):

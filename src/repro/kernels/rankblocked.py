@@ -46,6 +46,12 @@ class RankBPlan(Plan):
     def block_stats(self) -> list[BlockStats]:
         return self.base.block_stats()
 
+    def write_set(self) -> tuple[tuple[int, int], ...]:
+        """The full output range: each strip pass stores its whole
+        ``A_s`` scratch column-block back, touching every row (fiberless
+        rows receive the zeros they already hold)."""
+        return ((0, int(self.shape[self.mode])),)
+
 
 def resolve_rank_blocking(
     rank_blocking: "RankBlocking | None",

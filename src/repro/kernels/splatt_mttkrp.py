@@ -30,6 +30,7 @@ from repro.kernels.base import (
     Plan,
     alloc_output,
     check_factors,
+    intervals_from_rows,
     register_kernel,
 )
 from repro.tensor.coo import COOTensor
@@ -109,6 +110,10 @@ class SplattPlan(Plan):
         if self._stats is None:
             self._stats = [BlockStats.from_splatt(self.splatt, (0, 0, 0))]
         return self._stats
+
+    def write_set(self) -> tuple[tuple[int, int], ...]:
+        """Only rows that own at least one fiber are ever written."""
+        return intervals_from_rows(np.unique(self.fiber_rows))
 
 
 class SplattKernel(Kernel):

@@ -295,3 +295,39 @@ def estimate_traffic(
         c=acc_c,
         a=acc_a,
     )
+
+
+@dataclass(frozen=True)
+class FootprintPrediction:
+    """The access-count side of the traffic model, before cache effects.
+
+    These are the invariants the execution sanitizer cross-checks against
+    observed gathers (rule SZ506): the B factor is gathered once per
+    nonzero per rank strip, the C factor once per fiber per strip, and
+    the distinct-row footprint is bounded by the per-phase sum.
+    """
+
+    n_strips: int
+    b_accesses: int
+    c_accesses: int
+    #: Upper bounds: per-phase distinct rows, summed over phases (rows
+    #: shared between phases are counted once per phase).
+    b_distinct_max: int
+    c_distinct_max: int
+
+
+def predicted_footprint(plan: Plan, rank: int) -> FootprintPrediction:
+    """Per-strip gather counts the analytic model assumes for ``plan``."""
+    rank = check_rank(rank)
+    stats = plan.block_stats()
+    rank_blocking = getattr(plan, "rank_blocking", None)
+    n_strips = rank_blocking.n_strips(rank) if rank_blocking is not None else 1
+    total_nnz = sum(b.nnz for b in stats)
+    total_fibers = sum(b.n_fibers for b in stats)
+    return FootprintPrediction(
+        n_strips=n_strips,
+        b_accesses=n_strips * total_nnz,
+        c_accesses=n_strips * total_fibers,
+        b_distinct_max=sum(b.distinct_inner for b in stats),
+        c_distinct_max=sum(b.distinct_fiber for b in stats),
+    )

@@ -125,15 +125,26 @@ def parallel_predict_time(
     (e.g. ``power8(1)``), optionally cache-scaled for a stand-in.
 
     ``thread_ranges`` overrides the greedy partition with explicit
-    half-open output-row ranges per thread; the race detector rejects
-    overlapping ranges (:class:`~repro.util.errors.ScheduleError`) before
-    any time is predicted — an unsafe schedule has no meaningful time.
+    half-open output-row ranges per thread; the plan verifier rejects
+    ranges that do not tile the output rows exactly once — gap, overlap,
+    or out-of-bounds (rule PL407) — and the race detector re-checks
+    overlap, both via :class:`~repro.util.errors.ScheduleError`, before
+    any time is predicted: an unsafe schedule has no meaningful time.
     """
+    from repro.analysis.plans import verify_thread_ranges
+    from repro.util.errors import ScheduleError
+
     rank = check_rank(rank)
     mode = check_mode(mode, tensor.order)
     n_threads = int(n_threads)
     if thread_ranges is not None:
         ranges = [(int(lo), int(hi)) for lo, hi in thread_ranges]
+        plan_diags = verify_thread_ranges(ranges, tensor.shape[mode])
+        if plan_diags:
+            raise ScheduleError(
+                "thread_ranges do not tile the output rows: "
+                + "; ".join(d.message for d in plan_diags[:3])
+            )
         write_sets = write_sets_for_ranges(ranges, label="thread")
     else:
         boundaries = partition_rows(

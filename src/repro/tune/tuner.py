@@ -80,6 +80,25 @@ class Tuner:
         plan = self.planner.plan_for(counts, rb)
         return predict_time(plan, rank, self.machine).total
 
+    def _verify(self, counts, rb, rank: int, origin: str) -> None:
+        """Run the plan verifier on a candidate configuration; a search
+        strategy (or a stale cache entry) must never hand out a plan that
+        fails the index-space soundness proof."""
+        from repro.analysis.diagnostics import Severity
+        from repro.analysis.plans import verify_plan
+
+        plan = self.planner.plan_for(counts, rb)
+        errors = [
+            d
+            for d in verify_plan(plan, rank=rank)
+            if d.severity is Severity.ERROR
+        ]
+        if errors:
+            raise ConfigError(
+                f"{origin} configuration failed plan verification: "
+                + "; ".join(d.message for d in errors[:3])
+            )
+
     def tune(
         self,
         rank: int,
@@ -185,6 +204,11 @@ class Tuner:
             hit = self.cache.get(self.signature.key(), rank, self.machine.name)
             if hit is not None:
                 rb = hit.rank_blocking()
+                try:
+                    self._verify(hit.block_counts, rb, rank, "cached")
+                except ConfigError:
+                    hit = None  # stale/unsound entry: fall through, re-tune
+            if hit is not None:
                 baseline = self._evaluate(None, None, rank)
                 cost = self._evaluate(hit.block_counts, rb, rank)
                 return TunedConfig(
@@ -198,6 +222,7 @@ class Tuner:
                 )
         result = self.tune(rank, strategy, **tune_kwargs)
         if self.cache is not None:
+            self._verify(result.block_counts, result.rank_blocking, rank, "tuned")
             self.cache.put(
                 self.signature.key(),
                 rank,

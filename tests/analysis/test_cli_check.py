@@ -143,3 +143,67 @@ class TestRaceFlags:
             ]
         )
         assert code == 0
+
+
+BAD_PLAN = "g = BlockGrid.from_boundaries((10,), [[0, 5, 9]])\n"
+
+
+class TestPlansFlag:
+    def test_bad_literal_plan_exits_one(self, tmp_path, capsys):
+        (tmp_path / "bench.py").write_text(BAD_PLAN)
+        assert main(["check", str(tmp_path), "--plans"]) == 1
+        out = capsys.readouterr().out
+        assert "PL401" in out
+
+    def test_without_flag_plan_pass_is_off(self, tmp_path, capsys):
+        (tmp_path / "bench.py").write_text(BAD_PLAN)
+        assert main(["check", str(tmp_path)]) == 0
+
+    def test_repo_benchmarks_and_examples_prove_clean(self, capsys):
+        assert (
+            main(["check", "--plans", "--select", "PL", "benchmarks", "examples"])
+            == 0
+        )
+
+    def test_select_plan_family(self, tmp_path, capsys):
+        (tmp_path / "bench.py").write_text(BAD_PLAN)
+        assert main(["check", str(tmp_path), "--plans", "--select", "PL"]) == 1
+        assert main(["check", str(tmp_path), "--plans", "--ignore", "PL"]) == 0
+
+
+class TestStatisticsFlag:
+    def test_text_statistics_lists_families(self, seeded_kernels, capsys):
+        assert main(["check", str(seeded_kernels), "--statistics"]) == 1
+        out = capsys.readouterr().out
+        assert "HP: 1  (hot-path lint)" in out
+
+    def test_text_statistics_clean(self, tmp_path, capsys):
+        (tmp_path / "m.py").write_text("x = 1\n")
+        assert main(["check", str(tmp_path), "--statistics"]) == 0
+        assert "(no diagnostics in any rule family)" in capsys.readouterr().out
+
+    def test_json_statistics_key(self, seeded_kernels, capsys):
+        assert (
+            main(
+                [
+                    "check",
+                    str(seeded_kernels),
+                    "--statistics",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["statistics"] == {"HP": 1}
+
+    def test_json_without_flag_has_no_key(self, seeded_kernels, capsys):
+        main(["check", str(seeded_kernels), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert "statistics" not in payload
+
+    def test_plans_statistics_combined(self, tmp_path, capsys):
+        (tmp_path / "bench.py").write_text(BAD_PLAN)
+        assert main(["check", str(tmp_path), "--plans", "--statistics"]) == 1
+        assert "PL: 1  (plan verifier)" in capsys.readouterr().out

@@ -129,7 +129,7 @@ class TestCOOChunks:
 
 class TestRuntimeWiring:
     def test_thread_ranges_overlap_rejected(self, small_tensor):
-        with pytest.raises(ScheduleError, match="overlapping mode-0"):
+        with pytest.raises(ScheduleError, match="do not tile the output rows"):
             parallel_predict_time(
                 small_tensor,
                 0,

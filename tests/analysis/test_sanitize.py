@@ -1,0 +1,157 @@
+"""Execution sanitizer (SZ5xx): clean runs stay silent, mutants get caught."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitize import SanitizeReport, sanitized_execute
+from repro.kernels import get_kernel, reference_mttkrp
+from repro.kernels.splatt_mttkrp import SplattKernel
+from repro.tensor.coo import COOTensor
+
+RANK = 16
+
+
+def make_problem(seed=0, shape=(24, 18, 12), nnz=250, empty_row0=False):
+    rng = np.random.default_rng(seed)
+    lo0 = 1 if empty_row0 else 0
+    idx = np.stack(
+        [rng.integers(lo0 if m == 0 else 0, s, nnz) for m, s in enumerate(shape)],
+        axis=1,
+    )
+    idx = np.unique(idx, axis=0)
+    tensor = COOTensor(shape, idx, rng.standard_normal(idx.shape[0]))
+    factors = [rng.standard_normal((s, RANK)) for s in shape]
+    return tensor, factors
+
+
+def run(kernel_name, mode=0, seed=0, **params):
+    tensor, factors = make_problem(seed)
+    kernel = get_kernel(kernel_name)
+    plan = kernel.prepare(tensor, mode, **params)
+    report = sanitized_execute(kernel, plan, factors)
+    expected = reference_mttkrp(tensor, factors, mode)
+    return report, expected
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize(
+        "kernel_name,params",
+        [
+            ("splatt", {}),
+            ("coo", {}),
+            ("csf", {}),
+            ("mb", {"block_counts": (2, 2, 2)}),
+            ("rankb", {"n_rank_blocks": 2}),
+            ("mb+rankb", {"block_counts": (2, 2, 1), "n_rank_blocks": 2}),
+        ],
+    )
+    def test_zero_diagnostics_and_exact_result(self, kernel_name, params):
+        report, expected = run(kernel_name, **params)
+        assert report.diagnostics == []
+        assert report.ok
+        np.testing.assert_allclose(report.output, expected, rtol=1e-12)
+
+    def test_footprint_matches_traffic_model(self):
+        tensor, factors = make_problem(1)
+        kernel = get_kernel("splatt")
+        plan = kernel.prepare(tensor, 0)
+        report = sanitized_execute(kernel, plan, factors)
+        stats = plan.block_stats()
+        nnz = sum(s.nnz for s in stats)
+        n_fibers = sum(s.n_fibers for s in stats)
+        assert report.gathers["factor[1]"] == (nnz, report.gathers["factor[1]"][1])
+        assert report.gathers["factor[2]"][0] == n_fibers
+
+    def test_describe_mentions_counts(self):
+        report, _ = run("splatt", seed=2)
+        text = report.describe()
+        assert "0 error(s)" in text and "gather(s)" in text
+
+    def test_restacked_kernels_skip_traffic_check(self):
+        # RankB gathers from private restacked copies: no observed
+        # gathers, and crucially no spurious SZ506.
+        report, _ = run("rankb", seed=3, n_rank_blocks=4)
+        assert report.gathers["factor[1]"] == (0, 0)
+        assert not [d for d in report.diagnostics if d.rule == "SZ506"]
+
+
+class LeakyKernel(SplattKernel):
+    """Mutant: writes an output row outside its declared write-set."""
+
+    name = "leaky"
+
+    def execute(self, plan, factors, out=None):
+        A = super().execute(plan, factors, out=out)
+        A[0] += 1.0  # row 0 is empty in the fixture -> not in write_set()
+        return A
+
+
+class WrapKernel(SplattKernel):
+    """Mutant: gathers with a negative (silently wrapping) index."""
+
+    name = "wrap"
+
+    def execute(self, plan, factors, out=None):
+        B = factors[plan.inner_mode]
+        _ = B[np.array([-1, 2])]
+        return super().execute(plan, factors, out=out)
+
+
+class NanKernel(SplattKernel):
+    """Mutant: lets a NaN emerge from finite inputs."""
+
+    name = "nan"
+
+    def execute(self, plan, factors, out=None):
+        A = super().execute(plan, factors, out=out)
+        A[np.asarray(plan.fiber_rows)[0]] = np.nan
+        return A
+
+
+class TestSeededMutants:
+    def test_out_of_write_set_store_is_sz501(self):
+        tensor, factors = make_problem(4, empty_row0=True)
+        kernel = LeakyKernel()
+        plan = kernel.prepare(tensor, 0)
+        assert not any(lo <= 0 < hi for lo, hi in plan.write_set())
+        report = sanitized_execute(kernel, plan, factors)
+        assert "SZ501" in {d.rule for d in report.diagnostics}
+        assert not report.ok
+
+    def test_wrapping_gather_is_sz502(self):
+        tensor, factors = make_problem(5)
+        kernel = WrapKernel()
+        plan = kernel.prepare(tensor, 0)
+        report = sanitized_execute(kernel, plan, factors)
+        sz502 = [d for d in report.diagnostics if d.rule == "SZ502"]
+        assert sz502
+        assert "wrap silently" in sz502[0].message
+
+    def test_nan_emergence_is_sz503(self):
+        tensor, factors = make_problem(6)
+        kernel = NanKernel()
+        plan = kernel.prepare(tensor, 0)
+        report = sanitized_execute(kernel, plan, factors)
+        assert "SZ503" in {d.rule for d in report.diagnostics}
+
+    def test_nan_inputs_do_not_false_positive(self):
+        # A NaN already present in the inputs is numerics, not a kernel
+        # bug: SZ503's finite-inputs precondition must hold it back.
+        tensor, factors = make_problem(7)
+        factors[1][0, 0] = np.nan
+        kernel = get_kernel("splatt")
+        plan = kernel.prepare(tensor, 0)
+        report = sanitized_execute(kernel, plan, factors)
+        assert "SZ503" not in {d.rule for d in report.diagnostics}
+
+
+class TestReportShape:
+    def test_report_is_dataclass_with_write_set(self):
+        report, _ = run("splatt", seed=8)
+        assert isinstance(report, SanitizeReport)
+        assert report.declared_write_set
+        assert report.written_rows > 0
+        lo, hi = report.declared_write_set[0]
+        assert 0 <= lo < hi

@@ -101,3 +101,25 @@ class TestExplicitBoundaries:
         )
         idx = np.stack(np.meshgrid(np.arange(20), np.arange(20)), -1).reshape(-1, 2)
         np.testing.assert_array_equal(uni.block_of(idx), exp.block_of(idx))
+
+
+class TestBlockOfBounds:
+    """block_of must reject out-of-range coordinates, not clamp them."""
+
+    def test_negative_coordinate_rejected(self):
+        g = BlockGrid((10, 10), (2, 2))
+        idx = np.array([[0, 0], [-1, 3]], dtype=np.int64)
+        with pytest.raises(ShapeError, match="mode-0"):
+            g.block_of(idx)
+
+    def test_coordinate_at_extent_rejected(self):
+        g = BlockGrid((10, 12), (2, 3))
+        idx = np.array([[3, 12]], dtype=np.int64)
+        with pytest.raises(ShapeError, match="mode-1"):
+            g.block_of(idx)
+
+    def test_in_range_still_mapped(self):
+        g = BlockGrid((10,), (2,))
+        idx = np.array([[0], [4], [5], [9]], dtype=np.int64)
+        flat = g.block_of(idx)
+        np.testing.assert_array_equal(flat, [0, 0, 1, 1])

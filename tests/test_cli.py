@@ -195,3 +195,74 @@ class TestErrors:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSanitize:
+    def test_clean_splatt_run_exits_zero(self, capsys):
+        assert (
+            main(
+                [
+                    "sanitize",
+                    "--dataset",
+                    "poisson2",
+                    "--nnz",
+                    "5000",
+                    "--kernel",
+                    "splatt",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_clean_blocked_run_exits_zero(self, capsys):
+        assert (
+            main(
+                [
+                    "sanitize",
+                    "--dataset",
+                    "poisson2",
+                    "--nnz",
+                    "5000",
+                    "--kernel",
+                    "mb",
+                    "--blocks",
+                    "2",
+                    "2",
+                    "2",
+                    "--rank",
+                    "16",
+                ]
+            )
+            == 0
+        )
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "sanitize",
+                    "--dataset",
+                    "poisson2",
+                    "--nnz",
+                    "2000",
+                    "--kernel",
+                    "csf",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 0
+        assert payload["sanitize"]["written_rows"] > 0
+
+    def test_tns_file_input(self, tmp_path, capsys):
+        t = uniform_random_tensor((9, 8, 7), 60, seed=1)
+        path = tmp_path / "t.tns"
+        save_tns(t, path)
+        assert main(["sanitize", "--tns", str(path), "--rank", "8"]) == 0

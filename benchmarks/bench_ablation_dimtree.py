@@ -1,74 +1,14 @@
 """Ablation — dimension-tree memoization vs three independent MTTKRPs.
 
-Quantifies the related-work memoization trade-off (HyperTensor's
-dimension trees, reference [17]): flops per ALS sweep, the memo's
-storage overhead, and wall-clock per sweep for the pure-NumPy drivers.
-
-Expected shape: the memoized sweep needs fewer flops whenever pairs are
-reused, at a storage cost of ``8*R*P`` bytes; wall clock follows the
-flop saving (both drivers are NumPy-vectorized, so relative flops show
-through).  Trajectories are identical (asserted).
+Thin declaration: the experiment body, parameters, expected-shape
+checks, and rendering all live in the registered benchmark
+``ablation_dimtree`` (see ``repro.bench.registry``); this wrapper only
+hooks it into pytest-benchmark.  Run it standalone with
+``repro bench run --filter ablation_dimtree``.
 """
 
-import time
-
-import numpy as np
-
-from repro.bench import render_rows, write_result
-from repro.cpd import cp_als, cp_als_dimtree, init_factors
-from repro.cpd.dimtree import DimTreePlan
-from repro.tensor import SplattTensor, load_dataset
-from repro.util import format_bytes
-
-RANK = 64
-
-
-def run_ablation():
-    rows = []
-    for name in ("poisson2", "poisson3"):
-        tensor = load_dataset(name, nnz=300_000)
-        plan = DimTreePlan(tensor)
-        standard_flops = 0.0
-        for mode in range(3):
-            s = SplattTensor.from_coo(tensor, output_mode=mode)
-            standard_flops += 2.0 * RANK * (s.nnz + s.n_fibers)
-        memo_flops = plan.flops_per_sweep(RANK)
-
-        init = init_factors(tensor, RANK, seed=1)
-        t0 = time.perf_counter()
-        standard = cp_als(
-            tensor, RANK, n_iters=3, tol=0.0, init=[f.copy() for f in init]
-        )
-        t_standard = (time.perf_counter() - t0) / 3
-        t0 = time.perf_counter()
-        memoized = cp_als_dimtree(
-            tensor, RANK, n_iters=3, tol=0.0, init=[f.copy() for f in init]
-        )
-        t_memo = (time.perf_counter() - t0) / 3
-        np.testing.assert_allclose(memoized.fits, standard.fits, rtol=1e-9)
-
-        rows.append(
-            {
-                "dataset": name,
-                "nnz": tensor.nnz,
-                "pairs": plan.n_pairs,
-                "flops_standard": f"{standard_flops:.3g}",
-                "flops_memoized": f"{memo_flops:.3g}",
-                "flop_ratio": round(standard_flops / memo_flops, 2),
-                "memo_storage": format_bytes(plan.memo_bytes(RANK)),
-                "sweep_ms_standard": round(t_standard * 1e3, 1),
-                "sweep_ms_memoized": round(t_memo * 1e3, 1),
-            }
-        )
-    return rows
+from repro.bench.harness import run_for_pytest
 
 
 def test_ablation_dimtree(benchmark):
-    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
-    text = render_rows(rows, title="Ablation: dimension-tree memoization (R=64)")
-    write_result("ablation_dimtree", text)
-    print("\n" + text)
-
-    for row in rows:
-        assert row["flop_ratio"] > 1.0
-        assert row["pairs"] < row["nnz"]
+    run_for_pytest("ablation_dimtree", benchmark)

@@ -1,71 +1,14 @@
 """Ablation — the Section V-C greedy heuristic vs exhaustive search.
 
-The paper's future-work section concedes the heuristic only finds local
-minima; this bench quantifies the gap on a moderate configuration space
-(all MB grids with power-of-two counts up to 16 per mode, crossed with
-rank strip widths).
-
-Expected shape: the heuristic reaches within ~15% of the exhaustive
-optimum while evaluating an order of magnitude fewer configurations.
+Thin declaration: the experiment body, parameters, expected-shape
+checks, and rendering all live in the registered benchmark
+``ablation_heuristic`` (see ``repro.bench.registry``); this wrapper only
+hooks it into pytest-benchmark.  Run it standalone with
+``repro bench run --filter ablation_heuristic``.
 """
 
-import itertools
-
-from repro.bench import render_rows, write_result
-from repro.blocking import RankBlocking, select_blocking
-from repro.machine import power8_socket
-from repro.perf import ConfigPlanner, predict_time
-from repro.tensor import load_dataset
-from repro.tensor.datasets import DATASETS
-
-RANK = 256
-
-
-def run_ablation():
-    rows = []
-    for name in ("poisson2", "nell2"):
-        tensor = load_dataset(name)
-        machine = power8_socket().scaled(DATASETS[name].machine_scale)
-        planner = ConfigPlanner(tensor, 0)
-        evaluate = planner.evaluator(RANK, machine)
-
-        choice = select_blocking(tensor, 0, RANK, evaluate)
-        heuristic_cost = choice.cost
-        heuristic_evals = choice.n_evaluations
-
-        counts_axis = [1, 2, 4, 8, 16]
-        rb_axis = [None, 16, 32, 64, 128]
-        best = float("inf")
-        n_exhaustive = 0
-        for counts in itertools.product(counts_axis, repeat=3):
-            if any(c > s for c, s in zip(counts, tensor.shape)):
-                continue
-            for cols in rb_axis:
-                rb = None if cols is None else RankBlocking(block_cols=cols)
-                key = None if counts == (1, 1, 1) else counts
-                cost = evaluate(key, rb)
-                n_exhaustive += 1
-                best = min(best, cost)
-
-        rows.append(
-            {
-                "dataset": name,
-                "heuristic_ms": round(heuristic_cost * 1e3, 4),
-                "exhaustive_ms": round(best * 1e3, 4),
-                "gap_%": round((heuristic_cost / best - 1.0) * 100, 2),
-                "heuristic_evals": heuristic_evals,
-                "exhaustive_evals": n_exhaustive,
-            }
-        )
-    return rows
+from repro.bench.harness import run_for_pytest
 
 
 def test_ablation_heuristic(benchmark):
-    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
-    text = render_rows(rows, title="Ablation: V-C heuristic vs exhaustive search")
-    write_result("ablation_heuristic", text)
-    print("\n" + text)
-
-    for row in rows:
-        assert row["gap_%"] < 25.0
-        assert row["heuristic_evals"] < row["exhaustive_evals"] / 3
+    run_for_pytest("ablation_heuristic", benchmark)

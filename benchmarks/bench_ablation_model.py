@@ -1,94 +1,14 @@
 """Ablation — analytic traffic model vs exact LRU cache simulation.
 
-Quantifies the substitution at the heart of this reproduction: the
-analytic working-set/popularity model must (a) track the exact
-simulator's hit rates and (b) be orders of magnitude faster, since every
-figure sweep calls it hundreds of times.
-
-Expected shape: per-structure alpha agreement within ~0.15 absolute, and
-an analytic-vs-exact runtime ratio well above 10x.
+Thin declaration: the experiment body, parameters, expected-shape
+checks, and rendering all live in the registered benchmark
+``ablation_model`` (see ``repro.bench.registry``); this wrapper only
+hooks it into pytest-benchmark.  Run it standalone with
+``repro bench run --filter ablation_model``.
 """
 
-import time
-
-import numpy as np
-import pytest
-
-from repro.bench import render_rows, write_result
-from repro.kernels import get_kernel
-from repro.machine import (
-    STRUCTURES,
-    CacheHierarchy,
-    CacheLevel,
-    MachineSpec,
-    estimate_traffic,
-    mttkrp_trace,
-)
-from repro.tensor import poisson_tensor
+from repro.bench.harness import run_for_pytest
 
 
-def _machine():
-    return MachineSpec(
-        name="ablation",
-        frequency_hz=1e9,
-        caches=(
-            CacheLevel("L1", 8 * 1024, 128, 4),
-            CacheLevel("L2", 32 * 1024, 128, 8),
-            CacheLevel("L3", 128 * 1024, 128, 8),
-        ),
-        read_bandwidth=10e9,
-        write_bandwidth=5e9,
-        flops_per_cycle=8,
-        loadstore_per_cycle=2,
-        vector_doubles=2,
-        vector_registers=64,
-    )
-
-
-CONFIGS = [
-    ("splatt", {}),
-    ("mb", {"block_counts": (1, 4, 2)}),
-    ("rankb", {"n_rank_blocks": 4}),
-]
-
-
-def run_ablation():
-    tensor = poisson_tensor((150, 200, 170), 25_000, seed=3, concentration=0.2)
-    machine = _machine()
-    rank = 32
-    rows = []
-    for name, params in CONFIGS:
-        plan = get_kernel(name).prepare(tensor, 0, **params)
-        t0 = time.perf_counter()
-        est = estimate_traffic(plan, rank, machine)
-        t_analytic = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        lines, tags = mttkrp_trace(plan, rank, machine)
-        exact = CacheHierarchy(machine).run_trace(lines, tags)
-        t_exact = time.perf_counter() - t0
-        exact_b = exact.structure_hit_rate(STRUCTURES["B"])
-        exact_c = exact.structure_hit_rate(STRUCTURES["C"])
-        rows.append(
-            {
-                "kernel": name,
-                "alpha_B_analytic": round(est.b.alpha, 3),
-                "alpha_B_exact": round(exact_b, 3),
-                "alpha_C_analytic": round(est.c.alpha, 3),
-                "alpha_C_exact": round(exact_c, 3),
-                "analytic_ms": round(t_analytic * 1e3, 2),
-                "exact_ms": round(t_exact * 1e3, 2),
-                "speedup": round(t_exact / max(t_analytic, 1e-9), 1),
-            }
-        )
-    return rows
-
-
-def test_ablation_model_accuracy(benchmark):
-    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
-    text = render_rows(rows, title="Ablation: analytic traffic model vs exact LRU")
-    write_result("ablation_model", text)
-    print("\n" + text)
-
-    for row in rows:
-        assert abs(row["alpha_B_analytic"] - row["alpha_B_exact"]) < 0.15
-        assert row["speedup"] > 10
+def test_ablation_model(benchmark):
+    run_for_pytest("ablation_model", benchmark)

@@ -1,86 +1,14 @@
 """Ablation — register blocking on/off inside rank blocking.
 
-Isolates the load-unit half of the paper's optimization: the same rank
-strips, with and without the accumulator held in registers.  The paper's
-Table I (type 3) attributes ~19% of the baseline runtime to accumulator
-load pressure, so the register-blocked variant must show a material
-load-time reduction at every strip count.
-
-Expected shape: load-unit time drops substantially when register
-blocking is on; total modeled time improves; the gain persists across
-strip counts.
+Thin declaration: the experiment body, parameters, expected-shape
+checks, and rendering all live in the registered benchmark
+``ablation_regblock`` (see ``repro.bench.registry``); this wrapper only
+hooks it into pytest-benchmark.  Run it standalone with
+``repro bench run --filter ablation_regblock``.
 """
 
-from repro.bench import render_rows, write_result
-from repro.blocking import RankBlocking
-from repro.kernels import get_kernel
-from repro.machine import estimate_loads, power8_socket
-from repro.perf import predict_time
-from repro.tensor import load_dataset
-from repro.tensor.datasets import DATASETS
-
-
-def run_ablation():
-    tensor = load_dataset("poisson3")
-    machine = power8_socket().scaled(DATASETS["poisson3"].machine_scale)
-    rank = 256
-    base_plan = get_kernel("splatt").prepare(tensor, 0)
-    base = predict_time(base_plan, rank, machine)
-
-    rows = [
-        {
-            "config": "baseline (no RankB)",
-            "load_ms": round(base.load_time * 1e3, 3),
-            "total_ms": round(base.total * 1e3, 3),
-            "speedup": "1.00x",
-        }
-    ]
-    for n_blocks in (1, 4, 16):
-        plan = get_kernel("rankb").prepare(tensor, 0, n_rank_blocks=n_blocks)
-        with_reg = predict_time(plan, rank, machine)
-        # "Without register blocking": charge the baseline's accumulator
-        # micro-ops back onto the strip loop.
-        loads_with = estimate_loads(plan, rank, machine)
-        base_loads = estimate_loads(base_plan, rank, machine)
-        ops_without = (
-            loads_with.total_ops
-            - loads_with.stream_loads
-            - loads_with.b_loads
-            + base_loads.stream_loads
-            + base_loads.b_loads
-            + base_loads.acc_loads
-            + base_loads.acc_stores
-        )
-        load_time_without = ops_without / machine.loadstore_rate
-        total_without = with_reg.total - with_reg.load_time + load_time_without
-        rows.append(
-            {
-                "config": f"RankB n={n_blocks}, RegB on",
-                "load_ms": round(with_reg.load_time * 1e3, 3),
-                "total_ms": round(with_reg.total * 1e3, 3),
-                "speedup": f"{base.total / with_reg.total:.2f}x",
-            }
-        )
-        rows.append(
-            {
-                "config": f"RankB n={n_blocks}, RegB off",
-                "load_ms": round(load_time_without * 1e3, 3),
-                "total_ms": round(total_without * 1e3, 3),
-                "speedup": f"{base.total / total_without:.2f}x",
-            }
-        )
-    return rows
+from repro.bench.harness import run_for_pytest
 
 
 def test_ablation_regblock(benchmark):
-    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
-    text = render_rows(rows, title="Ablation: register blocking on/off")
-    write_result("ablation_regblock", text)
-    print("\n" + text)
-
-    by_config = {r["config"]: r for r in rows}
-    for n in (1, 4, 16):
-        on = by_config[f"RankB n={n}, RegB on"]
-        off = by_config[f"RankB n={n}, RegB off"]
-        assert on["load_ms"] < off["load_ms"]
-        assert on["total_ms"] < off["total_ms"]
+    run_for_pytest("ablation_regblock", benchmark)

@@ -1,56 +1,14 @@
 """Supplementary — blocking speedups on a 4-mode tensor.
 
-The paper's claim that its methodology "can trivially be extended to
-higher-order data", exercised: the general blocked CSF kernel versus the
-unblocked CSF baseline on a 4-mode clustered tensor, across ranks,
-through the machine model.
-
-Expected shape: the same qualitative behaviour as the 3-mode Figure 6 —
-speedups grow with rank as the baseline's factor rows fall out of cache,
-and blocking plus rank strips recover the residency.
+Thin declaration: the experiment body, parameters, expected-shape
+checks, and rendering all live in the registered benchmark
+``csf_higher_order`` (see ``repro.bench.registry``); this wrapper only
+hooks it into pytest-benchmark.  Run it standalone with
+``repro bench run --filter csf_higher_order``.
 """
 
-from repro.bench import render_series, write_result
-from repro.kernels import get_kernel
-from repro.machine import power8_socket
-from repro.perf import predict_time
-from repro.tensor import clustered_tensor
-
-RANKS = (16, 64, 256, 1024)
-
-
-def run_experiment():
-    tensor = clustered_tensor(
-        (600, 500, 800, 52), 400_000, n_clusters=48, seed=5
-    )
-    machine = power8_socket().scaled(1.0 / 32.0)
-    base_plan = get_kernel("csf").prepare(tensor, 0)
-    blocked_plan = get_kernel("csf-blocked").prepare(
-        tensor, 0, block_counts=(1, 4, 8, 1), n_rank_blocks=4
-    )
-    speedups = []
-    for rank in RANKS:
-        t_base = predict_time(base_plan, rank, machine).total
-        t_blocked = predict_time(blocked_plan, rank, machine).total
-        speedups.append(round(t_base / t_blocked, 3))
-    return {
-        "x_label": "rank",
-        "x_values": list(RANKS),
-        "series": {"blocked CSF vs CSF": speedups},
-    }
+from repro.bench.harness import run_for_pytest
 
 
 def test_csf_higher_order(benchmark):
-    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    text = render_series(
-        data["x_label"],
-        data["x_values"],
-        data["series"],
-        title="Higher-order (4-mode) blocking speedup",
-    )
-    write_result("csf_higher_order", text)
-    print("\n" + text)
-
-    s = data["series"]["blocked CSF vs CSF"]
-    assert s[-1] > 1.2  # blocking pays at high rank
-    assert s[-1] >= s[0]  # and grows with rank
+    run_for_pytest("csf_higher_order", benchmark)

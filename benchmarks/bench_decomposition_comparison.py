@@ -1,101 +1,14 @@
 """Supplementary — coarse vs medium-grained vs 4D decompositions.
 
-The paper's related-work hierarchy made concrete: coarse-grained
-(DFacTo/SALS, one partitioned mode + fully replicated factors),
-medium-grained (distributed SPLATT, all modes partitioned), and the
-paper's 4D rank-extension, compared on modeled time and communication
-volume per MTTKRP across process counts.
-
-Expected shape: coarse-grained's communication volume grows linearly
-with p (factor replication) while medium-grained's grows sublinearly, so
-medium-grained overtakes as p grows; the 4D grid then beats plain
-medium-grained at the largest p by holding more nonzeros per process.
+Thin declaration: the experiment body, parameters, expected-shape
+checks, and rendering all live in the registered benchmark
+``decomposition_comparison`` (see ``repro.bench.registry``); this wrapper only
+hooks it into pytest-benchmark.  Run it standalone with
+``repro bench run --filter decomposition_comparison``.
 """
 
-import numpy as np
-
-from repro.bench import render_rows, write_result
-from repro.dist import (
-    ProcessGrid,
-    coarse_grain_decompose,
-    coarse_grained_mttkrp,
-    distributed_mttkrp,
-    medium_grain_decompose,
-    network_for_dataset,
-)
-from repro.dist.comm import SimCluster
-from repro.dist.driver import choose_grid
-from repro.machine import power8_socket
-from repro.tensor import load_dataset
-from repro.tensor.datasets import DATASETS
-
-DATASET = "nell2"
-RANK = 128
-
-
-def run_experiment():
-    info = DATASETS[DATASET]
-    tensor = load_dataset(DATASET)
-    machine = power8_socket().scaled(info.machine_scale)
-    network = network_for_dataset(info)
-    rng = np.random.default_rng(0)
-    factors = [rng.standard_normal((n, RANK)) for n in tensor.shape]
-
-    rows = []
-    for p in (4, 16, 64):
-        coarse = coarse_grained_mttkrp(
-            coarse_grain_decompose(tensor, p, mode=0),
-            list(factors),
-            machine,
-            SimCluster(p, network),
-        )
-        dims = choose_grid(p, tensor.shape)
-        medium = distributed_mttkrp(
-            medium_grain_decompose(tensor, ProcessGrid(dims), seed=0),
-            factors,
-            0,
-            machine,
-            SimCluster(p, network),
-        )
-        dims4 = choose_grid(p // 4, tensor.shape) if p >= 8 else dims
-        groups = 4 if p >= 8 else 1
-        four_d = distributed_mttkrp(
-            medium_grain_decompose(tensor, ProcessGrid(dims4), seed=0),
-            factors,
-            0,
-            machine,
-            SimCluster(p, network),
-            rank_groups=groups,
-        )
-        for label, res in (
-            ("coarse", coarse),
-            ("medium", medium),
-            ("4D", four_d),
-        ):
-            rows.append(
-                {
-                    "procs": p,
-                    "scheme": label,
-                    "grid": res.grid_label,
-                    "time_ms": round(res.total_time * 1e3, 4),
-                    "comm_KiB": round(res.comm_bytes / 1024, 1),
-                }
-            )
-    return rows
+from repro.bench.harness import run_for_pytest
 
 
 def test_decomposition_comparison(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    text = render_rows(
-        rows, title=f"Decomposition comparison ({DATASET}, R={RANK})"
-    )
-    write_result("decomposition_comparison", text)
-    print("\n" + text)
-
-    by = {(r["procs"], r["scheme"]): r for r in rows}
-    # Coarse replication volume grows ~linearly with p.
-    assert by[(64, "coarse")]["comm_KiB"] > 8 * by[(4, "coarse")]["comm_KiB"]
-    # Medium-grained beats coarse at scale.
-    assert by[(64, "medium")]["time_ms"] < by[(64, "coarse")]["time_ms"]
-    # The 4D grid wins at the largest p.
-    assert by[(64, "4D")]["time_ms"] <= by[(64, "medium")]["time_ms"] * 1.05
+    run_for_pytest("decomposition_comparison", benchmark)

@@ -1,29 +1,14 @@
-"""Figure 2 — arithmetic intensity of SPLATT MTTKRP vs rank, one series
-per cache hit rate (Equation 3).
+"""Figure 2 — arithmetic intensity of SPLATT MTTKRP vs rank (Eq. 3).
 
-Expected shape (paper Section IV-A): intensity grows with rank and
-saturates at R/8 only for alpha = 1; at alpha = 0.95 it spans ~1.43
-(R=16) to ~4.90 (R=2048) — below the 6-12 system balance of current
-processors, hence "memory bound in most cases".
+Thin declaration: the experiment body, parameters, expected-shape
+checks, and rendering all live in the registered benchmark
+``fig2_roofline`` (see ``repro.bench.registry``); this wrapper only
+hooks it into pytest-benchmark.  Run it standalone with
+``repro bench run --filter fig2_roofline``.
 """
 
-from repro.bench import experiment_fig2, render_series, write_result
+from repro.bench.harness import run_for_pytest
 
 
 def test_fig2_roofline(benchmark):
-    data = benchmark.pedantic(experiment_fig2, rounds=1, iterations=1)
-    text = render_series(
-        data["x_label"],
-        data["x_values"],
-        data["series"],
-        title="Figure 2: arithmetic intensity (flops/byte) vs rank",
-    )
-    write_result("fig2_roofline", text)
-    print("\n" + text)
-
-    # Shape assertions from the paper's prose.
-    a95 = data["series"]["alpha=0.95"]
-    assert abs(a95[0] - 1.43) < 0.01
-    assert abs(a95[-1] - 4.90) < 0.01
-    a1 = data["series"]["alpha=1"]
-    assert abs(a1[-1] - 2048 / 8) < 0.5
+    run_for_pytest("fig2_roofline", benchmark)

@@ -1,33 +1,14 @@
-"""Figure 4 — performance vs RankB block size for Poisson2 and Poisson3
-at rank 512 (larger block size = fewer blocks).
+"""Figure 4 — performance vs RankB block size (Poisson2/Poisson3, R=512).
 
-Expected shape (paper Section VI-B): Poisson2 improves at every block
-count with an interior sweet spot around 16 blocks; Poisson3 peaks at a
-small block count and degrades as blocks multiply (the per-strip tensor
-re-streaming overtakes the residency gains).
+Thin declaration: the experiment body, parameters, expected-shape
+checks, and rendering all live in the registered benchmark
+``fig4_rankb_sweep`` (see ``repro.bench.registry``); this wrapper only
+hooks it into pytest-benchmark.  Run it standalone with
+``repro bench run --filter fig4_rankb_sweep``.
 """
 
-from repro.bench import experiment_fig4, render_series, write_result
+from repro.bench.harness import run_for_pytest
 
 
 def test_fig4_rankb_sweep(benchmark):
-    data = benchmark.pedantic(experiment_fig4, rounds=1, iterations=1)
-    text = render_series(
-        data["x_label"],
-        data["x_values"],
-        data["series"],
-        title="Figure 4: relative performance vs RankB blocks (R=512, baseline=1.0)",
-    )
-    write_result("fig4_rankb_sweep", text)
-    print("\n" + text)
-
-    p2 = data["series"]["poisson2"]
-    p3 = data["series"]["poisson3"]
-    # Poisson2: always at least baseline, interior maximum.
-    assert min(p2) >= 0.95
-    assert max(p2) > 1.5
-    assert p2.index(max(p2)) not in (0,)
-    # Poisson3: interior maximum, declining tail.
-    peak3 = p3.index(max(p3))
-    assert 0 < peak3 < len(p3) - 1
-    assert p3[-1] < max(p3)
+    run_for_pytest("fig4_rankb_sweep", benchmark)

@@ -1,49 +1,14 @@
-"""Figure 5 — performance vs multi-dimensional blocking grid for
-Poisson2 (a) and Poisson3 (b) at rank 512.
+"""Figure 5 — performance vs multi-dimensional blocking grid (R=512).
 
-Expected shape (paper Section VI-B): for Poisson2 blocking the long
-mode-2 alone is best and extreme grids fall below baseline; for Poisson3
-moderate grids improve on the baseline with the best sizes around
-1x10x5, and mode-2 blocking beats blocking either other mode alone.
+Thin declaration: the experiment body, parameters, expected-shape
+checks, and rendering all live in the registered benchmark
+``fig5_mb_sweep`` (see ``repro.bench.registry``); this wrapper only
+hooks it into pytest-benchmark.  Run it standalone with
+``repro bench run --filter fig5_mb_sweep``.
 """
 
-import pytest
-
-from repro.bench import experiment_fig5, render_rows, write_result
+from repro.bench.harness import run_for_pytest
 
 
-def test_fig5a_poisson2(benchmark):
-    rows = benchmark.pedantic(
-        experiment_fig5, args=("poisson2",), rounds=1, iterations=1
-    )
-    text = render_rows(rows, title="Figure 5a: Poisson2 MB grids (R=512)")
-    write_result("fig5a_poisson2", text)
-    print("\n" + text)
-
-    perf = {r["grid"]: r["relative_perf"] for r in rows}
-    mode2_only = [v for g, v in perf.items() if _counts(g)[0] == 1 and _counts(g)[2] == 1 and _counts(g)[1] > 1]
-    assert max(mode2_only) > 1.2
-    # Extreme grids lose.
-    assert perf["16x16x16"] < 1.0 or perf["32x1x32"] < 1.0
-    # Blocking mode-2 alone beats single-mode blocking of mode-1.
-    assert max(mode2_only) > perf["8x1x1"]
-
-
-def test_fig5b_poisson3(benchmark):
-    rows = benchmark.pedantic(
-        experiment_fig5, args=("poisson3",), rounds=1, iterations=1
-    )
-    text = render_rows(rows, title="Figure 5b: Poisson3 MB grids (R=512)")
-    write_result("fig5b_poisson3", text)
-    print("\n" + text)
-
-    perf = {r["grid"]: r["relative_perf"] for r in rows}
-    # Moderate mode-2-centred grids beat the baseline...
-    assert max(perf["1x10x5"], perf["1x10x1"]) > 1.05
-    # ...and beat blocking mode-1 or mode-3 alone.
-    assert perf["1x10x1"] >= max(perf["10x1x1"], perf["1x1x10"]) - 0.02
-
-
-def _counts(grid: str) -> tuple[int, int, int]:
-    a, b, c = grid.split("x")
-    return int(a), int(b), int(c)
+def test_fig5_mb_sweep(benchmark):
+    run_for_pytest("fig5_mb_sweep", benchmark)

@@ -1,61 +1,14 @@
-"""Figure 6 — speedup of MB, RankB, and MB+RankB over baseline SPLATT
-across ranks 16..1024, one benchmark per data set, block sizes chosen by
-the Section V-C heuristic.
+"""Figure 6 — speedup of MB / RankB / MB+RankB over SPLATT across ranks.
 
-Expected shapes (paper Section VI-C):
-
-* Poisson2 / Poisson3 / NELL-2 (small tensors): speedup grows with rank
-  (the baseline loses cache residency as rows widen, blocking keeps it).
-* Netflix / Reddit / Amazon (huge dimensions): speedups flatten or peak
-  at moderate ranks instead of growing without bound.
-* MB+RankB >= max(MB, RankB) at every point (the combination never has
-  to be worse — the heuristic can always pick one alone).
-* Real data sets reach higher peak speedups than the synthetics overall
-  (dense sub-structure; paper: 3.54x vs 2.02x).
+Thin declaration: the experiment body, parameters, expected-shape
+checks, and rendering all live in the registered benchmark
+``fig6_speedup`` (see ``repro.bench.registry``); this wrapper only
+hooks it into pytest-benchmark.  Run it standalone with
+``repro bench run --filter fig6_speedup``.
 """
 
-import pytest
-
-from repro.bench import experiment_fig6, render_series, write_result
-
-SMALL = ("poisson2", "poisson3", "nell2")
-LARGE = ("netflix", "reddit", "amazon")
+from repro.bench.harness import run_for_pytest
 
 
-@pytest.mark.parametrize("dataset", SMALL + LARGE)
-def test_fig6_speedup(benchmark, dataset):
-    data = benchmark.pedantic(
-        experiment_fig6, args=(dataset,), rounds=1, iterations=1
-    )
-    from repro.bench import bar_chart
-
-    text = render_series(
-        data["x_label"],
-        data["x_values"],
-        data["series"],
-        title=f"Figure 6 ({dataset}): speedup over SPLATT",
-    )
-    text += "\n\n" + bar_chart(
-        data["x_values"],
-        {"MB+RankB": data["series"]["MB+RankB"]},
-        title="MB+RankB speedup by rank ('|' = baseline 1.0x)",
-        reference=1.0,
-    )
-    write_result(f"fig6_{dataset}", text)
-    print("\n" + text)
-
-    combo = data["series"]["MB+RankB"]
-    mb = data["series"]["MB"]
-    rankb = data["series"]["RankB"]
-    # The combination is never (materially) worse than either technique.
-    for c, m, r in zip(combo, mb, rankb):
-        assert c >= max(m, r) - 0.05
-    # Blocking never loses to the baseline by more than noise.
-    assert min(combo) > 0.95
-    # Something real is gained at high rank.
-    assert max(combo) > 1.3
-
-    if dataset in SMALL:
-        # Speedup grows with rank: the top-rank value is near the maximum.
-        assert combo[-1] >= 0.75 * max(combo)
-        assert combo[-1] > combo[0]
+def test_fig6_speedup(benchmark):
+    run_for_pytest("fig6_speedup", benchmark)

@@ -1,56 +1,14 @@
-"""Supplementary: real wall-clock timings of the vectorized kernels on
-this host (pytest-benchmark, many rounds).
+"""Supplementary — real wall-clock timings of the vectorized kernels.
 
-These do NOT reproduce the paper's figures — pure-Python kernels are
-interpreter-bound, so cache-blocking effects are invisible here (the
-reason the repository's primary instrument is the machine model).  They
-document the kernels' relative Python-level costs and guard against
-performance regressions in the vectorized implementations.
-
-Expected shape: SPLATT beats COO (fiber compression saves flops and
-scatter work) and all kernels are within a small factor of each other.
+Thin declaration: the experiment body, parameters, expected-shape
+checks, and rendering all live in the registered benchmark
+``kernels_wallclock`` (see ``repro.bench.registry``); this wrapper only
+hooks it into pytest-benchmark.  Run it standalone with
+``repro bench run --filter kernels_wallclock``.
 """
 
-import numpy as np
-import pytest
-
-from repro.kernels import get_kernel
-from repro.tensor import poisson_tensor
-
-RANK = 64
+from repro.bench.harness import run_for_pytest
 
 
-@pytest.fixture(scope="module")
-def problem():
-    tensor = poisson_tensor((300, 400, 350), 200_000, seed=1)
-    rng = np.random.default_rng(2)
-    factors = [rng.standard_normal((n, RANK)) for n in tensor.shape]
-    return tensor, factors
-
-
-KERNEL_PARAMS = {
-    "coo": {},
-    "splatt": {},
-    "csf": {},
-    "mb": {"block_counts": (1, 8, 4)},
-    "rankb": {"n_rank_blocks": 4},
-    "mb+rankb": {"block_counts": (1, 8, 4), "n_rank_blocks": 4},
-}
-
-
-@pytest.mark.parametrize("name", sorted(KERNEL_PARAMS))
-def test_kernel_wallclock(benchmark, problem, name):
-    tensor, factors = problem
-    kernel = get_kernel(name)
-    plan = kernel.prepare(tensor, 0, **KERNEL_PARAMS[name])
-    out = np.zeros((tensor.shape[0], RANK))
-    result = benchmark(kernel.execute, plan, factors, out)
-    assert np.isfinite(result).all()
-
-
-def test_prepare_wallclock(benchmark, problem):
-    """Plan preparation (the amortized setup cost)."""
-    tensor, _ = problem
-    kernel = get_kernel("splatt")
-    plan = benchmark(kernel.prepare, tensor, 0)
-    assert plan.nnz == tensor.nnz
+def test_kernels_wallclock(benchmark):
+    run_for_pytest("kernels_wallclock", benchmark)

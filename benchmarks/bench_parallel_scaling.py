@@ -1,44 +1,14 @@
-"""Supplementary — intra-socket thread scaling of the MTTKRP.
+"""Supplementary — intra-socket thread scaling of the MTTKRP (modeled).
 
-The paper's single-processor experiments use 10 cores with two SMT
-threads each; this bench models that axis: output-slice parallelism with
-private cores and shared memory bandwidth.
-
-Expected shape: near-linear speedup while per-core bandwidth caps bind
-(<= ~4 threads on the POWER8 figures), bending as the socket's links
-saturate, with skewed data adding a load-imbalance penalty on top.
+Thin declaration: the experiment body, parameters, expected-shape
+checks, and rendering all live in the registered benchmark
+``parallel_scaling`` (see ``repro.bench.registry``); this wrapper only
+hooks it into pytest-benchmark.  Run it standalone with
+``repro bench run --filter parallel_scaling``.
 """
 
-from repro.bench import render_rows, write_result
-from repro.machine import power8
-from repro.perf import thread_scaling
-from repro.tensor import load_dataset
-from repro.tensor.datasets import DATASETS
-
-RANK = 128
-THREADS = (1, 2, 4, 8, 10, 20)
-
-
-def run_experiment():
-    rows = []
-    for name in ("poisson2", "netflix"):
-        tensor = load_dataset(name)
-        core = power8(1).scaled(DATASETS[name].machine_scale)
-        for r in thread_scaling(tensor, 0, RANK, core, thread_counts=THREADS):
-            rows.append({"dataset": name, **r})
-    return rows
+from repro.bench.harness import run_for_pytest
 
 
 def test_parallel_scaling(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    text = render_rows(rows, title="Thread scaling (modeled, R=128)")
-    write_result("parallel_scaling", text)
-    print("\n" + text)
-
-    for name in ("poisson2", "netflix"):
-        series = {r["threads"]: r for r in rows if r["dataset"] == name}
-        assert series[2]["speedup"] > 1.4  # near-linear early
-        assert series[20]["speedup"] < 20  # sublinear at scale
-        assert series[20]["speedup"] >= series[10]["speedup"] * 0.8
-        # Makespans shrink monotonically up to 10 threads.
-        assert series[10]["makespan_ms"] < series[1]["makespan_ms"]
+    run_for_pytest("parallel_scaling", benchmark)

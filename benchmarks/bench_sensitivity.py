@@ -1,85 +1,14 @@
-"""Sensitivity analysis — are the reproduced conclusions robust to the
-machine model's calibrated knobs?
+"""Sensitivity — robustness of the reproduced conclusions to calibrated knobs.
 
-The two knobs that were *calibrated* (rather than taken from the paper's
-Section VI-A or the POWER8 spec) are the L3 gather bandwidth (default
-2x DRAM) and the per-core sustainable DRAM bandwidth (20 GB/s read).
-This bench perturbs them and checks that the headline qualitative
-results survive:
-
-* Table I's ordering (B removal > B-in-L1 > accumulator loads > C
-  removal; flops ~ 0);
-* Figure 4's Poisson2 interior sweet spot (blocking helps, with a
-  maximum away from both ends).
-
-Expected shape: every perturbation preserves both properties — the
-conclusions depend on structure, not on the tuned constants.
+Thin declaration: the experiment body, parameters, expected-shape
+checks, and rendering all live in the registered benchmark
+``sensitivity`` (see ``repro.bench.registry``); this wrapper only
+hooks it into pytest-benchmark.  Run it standalone with
+``repro bench run --filter sensitivity``.
 """
 
-import dataclasses
-
-from repro.bench import render_rows, write_result
-from repro.blocking import RankBlocking
-from repro.kernels import get_kernel
-from repro.machine import power8, power8_socket
-from repro.perf import predict_time, run_ppa
-from repro.tensor import load_dataset
-from repro.tensor.datasets import DATASETS
-
-L3_RATIOS = (1.5, 2.0, 3.0)
-RANK = 512
-
-
-def run_sensitivity():
-    t3 = load_dataset("poisson3")
-    t2 = load_dataset("poisson2")
-    plan3 = get_kernel("splatt").prepare(t3, 0)
-    planner2 = {
-        n: get_kernel("rankb").prepare(t2, 0, rank_blocking=RankBlocking(n_blocks=n))
-        for n in (1, 2, 4, 8, 16, 32)
-    }
-    base2 = get_kernel("splatt").prepare(t2, 0)
-
-    rows = []
-    for ratio in L3_RATIOS:
-        m1 = power8(1).scaled(DATASETS["poisson3"].machine_scale)
-        m1 = dataclasses.replace(m1, l3_read_bandwidth=ratio * m1.read_bandwidth)
-        savings = [r.saving for r in run_ppa(plan3, 128, m1)]
-        ordering_ok = (
-            savings[0] > savings[1] > savings[2] > savings[3]
-            and abs(savings[4]) < 0.10
-        )
-
-        ms = power8_socket().scaled(DATASETS["poisson2"].machine_scale)
-        ms = dataclasses.replace(ms, l3_read_bandwidth=ratio * ms.read_bandwidth)
-        baseline = predict_time(base2, RANK, ms).total
-        perf = {
-            n: baseline / predict_time(p, RANK, ms).total
-            for n, p in planner2.items()
-        }
-        values = [perf[n] for n in (1, 2, 4, 8, 16, 32)]
-        peak_idx = values.index(max(values))
-        sweet_spot_ok = 0 < peak_idx < len(values) - 1 and max(values) > 1.3
-
-        rows.append(
-            {
-                "l3_ratio": ratio,
-                "table1_savings_%": " / ".join(f"{s * 100:.0f}" for s in savings[:4]),
-                "table1_order_ok": ordering_ok,
-                "fig4_peak_blocks": (1, 2, 4, 8, 16, 32)[peak_idx],
-                "fig4_peak_perf": round(max(values), 2),
-                "fig4_sweet_spot_ok": sweet_spot_ok,
-            }
-        )
-    return rows
+from repro.bench.harness import run_for_pytest
 
 
 def test_sensitivity(benchmark):
-    rows = benchmark.pedantic(run_sensitivity, rounds=1, iterations=1)
-    text = render_rows(rows, title="Sensitivity: L3 gather-bandwidth ratio")
-    write_result("sensitivity", text)
-    print("\n" + text)
-
-    for row in rows:
-        assert row["table1_order_ok"], row
-        assert row["fig4_sweet_spot_ok"], row
+    run_for_pytest("sensitivity", benchmark)

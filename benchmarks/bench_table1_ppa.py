@@ -1,22 +1,14 @@
-"""Table I — pressure points for SPLATT MTTKRP (Poisson3, rank 128, one
-POWER8 core).
+"""Table I — pressure points for SPLATT MTTKRP (Poisson3, rank 128, one core).
 
-Expected shape (paper Section IV-B): savings ordered
-type 1 (B removed) > type 2 (B in L1) > type 3 (no accumulator loads)
-> type 4 (C removed), with type 5 (flops moved inward) ~ no change.
-Paper values: 37.1%, 30.3%, 18.8%, 6.6%, -1.5%.
+Thin declaration: the experiment body, parameters, expected-shape
+checks, and rendering all live in the registered benchmark
+``table1_ppa`` (see ``repro.bench.registry``); this wrapper only
+hooks it into pytest-benchmark.  Run it standalone with
+``repro bench run --filter table1_ppa``.
 """
 
-from repro.bench import experiment_table1, render_rows, write_result
+from repro.bench.harness import run_for_pytest
 
 
 def test_table1_ppa(benchmark):
-    rows = benchmark.pedantic(experiment_table1, rounds=1, iterations=1)
-    text = render_rows(rows, title="Table I: pressure points (modeled)")
-    write_result("table1_ppa", text)
-    print("\n" + text)
-
-    saving = {r["type"]: r["saving_%"] for r in rows}
-    assert saving[1] > saving[2] > saving[3] > saving[4]
-    assert abs(saving[5]) < 10.0
-    assert saving[6] == 0.0
+    run_for_pytest("table1_ppa", benchmark)

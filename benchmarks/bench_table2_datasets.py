@@ -1,21 +1,14 @@
-"""Table II — the data-set inventory, paper stats beside the scaled
-stand-ins, plus the Section III-C memory-footprint comparison
-(COO = 32*nnz bytes vs SPLATT = 16 + 8I + 16F + 16nnz bytes).
+"""Table II — data-set inventory plus the Section III-C memory comparison.
 
-Expected shape: SPLATT storage < COO storage for every data set (the
-fiber compression always wins at these fiber lengths).
+Thin declaration: the experiment body, parameters, expected-shape
+checks, and rendering all live in the registered benchmark
+``table2_datasets`` (see ``repro.bench.registry``); this wrapper only
+hooks it into pytest-benchmark.  Run it standalone with
+``repro bench run --filter table2_datasets``.
 """
 
-from repro.bench import experiment_table2, render_rows, write_result
+from repro.bench.harness import run_for_pytest
 
 
 def test_table2_datasets(benchmark):
-    rows = benchmark.pedantic(experiment_table2, rounds=1, iterations=1)
-    text = render_rows(rows, title="Table II: data sets (paper vs stand-in)")
-    write_result("table2_datasets", text)
-    print("\n" + text)
-
-    assert len(rows) == 7
-    for row in rows:
-        assert row["splatt_MiB"] < row["coo_MiB"]
-        assert 0 < row["fibers_per_nnz"] <= 1.0
+    run_for_pytest("table2_datasets", benchmark)

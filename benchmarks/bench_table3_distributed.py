@@ -1,40 +1,14 @@
-"""Table III — distributed strong scaling on NELL-2 and Netflix:
-distributed SPLATT vs our 3D (blocked local kernel) vs our 4D
-(rank-extended grid), 1-64 nodes, two MPI ranks (sockets) per node.
+"""Table III — distributed strong scaling on NELL-2 and Netflix.
 
-Expected shape (paper Section VI-D): our implementation beats SPLATT at
-every node count; the 4D partitioning overtakes 3D as node counts grow
-(more nonzeros per process, no extra communication inside rank groups);
-times decrease monotonically with nodes; the 64-node speedup lands in
-the paper's 1.4-1.6x regime (we accept 1.2-2.5x).
+Thin declaration: the experiment body, parameters, expected-shape
+checks, and rendering all live in the registered benchmark
+``table3_distributed`` (see ``repro.bench.registry``); this wrapper only
+hooks it into pytest-benchmark.  Run it standalone with
+``repro bench run --filter table3_distributed``.
 """
 
-import pytest
-
-from repro.bench import experiment_table3, render_rows, write_result
+from repro.bench.harness import run_for_pytest
 
 
-@pytest.mark.parametrize("dataset", ["nell2", "netflix"])
-def test_table3_distributed(benchmark, dataset):
-    rows = benchmark.pedantic(
-        experiment_table3, args=(dataset,), rounds=1, iterations=1
-    )
-    text = render_rows(rows, title=f"Table III ({dataset}): distributed times")
-    write_result(f"table3_{dataset}", text)
-    print("\n" + text)
-
-    assert [r["nodes"] for r in rows] == [1, 2, 4, 8, 16, 32, 64]
-    splatt = [r["splatt_ms"] for r in rows]
-    ours = [min(r["3d_ms"], r["4d_ms"]) for r in rows]
-    # Strong scaling: SPLATT and ours both speed up monotonically.
-    assert splatt == sorted(splatt, reverse=True)
-    assert ours == sorted(ours, reverse=True)
-    # Ours always wins.
-    for r in rows:
-        assert min(r["3d_ms"], r["4d_ms"]) <= r["splatt_ms"] * 1.02
-    # 4D wins at scale.
-    last = rows[-1]
-    assert last["4d_ms"] <= last["3d_ms"]
-    # 64-node speedup in the paper's regime.
-    speedup = splatt[-1] / ours[-1]
-    assert 1.2 < speedup < 3.0
+def test_table3_distributed(benchmark):
+    run_for_pytest("table3_distributed", benchmark)

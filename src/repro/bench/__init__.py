@@ -1,9 +1,20 @@
-"""Benchmark harness: one experiment function per paper table/figure.
+"""Benchmark subsystem: experiments, the unified harness, and comparison.
 
-Each ``experiment_*`` function regenerates one evaluation artifact as
-structured rows (see DESIGN.md §4 for the per-experiment index); the
-modules under ``benchmarks/`` time them with pytest-benchmark and print
-the same rows/series the paper reports.
+* :mod:`repro.bench.experiments` — one ``experiment_*`` function per
+  paper table/figure (see DESIGN.md §4).
+* :mod:`repro.bench.suites` — parameterized bodies of the supplementary
+  and ablation experiments.
+* :mod:`repro.bench.harness` — the :class:`Benchmark` registry and the
+  statistically rigorous runner behind ``repro bench run``.
+* :mod:`repro.bench.registry` — the 16 registered experiment
+  declarations (imported lazily by the harness).
+* :mod:`repro.bench.schema` — the versioned ``BENCH_<timestamp>.json``
+  result format.
+* :mod:`repro.bench.compare` — baseline comparison and the CI
+  regression gate (``repro bench compare``).
+
+The modules under ``benchmarks/`` are thin pytest wrappers over
+:func:`repro.bench.harness.run_for_pytest`.
 """
 
 from repro.bench.experiments import (
@@ -17,6 +28,33 @@ from repro.bench.experiments import (
 )
 from repro.bench.tables import render_series, render_rows, write_result
 from repro.bench.ascii_plot import bar_chart, sparkline
+from repro.bench.harness import (
+    Benchmark,
+    BenchmarkResult,
+    SampleSummary,
+    get_benchmark,
+    iter_benchmarks,
+    register_benchmark,
+    run_benchmark,
+    run_for_pytest,
+    summarize_samples,
+)
+from repro.bench.schema import (
+    BenchSuiteResult,
+    default_result_path,
+    load_suite,
+    save_suite,
+    suite_from_json,
+    suite_to_json,
+)
+from repro.bench.compare import (
+    Comparison,
+    Delta,
+    compare_suites,
+    render_comparison_json,
+    render_comparison_markdown,
+    render_comparison_text,
+)
 
 __all__ = [
     "bar_chart",
@@ -31,4 +69,25 @@ __all__ = [
     "render_series",
     "render_rows",
     "write_result",
+    "Benchmark",
+    "BenchmarkResult",
+    "SampleSummary",
+    "get_benchmark",
+    "iter_benchmarks",
+    "register_benchmark",
+    "run_benchmark",
+    "run_for_pytest",
+    "summarize_samples",
+    "BenchSuiteResult",
+    "default_result_path",
+    "load_suite",
+    "save_suite",
+    "suite_from_json",
+    "suite_to_json",
+    "Comparison",
+    "Delta",
+    "compare_suites",
+    "render_comparison_json",
+    "render_comparison_markdown",
+    "render_comparison_text",
 ]

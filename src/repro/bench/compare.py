@@ -1,0 +1,268 @@
+"""Baseline comparison and regression gating (``repro bench compare``).
+
+Given two :class:`~repro.bench.schema.BenchSuiteResult` documents, this
+module produces one :class:`Delta` per benchmark, a suite-level
+:class:`Comparison` verdict, and renderers for text, JSON, and
+GitHub-step-summary markdown.
+
+A benchmark **regresses** when its wall-clock ratio (current best over
+baseline best) exceeds the threshold *and* the bootstrap 95% confidence
+intervals of the two medians do not overlap — the CI-overlap test keeps
+noisy samples from tripping the gate on their own.  Deterministic result
+``metrics`` (modeled speedups, flop ratios, ...) are additionally diffed:
+they are machine-independent, so any drift beyond ``metric_rtol`` is
+reported, and gates the exit code under ``--strict-metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.util.formatting import format_table
+
+from repro.bench.schema import BenchSuiteResult
+
+#: Default regression threshold: current/baseline wall-clock ratio.
+DEFAULT_THRESHOLD = 1.25
+#: Default relative tolerance for deterministic metric drift.
+DEFAULT_METRIC_RTOL = 0.05
+
+#: Per-benchmark verdicts, ordered worst-first for reporting.
+VERDICTS = ("regression", "metric-drift", "missing", "new", "improvement", "ok")
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Comparison of one benchmark across the two suites."""
+
+    name: str
+    verdict: str
+    baseline_s: "float | None"
+    current_s: "float | None"
+    ratio: "float | None"
+    ci_overlap: "bool | None"
+    metric_drift: "dict[str, tuple[float, float]]"
+    note: str = ""
+
+    @property
+    def ratio_str(self) -> str:
+        return f"{self.ratio:.3f}x" if self.ratio is not None else "-"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """The suite-level comparison result."""
+
+    deltas: list[Delta]
+    threshold: float
+    metric_rtol: float
+    host_match: bool
+    machine_model_match: bool
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return [d for d in self.deltas if d.verdict == "regression"]
+
+    @property
+    def drifted(self) -> list[Delta]:
+        return [d for d in self.deltas if d.metric_drift]
+
+    def exit_code(self, *, strict_metrics: bool = False) -> int:
+        """Nonzero exactly when the gate should fail CI."""
+        if self.regressions:
+            return 1
+        if strict_metrics and self.drifted:
+            return 1
+        return 0
+
+
+def _ci_overlap(
+    base_lo: float, base_hi: float, cur_lo: float, cur_hi: float
+) -> bool:
+    return cur_lo <= base_hi and base_lo <= cur_hi
+
+
+def compare_suites(
+    baseline: BenchSuiteResult,
+    current: BenchSuiteResult,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    metric_rtol: float = DEFAULT_METRIC_RTOL,
+) -> Comparison:
+    """Compare two suites benchmark-by-benchmark."""
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must be > 1.0, got {threshold}")
+    base_by = baseline.result_by_name()
+    cur_by = current.result_by_name()
+    deltas: list[Delta] = []
+
+    for name in sorted(set(base_by) | set(cur_by)):
+        base = base_by.get(name)
+        cur = cur_by.get(name)
+        if base is None:
+            deltas.append(
+                Delta(name, "new", None, cur.summary.min_s, None, None, {},
+                      "not in baseline")
+            )
+            continue
+        if cur is None:
+            deltas.append(
+                Delta(name, "missing", base.summary.min_s, None, None, None, {},
+                      "not in current run")
+            )
+            continue
+
+        ratio = (
+            cur.summary.min_s / base.summary.min_s
+            if base.summary.min_s > 0
+            else float("inf")
+        )
+        overlap = _ci_overlap(
+            base.summary.ci95_low_s,
+            base.summary.ci95_high_s,
+            cur.summary.ci95_low_s,
+            cur.summary.ci95_high_s,
+        )
+        drift: dict[str, tuple[float, float]] = {}
+        for key in sorted(set(base.metrics) & set(cur.metrics)):
+            b, c = base.metrics[key], cur.metrics[key]
+            denom = max(abs(b), abs(c), 1e-12)
+            if abs(c - b) / denom > metric_rtol:
+                drift[key] = (b, c)
+
+        if ratio > threshold and not overlap:
+            verdict, note = "regression", (
+                f"{ratio:.2f}x slower than baseline (threshold {threshold:.2f}x, "
+                "CIs disjoint)"
+            )
+        elif ratio < 1.0 / threshold and not overlap:
+            verdict, note = "improvement", f"{1.0 / ratio:.2f}x faster than baseline"
+        elif drift:
+            verdict, note = "metric-drift", (
+                "deterministic metrics moved: " + ", ".join(sorted(drift))
+            )
+        else:
+            verdict, note = "ok", "within noise"
+        deltas.append(
+            Delta(
+                name,
+                verdict,
+                base.summary.min_s,
+                cur.summary.min_s,
+                ratio,
+                overlap,
+                drift,
+                note,
+            )
+        )
+
+    deltas.sort(key=lambda d: (VERDICTS.index(d.verdict), d.name))
+    return Comparison(
+        deltas=deltas,
+        threshold=threshold,
+        metric_rtol=metric_rtol,
+        host_match=baseline.host.get("hash") == current.host.get("hash"),
+        machine_model_match=(
+            baseline.machine_model.get("hash") == current.machine_model.get("hash")
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Renderers
+# ----------------------------------------------------------------------
+def _ms(value: "float | None") -> str:
+    return f"{value * 1e3:.2f}" if value is not None else "-"
+
+
+def _rows(deltas: Iterable[Delta]) -> list[list[object]]:
+    return [
+        [d.name, d.verdict, _ms(d.baseline_s), _ms(d.current_s), d.ratio_str, d.note]
+        for d in deltas
+    ]
+
+
+_HEADERS = ["benchmark", "verdict", "base ms", "cur ms", "ratio", "note"]
+
+
+def render_comparison_text(cmp: Comparison) -> str:
+    """Monospace delta table plus the gate verdict."""
+    lines = [
+        format_table(
+            _HEADERS,
+            _rows(cmp.deltas),
+            title=f"benchmark comparison (threshold {cmp.threshold:.2f}x)",
+        )
+    ]
+    if not cmp.host_match:
+        lines.append(
+            "warning: host fingerprints differ — wall-clock ratios compare "
+            "different machines"
+        )
+    if not cmp.machine_model_match:
+        lines.append("warning: modeled-machine fingerprints differ")
+    n_reg = len(cmp.regressions)
+    lines.append(
+        f"{n_reg} regression(s), "
+        f"{sum(1 for d in cmp.deltas if d.verdict == 'improvement')} improvement(s), "
+        f"{len(cmp.drifted)} metric drift(s) out of {len(cmp.deltas)} benchmark(s)"
+    )
+    if n_reg:
+        lines.append(
+            "REGRESSED: " + ", ".join(d.name for d in cmp.regressions)
+        )
+    return "\n".join(lines)
+
+
+def render_comparison_json(cmp: Comparison) -> str:
+    doc = {
+        "threshold": cmp.threshold,
+        "metric_rtol": cmp.metric_rtol,
+        "host_match": cmp.host_match,
+        "machine_model_match": cmp.machine_model_match,
+        "regressions": [d.name for d in cmp.regressions],
+        "deltas": [
+            {
+                "name": d.name,
+                "verdict": d.verdict,
+                "baseline_s": d.baseline_s,
+                "current_s": d.current_s,
+                "ratio": d.ratio,
+                "ci_overlap": d.ci_overlap,
+                "metric_drift": {
+                    k: {"baseline": b, "current": c}
+                    for k, (b, c) in d.metric_drift.items()
+                },
+                "note": d.note,
+            }
+            for d in cmp.deltas
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def render_comparison_markdown(cmp: Comparison) -> str:
+    """GitHub-step-summary markdown: delta table + verdict banner."""
+    status = "❌ regression" if cmp.regressions else "✅ no regressions"
+    lines = [
+        "## Benchmark comparison",
+        "",
+        f"**Gate:** {status} (threshold {cmp.threshold:.2f}x, "
+        f"{len(cmp.deltas)} benchmarks)",
+        "",
+        "| " + " | ".join(_HEADERS) + " |",
+        "|" + "|".join("---" for _ in _HEADERS) + "|",
+    ]
+    for row in _rows(cmp.deltas):
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    if not cmp.host_match:
+        lines += ["", "> ⚠️ host fingerprints differ between the two runs."]
+    if cmp.drifted:
+        lines += [
+            "",
+            "> ⚠️ deterministic metric drift in: "
+            + ", ".join(d.name for d in cmp.drifted),
+        ]
+    return "\n".join(lines) + "\n"

@@ -51,9 +51,11 @@ def experiment_fig2(
 # ----------------------------------------------------------------------
 # Table I — pressure points on Poisson3, rank 128, one core
 # ----------------------------------------------------------------------
-def experiment_table1(rank: int = 128, seed: int = 0) -> list[dict]:
+def experiment_table1(
+    rank: int = 128, seed: int = 0, nnz: "int | None" = None
+) -> list[dict]:
     """Table I: the six pressure-point rows (modeled exec time + saving)."""
-    tensor = load_dataset("poisson3", seed=seed)
+    tensor = load_dataset("poisson3", seed=seed, nnz=nnz)
     machine = _dataset_machine("poisson3", cores=1)
     plan = get_kernel("splatt").prepare(tensor, 0)
     rows = []
@@ -105,6 +107,7 @@ def experiment_fig4(
     rank: int = 512,
     block_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
     seed: int = 0,
+    nnz: "int | None" = None,
 ) -> dict:
     """Figure 4: relative performance (baseline = 1.0) per RankB count.
 
@@ -113,7 +116,7 @@ def experiment_fig4(
     x = [f"n={n} (bs={max(1, rank // n)})" for n in block_counts]
     series: dict[str, list[float]] = {}
     for name in datasets:
-        tensor = load_dataset(name, seed=seed)
+        tensor = load_dataset(name, seed=seed, nnz=nnz)
         machine = _dataset_machine(name)
         planner = ConfigPlanner(tensor, 0)
         base = predict_time(planner.plan_for(None, None), rank, machine).total
@@ -162,10 +165,11 @@ def experiment_fig5(
     rank: int = 512,
     grids: "Sequence[tuple[int, int, int]] | None" = None,
     seed: int = 0,
+    nnz: "int | None" = None,
 ) -> list[dict]:
     """Figure 5: relative performance (baseline = 1.0) per MB grid."""
     grids = grids if grids is not None else FIG5_GRIDS[dataset]
-    tensor = load_dataset(dataset, seed=seed)
+    tensor = load_dataset(dataset, seed=seed, nnz=nnz)
     machine = _dataset_machine(dataset)
     planner = ConfigPlanner(tensor, 0)
     base = predict_time(planner.plan_for(None, None), rank, machine).total
@@ -188,9 +192,10 @@ def experiment_fig6(
     dataset: str,
     ranks: Sequence[int] = FIG6_RANKS,
     seed: int = 0,
+    nnz: "int | None" = None,
 ) -> dict:
     """Figure 6 (one subplot): heuristic-tuned speedups per technique."""
-    tensor = load_dataset(dataset, seed=seed)
+    tensor = load_dataset(dataset, seed=seed, nnz=nnz)
     machine = _dataset_machine(dataset)
     planner = ConfigPlanner(tensor, 0)
     series = {"MB": [], "RankB": [], "MB+RankB": []}
@@ -217,10 +222,11 @@ def experiment_table3(
     rank: int = 128,
     node_counts: Sequence[int] = TABLE3_NODES,
     seed: int = 0,
+    nnz: "int | None" = None,
 ) -> list[dict]:
     """Table III: SPLATT vs ours-3D vs ours-4D times per node count."""
     info = DATASETS[dataset]
-    tensor = load_dataset(dataset, seed=seed)
+    tensor = load_dataset(dataset, seed=seed, nnz=nnz)
     machine = _dataset_machine(dataset)
     network = network_for_dataset(info)
     points = strong_scaling(

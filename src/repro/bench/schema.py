@@ -1,0 +1,168 @@
+"""The versioned on-disk format of benchmark results.
+
+One ``repro bench run`` emits one JSON document (default name
+``BENCH_<timestamp>.json``) containing the schema version, provenance
+(git SHA, host fingerprint, modeled-machine fingerprint), the run
+configuration, and one record per executed benchmark with raw samples
+and summary statistics.  :func:`suite_from_json` round-trips the
+document back into dataclasses; ``repro bench compare`` refuses nothing
+but *warns* on mismatched hosts/schemas so cross-machine comparisons are
+possible yet visible.
+
+Schema history
+--------------
+* **1** — initial format (this PR).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.machine.spec import host_fingerprint, power8_socket, spec_fingerprint
+from repro.util.errors import FormatError
+
+from repro.bench.harness import BenchmarkResult, SampleSummary
+
+SCHEMA_VERSION = 1
+SCHEMA_KIND = "repro-bench-result"
+
+
+def default_result_path(timestamp: "float | None" = None) -> str:
+    """The canonical ``BENCH_<timestamp>.json`` name for a run."""
+    ts = time.localtime(timestamp if timestamp is not None else time.time())
+    return time.strftime("BENCH_%Y%m%dT%H%M%S.json", ts)
+
+
+def git_sha() -> str:
+    """The current commit SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+@dataclass(frozen=True)
+class BenchSuiteResult:
+    """Everything one ``repro bench run`` produced."""
+
+    config: dict[str, Any]
+    results: list[BenchmarkResult]
+    git_sha: str = field(default_factory=git_sha)
+    host: dict[str, Any] = field(default_factory=host_fingerprint)
+    machine_model: dict[str, Any] = field(
+        default_factory=lambda: spec_fingerprint(power8_socket())
+    )
+    created_unix: float = field(default_factory=time.time)
+
+    def result_by_name(self) -> "dict[str, BenchmarkResult]":
+        return {r.name: r for r in self.results}
+
+
+def suite_to_json(suite: BenchSuiteResult) -> str:
+    """Serialize to the versioned document (stable key order)."""
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": SCHEMA_KIND,
+        "created_unix": suite.created_unix,
+        "created": time.strftime(
+            "%Y-%m-%dT%H:%M:%S", time.localtime(suite.created_unix)
+        ),
+        "git_sha": suite.git_sha,
+        "host": suite.host,
+        "machine_model": suite.machine_model,
+        "config": suite.config,
+        "benchmarks": [
+            {
+                "name": r.name,
+                "tags": list(r.tags),
+                "params": r.params,
+                "samples_s": r.samples_s,
+                "summary": r.summary.as_dict(),
+                "metrics": r.metrics,
+                "model": r.model,
+                "check": r.check,
+            }
+            for r in suite.results
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def suite_from_json(text: str) -> BenchSuiteResult:
+    """Parse and validate a benchmark-result document."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"not a JSON document: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("kind") != SCHEMA_KIND:
+        raise FormatError(
+            f"not a {SCHEMA_KIND} document (kind={doc.get('kind')!r})"
+            if isinstance(doc, dict)
+            else "not a JSON object"
+        )
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise FormatError(
+            f"unsupported schema version {version!r} (supported: {SCHEMA_VERSION})"
+        )
+    for key in ("benchmarks", "config", "git_sha", "host", "machine_model"):
+        if key not in doc:
+            raise FormatError(f"missing required key {key!r}")
+    results = []
+    for entry in doc["benchmarks"]:
+        results.append(_result_from_dict(entry))
+    return BenchSuiteResult(
+        config=dict(doc["config"]),
+        results=results,
+        git_sha=str(doc["git_sha"]),
+        host=dict(doc["host"]),
+        machine_model=dict(doc["machine_model"]),
+        created_unix=float(doc.get("created_unix", 0.0)),
+    )
+
+
+def _result_from_dict(entry: Mapping[str, Any]) -> BenchmarkResult:
+    for key in ("name", "samples_s", "summary", "check"):
+        if key not in entry:
+            raise FormatError(f"benchmark entry missing key {key!r}")
+    return BenchmarkResult(
+        name=str(entry["name"]),
+        tags=tuple(entry.get("tags", ())),
+        params=dict(entry.get("params", {})),
+        samples_s=[float(s) for s in entry["samples_s"]],
+        summary=SampleSummary.from_dict(entry["summary"]),
+        metrics={k: float(v) for k, v in (entry.get("metrics") or {}).items()},
+        model=(
+            {k: float(v) for k, v in entry["model"].items()}
+            if entry.get("model")
+            else None
+        ),
+        check=str(entry["check"]),
+    )
+
+
+def load_suite(path: str) -> BenchSuiteResult:
+    """Read one ``BENCH_*.json`` file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return suite_from_json(fh.read())
+    except OSError as exc:
+        raise FormatError(f"cannot read {path}: {exc}") from exc
+
+
+def save_suite(suite: BenchSuiteResult, path: str) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(suite_to_json(suite))
+    return path

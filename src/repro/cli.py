@@ -14,9 +14,13 @@ Commands
               (see docs/static-analysis.md)
 ``sanitize``  instrumented kernel execution: write-set containment, gather
               bounds, NaN/Inf, dtype drift, traffic-footprint cross-check
+``bench``     unified benchmark harness: ``run`` the registered
+              experiments (``--quick`` smoke tier, ``--filter``,
+              ``--json``), ``compare`` two result files with regression
+              gating, ``list`` the registry (see docs/benchmarking.md)
 
-Every command accepts ``--dataset <name>`` (a Table II stand-in) or
-``--tns <path>`` (a FROSTT text file).
+Every tensor-consuming command accepts ``--dataset <name>`` (a Table II
+stand-in) or ``--tns <path>`` (a FROSTT text file).
 """
 
 from __future__ import annotations
@@ -427,6 +431,153 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_list(args: argparse.Namespace) -> int:
+    """List the registered benchmarks (``repro bench list``)."""
+    import json as json_mod
+
+    from repro.bench import iter_benchmarks
+
+    benches = iter_benchmarks(args.filter)
+    if args.format == "json":
+        print(
+            json_mod.dumps(
+                [
+                    {
+                        "name": b.name,
+                        "tags": sorted(b.tags),
+                        "description": b.description,
+                        "quick_overrides": sorted(b.quick),
+                    }
+                    for b in benches
+                ],
+                indent=2,
+            )
+        )
+    else:
+        rows = [
+            [b.name, ",".join(sorted(b.tags)), b.description] for b in benches
+        ]
+        print(
+            format_table(
+                ["name", "tags", "description"],
+                rows,
+                title=f"registered benchmarks ({len(benches)})",
+            )
+        )
+    return 0
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    """Execute registered benchmarks and emit the versioned result JSON."""
+    import time as time_mod
+
+    from repro.bench import (
+        BenchSuiteResult,
+        default_result_path,
+        iter_benchmarks,
+        run_benchmark,
+        save_suite,
+    )
+    from repro.bench.harness import write_artifacts
+
+    benches = iter_benchmarks(args.filter)
+    if not benches:
+        print(f"repro bench: no benchmark matches {args.filter!r}", file=sys.stderr)
+        return 2
+
+    tier = "quick" if args.quick else "full"
+    results = []
+    failed_checks: list[str] = []
+    t_start = time_mod.time()
+    for bench in benches:
+        t0 = time_mod.time()
+        result = run_benchmark(
+            bench,
+            quick=args.quick,
+            warmup=args.warmup,
+            repeats=args.repeats,
+            seed=args.seed,
+            run_checks=not args.no_check,
+        )
+        results.append(result)
+        if not result.check_passed:
+            failed_checks.append(bench.name)
+        if args.artifacts:
+            write_artifacts(bench, result.raw)
+        status = result.check if result.check != "skipped" else "-"
+        print(
+            f"[{time_mod.time() - t_start:6.1f}s] {bench.name:28s} "
+            f"min {result.summary.min_s * 1e3:9.2f} ms  "
+            f"(n={result.summary.n}, {time_mod.time() - t0:5.1f}s, check: {status})"
+        )
+
+    suite = BenchSuiteResult(
+        config={
+            "tier": tier,
+            "repeats": args.repeats,
+            "warmup": args.warmup,
+            "filter": args.filter,
+            "seed": args.seed,
+            "checks": not args.no_check,
+        },
+        results=results,
+    )
+    path = args.json or default_result_path()
+    save_suite(suite, path)
+    print(f"\nwrote {path} ({len(results)} benchmarks, "
+          f"{time_mod.time() - t_start:.0f}s total)")
+    if failed_checks:
+        print(
+            "shape checks FAILED: " + ", ".join(failed_checks), file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Compare two result files; exit nonzero on regression."""
+    import os
+
+    from repro.bench import (
+        compare_suites,
+        load_suite,
+        render_comparison_json,
+        render_comparison_markdown,
+        render_comparison_text,
+    )
+    from repro.util.errors import FormatError
+
+    try:
+        baseline = load_suite(args.baseline)
+        current = load_suite(args.current)
+    except FormatError as exc:
+        print(f"repro bench compare: {exc}", file=sys.stderr)
+        return 2
+
+    cmp = compare_suites(
+        baseline,
+        current,
+        threshold=args.threshold,
+        metric_rtol=args.metric_rtol,
+    )
+    if args.format == "json":
+        print(render_comparison_json(cmp), end="")
+    elif args.format == "markdown":
+        print(render_comparison_markdown(cmp), end="")
+    else:
+        print(render_comparison_text(cmp))
+
+    summary_path = args.github_summary or os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        try:
+            with open(summary_path, "a", encoding="utf-8") as fh:
+                fh.write(render_comparison_markdown(cmp))
+        except OSError as exc:
+            print(f"repro bench compare: cannot write summary: {exc}",
+                  file=sys.stderr)
+    return cmp.exit_code(strict_metrics=args.strict_metrics)
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -559,6 +710,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the SZ506 traffic-footprint comparison",
     )
     p.set_defaults(func=cmd_sanitize)
+
+    p = sub.add_parser(
+        "bench",
+        help="unified benchmark harness: run / compare / list "
+        "(see docs/benchmarking.md)",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bench_sub.add_parser("list", help="list registered benchmarks")
+    b.add_argument(
+        "--filter",
+        help="comma-separated name substrings or tags "
+        "(kernel,model,dist,cpd,figure,table,ablation,supplementary)",
+    )
+    b.add_argument("--format", choices=("text", "json"), default="text")
+    b.set_defaults(func=cmd_bench_list)
+
+    b = bench_sub.add_parser(
+        "run", help="execute registered benchmarks, write BENCH_*.json"
+    )
+    b.add_argument("--filter", help="comma-separated name substrings or tags")
+    b.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke tier: reduced parameters, no warmup, one repeat",
+    )
+    b.add_argument(
+        "--repeats", type=int, help="timed repeats (default: 3 full, 1 quick)"
+    )
+    b.add_argument(
+        "--warmup", type=int, help="untimed warmup runs (default: 1 full, 0 quick)"
+    )
+    b.add_argument(
+        "--json",
+        metavar="PATH",
+        help="result path (default: BENCH_<timestamp>.json)",
+    )
+    b.add_argument("--seed", type=int, default=0, help="bootstrap-CI seed")
+    b.add_argument(
+        "--no-check", action="store_true", help="skip the registered shape checks"
+    )
+    b.add_argument(
+        "--artifacts",
+        action="store_true",
+        help="also write the rendered tables under benchmarks/results/",
+    )
+    b.set_defaults(func=cmd_bench_run)
+
+    b = bench_sub.add_parser(
+        "compare",
+        help="compare two BENCH_*.json files; exit 1 on regression",
+    )
+    b.add_argument("baseline", help="baseline result JSON")
+    b.add_argument("current", help="current result JSON")
+    b.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="regression gate: current/baseline wall-clock ratio (default 1.25)",
+    )
+    b.add_argument(
+        "--metric-rtol",
+        type=float,
+        default=0.05,
+        help="relative tolerance for deterministic metric drift (default 0.05)",
+    )
+    b.add_argument(
+        "--strict-metrics",
+        action="store_true",
+        help="metric drift also fails the gate",
+    )
+    b.add_argument(
+        "--format", choices=("text", "json", "markdown"), default="text"
+    )
+    b.add_argument(
+        "--github-summary",
+        metavar="PATH",
+        help="append the markdown delta table to PATH "
+        "(defaults to $GITHUB_STEP_SUMMARY when set)",
+    )
+    b.set_defaults(func=cmd_bench_compare)
 
     p = sub.add_parser("scaling", help="distributed strong scaling (Table III)")
     _add_tensor_args(p)

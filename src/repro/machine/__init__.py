@@ -20,7 +20,14 @@ of Equation 1.  This package models exactly that mechanism:
   second bottleneck the paper identifies (Table I, type 3).
 """
 
-from repro.machine.spec import CacheLevel, MachineSpec, power8, power8_socket
+from repro.machine.spec import (
+    CacheLevel,
+    MachineSpec,
+    host_fingerprint,
+    power8,
+    power8_socket,
+    spec_fingerprint,
+)
 from repro.machine.cache import CacheHierarchy, SetAssociativeCache, TraceResult
 from repro.machine.trace import STRUCTURES, mttkrp_trace
 from repro.machine.traffic import StructureTraffic, TrafficEstimate, estimate_traffic
@@ -29,8 +36,10 @@ from repro.machine.loadunits import LoadEstimate, estimate_loads
 __all__ = [
     "CacheLevel",
     "MachineSpec",
+    "host_fingerprint",
     "power8",
     "power8_socket",
+    "spec_fingerprint",
     "CacheHierarchy",
     "SetAssociativeCache",
     "TraceResult",

@@ -181,6 +181,65 @@ class MachineSpec:
         )
 
 
+# ----------------------------------------------------------------------
+# Fingerprints — stable identity records for benchmark provenance.
+# ----------------------------------------------------------------------
+def _short_hash(payload: "dict[str, object]") -> str:
+    import hashlib
+    import json
+
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
+def spec_fingerprint(spec: MachineSpec) -> "dict[str, object]":
+    """A JSON-serializable identity record for a machine *model*.
+
+    Benchmark results embed this so that two ``BENCH_*.json`` files are
+    only compared when their modeled machines agree (the model-predicted
+    times are functions of these fields).
+    """
+    payload: dict[str, object] = {
+        "name": spec.name,
+        "frequency_hz": spec.frequency_hz,
+        "caches": [
+            [c.name, c.capacity_bytes, c.line_bytes, c.associativity]
+            for c in spec.caches
+        ],
+        "read_bandwidth": spec.read_bandwidth,
+        "write_bandwidth": spec.write_bandwidth,
+        "flops_per_cycle": spec.flops_per_cycle,
+        "loadstore_per_cycle": spec.loadstore_per_cycle,
+        "vector_doubles": spec.vector_doubles,
+        "vector_registers": spec.vector_registers,
+        "strided_stream_efficiency": spec.strided_stream_efficiency,
+        "l3_read_bandwidth": spec.l3_read_bandwidth,
+    }
+    payload["hash"] = _short_hash(payload)
+    return payload
+
+
+def host_fingerprint() -> "dict[str, object]":
+    """A JSON-serializable identity record for the *host* running us.
+
+    Wall-clock samples are only comparable across runs on similar hosts;
+    ``repro bench compare`` warns when the host hashes differ.
+    """
+    import os
+    import platform
+
+    payload: dict[str, object] = {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }
+    payload["hash"] = _short_hash(payload)
+    return payload
+
+
 #: Sustained per-core memory bandwidth: a single POWER8 core's load/store
 #: machinery cannot saturate the socket's memory links, so bandwidth grows
 #: with core count up to the socket figures of Section VI-A.

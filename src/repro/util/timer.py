@@ -1,26 +1,92 @@
-"""A tiny wall-clock timer used by the heuristic search and examples."""
+"""Wall-clock timing built on :func:`time.perf_counter_ns`.
+
+:class:`Timer` is the single timing primitive of the repository: the
+benchmark harness (``repro bench``), the heuristic search, and the
+examples all go through it.  It records every timed interval in
+:attr:`Timer.samples` (seconds) rather than a single lossy float, so a
+caller that times N repeats can compute min/median/CI statistics without
+re-implementing the clock handling.
+"""
 
 from __future__ import annotations
 
 import time
+from typing import Callable
 
 
 class Timer:
-    """Context-manager stopwatch.
+    """Stopwatch accumulating one sample per timed interval.
 
-    >>> with Timer() as t:
-    ...     _ = sum(range(1000))
+    Usable as a (re-entrant) context manager — each ``with`` block
+    appends one sample — or via explicit :meth:`start`/:meth:`stop`.
+
+    >>> t = Timer()
+    >>> for _ in range(3):
+    ...     with t:
+    ...         _ = sum(range(1000))
+    >>> len(t.samples)
+    3
     >>> t.elapsed >= 0.0
     True
     """
 
-    def __init__(self) -> None:
-        self.start: float = 0.0
-        self.elapsed: float = 0.0
+    def __init__(self, clock_ns: "Callable[[], int] | None" = None) -> None:
+        #: Nanosecond clock; injectable so tests can drive a fake clock.
+        self._clock_ns = clock_ns if clock_ns is not None else time.perf_counter_ns
+        #: One entry per timed interval, in nanoseconds (lossless).
+        self.samples_ns: list[int] = []
+        self._start_ns: "int | None" = None
 
-    def __enter__(self) -> "Timer":
-        self.start = time.perf_counter()
+    # ------------------------------------------------------------------
+    def start(self) -> "Timer":
+        """Begin an interval.  Starting twice discards the first start."""
+        self._start_ns = self._clock_ns()
         return self
 
+    def stop(self) -> float:
+        """End the current interval, append it, and return it in seconds."""
+        if self._start_ns is None:
+            raise RuntimeError("Timer.stop() without a matching start()")
+        elapsed_ns = self._clock_ns() - self._start_ns
+        self._start_ns = None
+        self.samples_ns.append(elapsed_ns)
+        return elapsed_ns / 1e9
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
     def __exit__(self, *exc: object) -> None:
-        self.elapsed = time.perf_counter() - self.start
+        self.stop()
+
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> list[float]:
+        """All recorded intervals, in seconds."""
+        return [ns / 1e9 for ns in self.samples_ns]
+
+    @property
+    def elapsed(self) -> float:
+        """The most recent interval in seconds (0.0 before any sample).
+
+        Kept for the original one-shot ``with Timer() as t: ...``
+        callers, for whom the last sample *is* the elapsed time.
+        """
+        if not self.samples_ns:
+            return 0.0
+        return self.samples_ns[-1] / 1e9
+
+    @property
+    def total(self) -> float:
+        """Sum of all intervals in seconds."""
+        return sum(self.samples_ns) / 1e9
+
+    def reset(self) -> None:
+        """Drop all samples and any pending start."""
+        self.samples_ns.clear()
+        self._start_ns = None
+
+    def __len__(self) -> int:
+        return len(self.samples_ns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timer(samples={len(self.samples_ns)}, total={self.total:.6f}s)"

@@ -1,0 +1,151 @@
+"""Regression-gate tests on synthetic sample sets."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchSuiteResult,
+    compare_suites,
+    render_comparison_json,
+    render_comparison_markdown,
+    render_comparison_text,
+)
+from repro.bench.harness import BenchmarkResult, summarize_samples
+
+
+def make_result(name, samples, metrics=None):
+    return BenchmarkResult(
+        name=name,
+        tags=("model",),
+        params={"tier": "quick"},
+        samples_s=list(samples),
+        summary=summarize_samples(list(samples)),
+        metrics=dict(metrics or {}),
+        model=None,
+        check="passed",
+    )
+
+
+def make_suite(*results):
+    return BenchSuiteResult(config={"tier": "quick"}, results=list(results))
+
+
+TIGHT = [0.0100, 0.0101, 0.0099, 0.0102, 0.0100]
+SLOWER = [s * 2.0 for s in TIGHT]  # 2x > 1.25 threshold, CIs disjoint
+FASTER = [s * 0.4 for s in TIGHT]
+NOISY_SLOWER = [0.0100, 0.0125, 0.0090, 0.0130, 0.0110]  # wide CI, overlaps
+
+
+class TestVerdicts:
+    def test_identical_suites_are_ok(self):
+        cmp = compare_suites(
+            make_suite(make_result("a", TIGHT)),
+            make_suite(make_result("a", TIGHT)),
+        )
+        (delta,) = cmp.deltas
+        assert delta.verdict == "ok"
+        assert delta.ratio == pytest.approx(1.0)
+        assert cmp.exit_code() == 0
+
+    def test_clear_slowdown_is_regression(self):
+        cmp = compare_suites(
+            make_suite(make_result("a", TIGHT)),
+            make_suite(make_result("a", SLOWER)),
+        )
+        (delta,) = cmp.deltas
+        assert delta.verdict == "regression"
+        assert delta.ratio == pytest.approx(2.0)
+        assert delta.ci_overlap is False
+        assert cmp.exit_code() == 1
+        assert [d.name for d in cmp.regressions] == ["a"]
+
+    def test_slowdown_within_noise_does_not_gate(self):
+        # Median ratio is above 1 but the bootstrap CIs overlap, so the
+        # CI-overlap guard keeps the gate closed.
+        cmp = compare_suites(
+            make_suite(make_result("a", NOISY_SLOWER)),
+            make_suite(make_result("a", [s * 1.25 for s in NOISY_SLOWER])),
+            threshold=1.2,
+        )
+        (delta,) = cmp.deltas
+        assert delta.verdict == "ok"
+        assert cmp.exit_code() == 0
+
+    def test_clear_speedup_is_improvement(self):
+        cmp = compare_suites(
+            make_suite(make_result("a", TIGHT)),
+            make_suite(make_result("a", FASTER)),
+        )
+        (delta,) = cmp.deltas
+        assert delta.verdict == "improvement"
+        assert cmp.exit_code() == 0
+
+    def test_missing_and_new(self):
+        cmp = compare_suites(
+            make_suite(make_result("gone", TIGHT), make_result("both", TIGHT)),
+            make_suite(make_result("both", TIGHT), make_result("added", TIGHT)),
+        )
+        verdicts = {d.name: d.verdict for d in cmp.deltas}
+        assert verdicts == {"gone": "missing", "added": "new", "both": "ok"}
+        assert cmp.exit_code() == 0
+
+    def test_threshold_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            compare_suites(
+                make_suite(make_result("a", TIGHT)),
+                make_suite(make_result("a", TIGHT)),
+                threshold=1.0,
+            )
+
+
+class TestMetricDrift:
+    def test_drift_reported_but_not_gating_by_default(self):
+        cmp = compare_suites(
+            make_suite(make_result("a", TIGHT, metrics={"speedup": 2.0})),
+            make_suite(make_result("a", TIGHT, metrics={"speedup": 3.0})),
+        )
+        (delta,) = cmp.deltas
+        assert delta.verdict == "metric-drift"
+        assert delta.metric_drift == {"speedup": (2.0, 3.0)}
+        assert cmp.exit_code() == 0
+        assert cmp.exit_code(strict_metrics=True) == 1
+
+    def test_small_drift_within_rtol_ignored(self):
+        cmp = compare_suites(
+            make_suite(make_result("a", TIGHT, metrics={"speedup": 2.00})),
+            make_suite(make_result("a", TIGHT, metrics={"speedup": 2.04})),
+        )
+        (delta,) = cmp.deltas
+        assert delta.verdict == "ok"
+        assert not delta.metric_drift
+
+
+class TestRenderers:
+    def make_cmp(self):
+        return compare_suites(
+            make_suite(make_result("slow", TIGHT), make_result("fine", TIGHT)),
+            make_suite(make_result("slow", SLOWER), make_result("fine", TIGHT)),
+        )
+
+    def test_text_names_the_regression(self):
+        text = render_comparison_text(self.make_cmp())
+        assert "REGRESSED: slow" in text
+        assert "1 regression(s)" in text
+
+    def test_json_is_parseable(self):
+        doc = json.loads(render_comparison_json(self.make_cmp()))
+        assert doc["regressions"] == ["slow"]
+        assert {d["name"] for d in doc["deltas"]} == {"slow", "fine"}
+
+    def test_markdown_banner(self):
+        md = render_comparison_markdown(self.make_cmp())
+        assert "❌ regression" in md
+        assert "| slow |" in md or "| slow " in md
+        ok_md = render_comparison_markdown(
+            compare_suites(
+                make_suite(make_result("a", TIGHT)),
+                make_suite(make_result("a", TIGHT)),
+            )
+        )
+        assert "✅ no regressions" in ok_md

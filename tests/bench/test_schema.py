@@ -1,0 +1,129 @@
+"""Round-trip and validation tests for the BENCH_*.json format."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchSuiteResult,
+    load_suite,
+    save_suite,
+    suite_from_json,
+    suite_to_json,
+)
+from repro.bench.harness import BenchmarkResult, summarize_samples
+from repro.bench.schema import SCHEMA_KIND, SCHEMA_VERSION, default_result_path, git_sha
+from repro.machine import host_fingerprint, spec_fingerprint
+from repro.machine.spec import power8_socket
+from repro.util.errors import FormatError
+
+
+def make_result(name="bench_a", samples=(0.010, 0.011, 0.012), **over):
+    kw = dict(
+        name=name,
+        tags=("model",),
+        params={"rank": 64, "tier": "quick"},
+        samples_s=list(samples),
+        summary=summarize_samples(list(samples)),
+        metrics={"speedup": 2.5},
+        model={"predicted_s": 0.009},
+        check="passed",
+    )
+    kw.update(over)
+    return BenchmarkResult(**kw)
+
+
+def make_suite(results=None):
+    return BenchSuiteResult(
+        config={"tier": "quick", "repeats": 1},
+        results=list(results) if results is not None else [make_result()],
+    )
+
+
+class TestRoundTrip:
+    def test_suite_round_trips(self):
+        suite = make_suite([make_result("a"), make_result("b", metrics={})])
+        back = suite_from_json(suite_to_json(suite))
+        assert back.git_sha == suite.git_sha
+        assert back.host == suite.host
+        assert back.machine_model == suite.machine_model
+        assert back.config == suite.config
+        assert [r.name for r in back.results] == ["a", "b"]
+        a = back.result_by_name()["a"]
+        assert a.samples_s == [0.010, 0.011, 0.012]
+        assert a.summary == suite.results[0].summary
+        assert a.metrics == {"speedup": 2.5}
+        assert a.model == {"predicted_s": 0.009}
+        assert a.check == "passed"
+        # The raw payload is in-process only — never serialized.
+        assert a.raw is None
+
+    def test_save_load_file(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        save_suite(make_suite(), str(path))
+        doc = json.loads(path.read_text())
+        assert doc["kind"] == SCHEMA_KIND
+        assert doc["schema_version"] == SCHEMA_VERSION
+        suite = load_suite(str(path))
+        assert suite.results[0].name == "bench_a"
+
+
+class TestValidation:
+    def test_rejects_non_json(self):
+        with pytest.raises(FormatError, match="not a JSON"):
+            suite_from_json("this is not json")
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(FormatError, match="kind"):
+            suite_from_json(json.dumps({"kind": "something-else"}))
+
+    def test_rejects_wrong_version(self):
+        doc = json.loads(suite_to_json(make_suite()))
+        doc["schema_version"] = 999
+        with pytest.raises(FormatError, match="schema version"):
+            suite_from_json(json.dumps(doc))
+
+    def test_rejects_missing_top_key(self):
+        doc = json.loads(suite_to_json(make_suite()))
+        del doc["git_sha"]
+        with pytest.raises(FormatError, match="git_sha"):
+            suite_from_json(json.dumps(doc))
+
+    def test_rejects_incomplete_benchmark_entry(self):
+        doc = json.loads(suite_to_json(make_suite()))
+        del doc["benchmarks"][0]["summary"]
+        with pytest.raises(FormatError, match="summary"):
+            suite_from_json(json.dumps(doc))
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FormatError, match="cannot read"):
+            load_suite(str(tmp_path / "nope.json"))
+
+
+class TestProvenance:
+    def test_default_result_path_shape(self):
+        path = default_result_path(0.0)
+        assert path.startswith("BENCH_") and path.endswith(".json")
+        assert len(path) == len("BENCH_19700101T000000.json")
+
+    def test_git_sha_in_repo(self):
+        sha = git_sha()
+        assert sha == "unknown" or len(sha) == 40
+
+    def test_host_fingerprint_stable_hash(self):
+        a, b = host_fingerprint(), host_fingerprint()
+        assert a == b
+        assert len(a["hash"]) == 12
+
+    def test_spec_fingerprint_distinguishes_machines(self):
+        spec = power8_socket()
+        full = spec_fingerprint(spec)
+        scaled = spec_fingerprint(spec.scaled(1 / 16))
+        assert full["hash"] != scaled["hash"]
+        assert len(full["hash"]) == 12
+
+    def test_suite_defaults_carry_provenance(self):
+        suite = make_suite()
+        assert "hash" in suite.host
+        assert "hash" in suite.machine_model
+        assert suite.created_unix > 0

@@ -1,0 +1,56 @@
+"""Tests for the sample-accumulating Timer."""
+
+import pytest
+
+from repro.util import Timer
+
+
+def _fake_clock(values):
+    it = iter(values)
+    return lambda: next(it)
+
+
+class TestTimer:
+    def test_context_manager_appends_sample(self):
+        t = Timer(clock_ns=_fake_clock([100, 350]))
+        with t:
+            pass
+        assert t.samples_ns == [250]
+        assert t.samples == [250e-9]
+        assert t.elapsed == pytest.approx(250e-9)
+
+    def test_multiple_intervals_accumulate(self):
+        t = Timer(clock_ns=_fake_clock([0, 10, 20, 50, 100, 160]))
+        for _ in range(3):
+            with t:
+                pass
+        assert t.samples_ns == [10, 30, 60]
+        assert len(t) == 3
+        assert t.total == pytest.approx(100e-9)
+        assert t.elapsed == pytest.approx(60e-9)  # last interval
+
+    def test_start_stop_explicit(self):
+        t = Timer(clock_ns=_fake_clock([5, 25]))
+        t.start()
+        elapsed = t.stop()
+        assert elapsed == pytest.approx(20e-9)
+        assert t.samples_ns == [20]
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer(clock_ns=_fake_clock([0, 1, 2, 3]))
+        with t:
+            pass
+        t.reset()
+        assert t.samples == []
+        assert t.elapsed == 0.0
+
+    def test_real_clock_monotonic(self):
+        t = Timer()
+        with t:
+            _ = sum(range(1000))
+        assert t.elapsed >= 0.0
+        assert len(t.samples) == 1

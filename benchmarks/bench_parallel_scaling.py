@@ -1,10 +1,15 @@
-"""Supplementary — intra-socket thread scaling of the MTTKRP (modeled).
+"""Supplementary — measured thread scaling of the parallel MTTKRP
+executor against the machine model's predicted makespan.
 
 Thin declaration: the experiment body, parameters, expected-shape
 checks, and rendering all live in the registered benchmark
 ``parallel_scaling`` (see ``repro.bench.registry``); this wrapper only
-hooks it into pytest-benchmark.  Run it standalone with
-``repro bench run --filter parallel_scaling``.
+hooks it into pytest-benchmark.  The sweep runs
+:class:`repro.exec.ParallelExecutor` at each thread count (plans
+prepared outside the clock) and pairs every measured point with
+:func:`repro.perf.parallel.parallel_predict_time` — the paper's
+Section VI measured-vs-predicted methodology.  Run it standalone with
+``repro bench run --filter parallel --threads 2``.
 """
 
 from repro.bench.harness import run_for_pytest

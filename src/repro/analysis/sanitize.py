@@ -12,7 +12,9 @@ output-row write and every factor-row gather, then checks:
   Negative indices are flagged too: numpy would wrap them silently, and
   a sparse index is never legitimately negative.
 * SZ503/SZ504 — no NaN/Inf in the output when every input was finite.
-* SZ505 — the output dtype is still ``VALUE_DTYPE``.
+* SZ505 — the output dtype matches the factor dtype (the kernel contract:
+  float32 factors yield a float32 output, float64 yields float64 —
+  anything else is silent precision drift).
 * SZ506 — the observed factor-row footprint (gather counts and distinct
   rows) matches :func:`repro.machine.traffic.predicted_footprint`.
   Kernels that gather from restacked private strip copies (RankB and the
@@ -199,7 +201,10 @@ class GuardedArray(np.ndarray):
 def _guard(
     array: np.ndarray, label: str, *, track_writes: bool, track_reads: bool
 ) -> tuple[GuardedArray, _Tracker]:
-    base = np.ascontiguousarray(array, dtype=VALUE_DTYPE)
+    # Preserve the supported float precisions so the dtype contract
+    # (SZ505) is observable; everything else is normalized to float64.
+    dt = array.dtype if array.dtype in (np.dtype(np.float32), VALUE_DTYPE) else VALUE_DTYPE
+    base = np.ascontiguousarray(array, dtype=dt)
     tracker = _Tracker(
         base, label, track_writes=track_writes, track_reads=track_reads
     )
@@ -325,7 +330,18 @@ def sanitized_execute(
         if m != mode and f is not None
     ) and all(np.isfinite(v).all() for v in _plan_value_arrays(plan))
 
-    out_buffer = np.zeros((n_rows, rank if rank else 1), dtype=VALUE_DTYPE)
+    # The dtype contract: kernels produce output in the shared factor
+    # dtype (float32 stays float32), so the expected dtype — and the
+    # sanitizer's own out-buffer — follow the guarded factors.
+    factor_dtypes = {
+        np.asarray(f).dtype
+        for m, f in enumerate(guarded_factors)
+        if m != mode and f is not None
+    }
+    expected_dtype = (
+        factor_dtypes.pop() if len(factor_dtypes) == 1 else VALUE_DTYPE
+    )
+    out_buffer = np.zeros((n_rows, rank if rank else 1), dtype=expected_dtype)
     guarded_out, out_tracker = _guard(
         out_buffer, "output", track_writes=True, track_reads=False
     )
@@ -335,14 +351,15 @@ def sanitized_execute(
 
     diags: list[Diagnostic] = []
 
-    # SZ505 — dtype drift.
-    if result_arr.dtype != VALUE_DTYPE:
+    # SZ505 — dtype drift (output must match the factor dtype).
+    if result_arr.dtype != expected_dtype:
         diags.append(
             _diag(
                 "SZ505",
                 f"output dtype drifted to {result_arr.dtype} "
-                f"(expected {np.dtype(VALUE_DTYPE).name})",
-                "allocate through alloc_output and keep accumulators float64",
+                f"(expected {np.dtype(expected_dtype).name})",
+                "allocate through alloc_output with the factor dtype and "
+                "keep accumulators in that precision",
                 file=file,
             )
         )

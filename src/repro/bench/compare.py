@@ -30,7 +30,18 @@ DEFAULT_THRESHOLD = 1.25
 DEFAULT_METRIC_RTOL = 0.05
 
 #: Per-benchmark verdicts, ordered worst-first for reporting.
-VERDICTS = ("regression", "metric-drift", "missing", "new", "improvement", "ok")
+#: ``unmeasurable`` marks a zero-wall-clock baseline (clock-granularity
+#: run): no meaningful ratio exists, so the gate neither passes nor
+#: fails on it.
+VERDICTS = (
+    "regression",
+    "metric-drift",
+    "unmeasurable",
+    "missing",
+    "new",
+    "improvement",
+    "ok",
+)
 
 
 @dataclass(frozen=True)
@@ -114,10 +125,13 @@ def compare_suites(
             )
             continue
 
+        # A zero baseline means the baseline run never resolved above
+        # clock granularity; any finite current time would read as an
+        # infinite "regression".  There is no meaningful ratio — report
+        # the benchmark as unmeasurable instead of flagging it.
+        unmeasurable = base.summary.min_s <= 0.0
         ratio = (
-            cur.summary.min_s / base.summary.min_s
-            if base.summary.min_s > 0
-            else float("inf")
+            cur.summary.min_s / base.summary.min_s if not unmeasurable else None
         )
         overlap = _ci_overlap(
             base.summary.ci95_low_s,
@@ -132,13 +146,24 @@ def compare_suites(
             if abs(c - b) / denom > metric_rtol:
                 drift[key] = (b, c)
 
-        if ratio > threshold and not overlap:
+        if unmeasurable:
+            verdict, note = "unmeasurable", (
+                "baseline wall-clock is 0 (below clock granularity); "
+                "no ratio — re-record the baseline with more repeats"
+            )
+        elif ratio > threshold and not overlap:
             verdict, note = "regression", (
                 f"{ratio:.2f}x slower than baseline (threshold {threshold:.2f}x, "
                 "CIs disjoint)"
             )
         elif ratio < 1.0 / threshold and not overlap:
-            verdict, note = "improvement", f"{1.0 / ratio:.2f}x faster than baseline"
+            # ratio can be exactly 0.0 (current run below clock
+            # granularity) — report the improvement without a factor.
+            verdict, note = "improvement", (
+                f"{1.0 / ratio:.2f}x faster than baseline"
+                if ratio > 0.0
+                else "current wall-clock is 0 (below clock granularity)"
+            )
         elif drift:
             verdict, note = "metric-drift", (
                 "deterministic metrics moved: " + ", ".join(sorted(drift))

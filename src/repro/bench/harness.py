@@ -39,7 +39,17 @@ from repro.util.timer import Timer
 #: Tags every registration must draw from (the ISSUE's taxonomy plus the
 #: artifact kinds used by ``repro bench list``).
 KNOWN_TAGS = frozenset(
-    {"kernel", "model", "dist", "cpd", "figure", "table", "ablation", "supplementary"}
+    {
+        "kernel",
+        "model",
+        "dist",
+        "cpd",
+        "figure",
+        "table",
+        "ablation",
+        "supplementary",
+        "parallel",
+    }
 )
 
 #: Tier defaults: (warmup, repeats).
@@ -195,14 +205,29 @@ def reject_outliers(samples: "list[float]") -> "tuple[list[float], int]":
     """Drop samples beyond median + 3 * 1.4826 * MAD (one-sided: only
     slow outliers are rejected — a spuriously *fast* wall-clock sample
     does not exist on a monotonic clock, but a descheduled process
-    produces arbitrarily slow ones)."""
+    produces arbitrarily slow ones).
+
+    Quantized quick-tier timings degenerate the MAD: with samples like
+    ``[0, 0, 0, 5]`` more than half the values equal the median, MAD is
+    exactly zero, and the estimator would keep every sample.  In that
+    case the rejection falls back to the mean absolute deviation around
+    the median (scaled to the same sigma-equivalent cutoff), which is
+    nonzero whenever the samples are not all identical.
+    """
     if len(samples) < 3:
         return list(samples), 0
     med = statistics.median(samples)
     mad = statistics.median(abs(s - med) for s in samples)
     if mad == 0.0:
-        return list(samples), 0
-    cutoff = med + 3.0 * 1.4826 * mad
+        # MAD breakdown (>=50% of samples sit on the median): fall back
+        # to the mean absolute deviation, sigma-scaled for a normal
+        # (E|X - mu| = sigma * sqrt(2/pi)).
+        mean_ad = statistics.fmean(abs(s - med) for s in samples)
+        if mean_ad == 0.0:
+            return list(samples), 0  # all samples identical
+        cutoff = med + 3.0 * math.sqrt(math.pi / 2.0) * mean_ad
+    else:
+        cutoff = med + 3.0 * 1.4826 * mad
     kept = [s for s in samples if s <= cutoff]
     return kept, len(samples) - len(kept)
 
@@ -279,11 +304,15 @@ def run_benchmark(
     seed: int = 0,
     run_checks: bool = True,
     clock_ns: "Callable[[], int] | None" = None,
+    param_overrides: "Mapping[str, Any] | None" = None,
 ) -> BenchmarkResult:
     """Execute one benchmark: warmup, N timed repeats, stats, checks.
 
     ``clock_ns`` is injectable for the determinism tests; production use
-    leaves it on :func:`time.perf_counter_ns`.
+    leaves it on :func:`time.perf_counter_ns`.  ``param_overrides`` are
+    applied over the tier parameters, but only for keys the benchmark's
+    tiers already declare — a suite-wide override (the CLI's
+    ``--threads``) silently skips benchmarks without the knob.
     """
     tier, tier_warmup, tier_repeats = QUICK_TIER if quick else FULL_TIER
     warmup = tier_warmup if warmup is None else warmup
@@ -291,6 +320,10 @@ def run_benchmark(
     if repeats < 1:
         raise ConfigError(f"repeats must be >= 1, got {repeats}")
     params = bench.tier_params(quick)
+    if param_overrides:
+        for key, value in param_overrides.items():
+            if key in params:
+                params[key] = value
     params_record = dict(params)
     params_record["tier"] = tier
 

@@ -337,31 +337,47 @@ register_benchmark(
 
 
 # ----------------------------------------------------------------------
-# Thread scaling
+# Thread scaling (measured through repro.exec vs the model's prediction)
 # ----------------------------------------------------------------------
 def _check_parallel(rows: list, params: Mapping[str, Any]) -> None:
-    for name in params.get("datasets", ("poisson2", "netflix")):
-        series = {r["threads"]: r for r in rows if r["dataset"] == name}
-        assert series[2]["speedup"] > 1.4, name
-        assert series[20]["speedup"] < 20, name
-        assert series[20]["speedup"] >= series[10]["speedup"] * 0.8, name
-        assert series[10]["makespan_ms"] < series[1]["makespan_ms"], name
+    import os
+
+    by_t = {r["threads"]: r for r in rows}
+    assert 1 in by_t
+    for row in rows:
+        # The executor must stay bitwise-equal to the single-thread run
+        # regardless of how many workers the sweep used.
+        assert row["equal_to_serial"], row["threads"]
+        assert row["measured_ms"] >= 0.0, row["threads"]
+        assert row["predicted_ms"] > 0.0, row["threads"]
+        assert row["predicted_imbalance"] >= 1.0, row["threads"]
+    if 2 in by_t:
+        assert by_t[2]["predicted_speedup"] > 1.0
+    # Measured speedups are only meaningful on real parallel hardware;
+    # single-core CI runners still exercise every structural property
+    # above (and the bitwise-equality pin) without gating on wall-clock.
+    if 4 in by_t and (os.cpu_count() or 1) >= 4:
+        assert by_t[4]["measured_speedup"] >= 1.5, by_t[4]
 
 
 register_benchmark(
     Benchmark(
         name="parallel_scaling",
-        fn=suites.experiment_parallel_scaling,
-        tags=frozenset({"model", "supplementary"}),
-        description="Intra-socket thread scaling of the MTTKRP (modeled)",
+        fn=suites.run_parallel_scaling,
+        setup=suites.setup_parallel_scaling,
+        tags=frozenset({"kernel", "model", "parallel", "supplementary"}),
+        description="Measured executor thread sweep vs modeled makespan",
+        params={"nnz": 120_000, "rank": 48, "inner_k": 3, "max_threads": None},
+        quick={"nnz": 30_000, "rank": 32, "inner_k": 2},
         check=_check_parallel,
+        # Only the model-side columns are deterministic across hosts;
+        # measured wall-clock never goes into drift-gated metrics.
         metrics=lambda rows: {
-            f"speedup20_{r['dataset']}": r["speedup"]
+            f"predicted_speedup{r['threads']}": r["predicted_speedup"]
             for r in rows
-            if r["threads"] == 20
         },
         render=lambda rows: render_rows(
-            rows, title="Thread scaling (modeled, R=128)"
+            rows, title="Thread scaling: measured executor vs model"
         ),
         artifact="parallel_scaling",
     )

@@ -141,6 +141,32 @@ def cmd_tune(args: argparse.Namespace) -> int:
             title="tuned configuration",
         )
     )
+    if args.threads:
+        counts = []
+        t = 1
+        while t < args.threads:
+            counts.append(t)
+            t *= 2
+        counts.append(args.threads)
+        tuned = tuner.tune_threads(
+            args.rank,
+            tuple(dict.fromkeys(counts)),
+            block_counts=cfg.block_counts,
+            rank_blocking=cfg.rank_blocking,
+        )
+        print(
+            format_table(
+                ["threads", "modeled makespan"],
+                [
+                    [t, format_seconds(m)]
+                    for t, m in sorted(tuned.makespans.items())
+                ],
+                title=(
+                    f"thread sweep (best: {tuned.n_threads} threads, "
+                    f"{tuned.speedup:.2f}x over serial)"
+                ),
+            )
+        )
     if cache is not None:
         cache.save(args.cache)
         print(f"cache: {args.cache} ({len(cache)} entries)")
@@ -486,6 +512,9 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
         return 2
 
     tier = "quick" if args.quick else "full"
+    overrides = (
+        {"max_threads": args.threads} if getattr(args, "threads", None) else None
+    )
     results = []
     failed_checks: list[str] = []
     t_start = time_mod.time()
@@ -498,6 +527,7 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
             repeats=args.repeats,
             seed=args.seed,
             run_checks=not args.no_check,
+            param_overrides=overrides,
         )
         results.append(result)
         if not result.check_passed:
@@ -519,6 +549,7 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
             "filter": args.filter,
             "seed": args.seed,
             "checks": not args.no_check,
+            "threads": getattr(args, "threads", None),
         },
         results=results,
     )
@@ -612,6 +643,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="heuristic",
     )
     p.add_argument("--cache", help="tuning-cache JSON path")
+    p.add_argument(
+        "--threads",
+        type=int,
+        help="also sweep thread counts up to N and report the modeled "
+        "best for repro.exec.ParallelExecutor",
+    )
     p.set_defaults(func=cmd_tune)
 
     p = sub.add_parser("ppa", help="pressure-point analysis (Table I)")
@@ -722,7 +759,7 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument(
         "--filter",
         help="comma-separated name substrings or tags "
-        "(kernel,model,dist,cpd,figure,table,ablation,supplementary)",
+        "(kernel,model,dist,cpd,figure,table,ablation,supplementary,parallel)",
     )
     b.add_argument("--format", choices=("text", "json"), default="text")
     b.set_defaults(func=cmd_bench_list)
@@ -755,6 +792,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifacts",
         action="store_true",
         help="also write the rendered tables under benchmarks/results/",
+    )
+    b.add_argument(
+        "--threads",
+        type=int,
+        help="cap the parallel-executor benchmarks at this many threads "
+        "(benchmarks without a max_threads knob are unaffected)",
     )
     b.set_defaults(func=cmd_bench_run)
 

@@ -1,0 +1,408 @@
+"""Shared-memory parallel MTTKRP execution.
+
+The model side of this repo (:mod:`repro.perf.parallel`) predicts what a
+slice-parallel MTTKRP *would* cost; this module actually runs one.  The
+scheme is SPLATT's OpenMP parallelization (also the CPU baseline of
+Dynasor-style multi-core MTTKRP work): each worker owns a contiguous
+range of *output slices*, so every output row has exactly one writer and
+no atomics are needed — provided the ranges are disjoint.  That proviso
+is not assumed: every schedule is vetted through the race detector
+(:func:`repro.analysis.races.verify_safe`) before launch, and an
+overlapping schedule raises :class:`~repro.util.errors.ScheduleError` —
+the same contract the time model enforces.
+
+Execution model
+---------------
+:meth:`ParallelExecutor.prepare` partitions the output mode with the
+nnz-balanced greedy slice partition (:func:`repro.perf.parallel
+.partition_rows`), re-bases each worker's nonzeros to local output
+coordinates, and prepares one per-worker sub-plan with the requested
+kernel.  :meth:`ParallelExecutor.execute` then runs the sub-plans
+concurrently, each writing into a disjoint row-range *view* of one
+shared output buffer — the preparation cost is amortized over the many
+MTTKRP calls of a CP-ALS run, exactly as with the serial kernels.
+
+Backends
+--------
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  NumPy releases
+    the GIL inside the large ``reduceat``/gather chunks that dominate
+    every kernel's inner loop, so threads overlap the heavy lifting even
+    though the orchestration is Python.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` writing through
+    :mod:`multiprocessing.shared_memory` — sidesteps the GIL entirely at
+    the price of pickling each sub-plan once per execution.  Provided
+    for comparison; the thread backend is the default.
+``serial``
+    Runs the same vetted schedule inline on the calling thread.  The
+    determinism baseline (and the CI fallback on constrained runners).
+
+Per-worker wall-clock is recorded for every execution
+(:attr:`ParallelExecutor.last_report`), making load imbalance — the
+quantity the model's makespan/imbalance estimate predicts — directly
+observable.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.races import (
+    verify_safe,
+    write_sets_for_boundaries,
+    write_sets_for_ranges,
+)
+from repro.kernels.base import (
+    Kernel,
+    Plan,
+    alloc_output,
+    check_factors,
+    factor_dtype,
+    get_kernel,
+)
+from repro.perf.parallel import partition_rows
+from repro.tensor.coo import COOTensor
+from repro.util.errors import ConfigError, ScheduleError
+from repro.util.validation import check_mode
+
+#: Execution backends, in order of preference for real speedups.
+BACKENDS = ("thread", "process", "serial")
+
+
+@dataclass(frozen=True)
+class ThreadTask:
+    """One worker's share of a parallel schedule."""
+
+    #: Worker index (position in the schedule).
+    index: int
+    #: Global output-row range ``[start, stop)`` this worker owns.
+    start: int
+    stop: int
+    #: Nonzeros in the worker's sub-tensor.
+    nnz: int
+    #: Prepared sub-plan over the re-based sub-tensor; ``None`` when the
+    #: range holds no nonzeros (the worker only zero-fills its rows).
+    plan: "Plan | None"
+
+
+@dataclass(frozen=True)
+class ParallelPlan:
+    """A vetted parallel schedule: per-worker sub-plans plus their
+    disjoint output row ranges."""
+
+    kernel_name: str
+    shape: tuple[int, ...]
+    mode: int
+    tasks: tuple[ThreadTask, ...]
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def ranges(self) -> tuple[tuple[int, int], ...]:
+        return tuple((t.start, t.stop) for t in self.tasks)
+
+    @property
+    def nnz(self) -> int:
+        return sum(t.nnz for t in self.tasks)
+
+    def describe(self) -> str:
+        return (
+            f"parallel {self.kernel_name} plan: mode={self.mode}, "
+            f"{self.n_threads} worker(s), nnz={self.nnz}, "
+            f"ranges={list(self.ranges)}"
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Observed per-worker wall-clock of one parallel execution."""
+
+    backend: str
+    thread_times_s: tuple[float, ...]
+    thread_nnz: tuple[int, ...]
+
+    @property
+    def makespan_s(self) -> float:
+        """Slowest worker's wall-clock (completion time)."""
+        return max(self.thread_times_s) if self.thread_times_s else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean worker time (1.0 = perfectly balanced) — the measured
+        counterpart of :attr:`repro.perf.parallel.ParallelTimeEstimate
+        .imbalance`."""
+        if not self.thread_times_s:
+            return 1.0
+        mean = sum(self.thread_times_s) / len(self.thread_times_s)
+        return self.makespan_s / mean if mean > 0 else 1.0
+
+
+def _extract_rows(
+    tensor: COOTensor, mode: int, lo: int, hi: int
+) -> COOTensor:
+    """The sub-tensor of rows ``[lo, hi)`` along ``mode``, re-based so the
+    output mode starts at zero (other modes keep global coordinates, so
+    workers share the full B/C factor matrices)."""
+    rows = tensor.indices[:, mode]
+    sel = (rows >= lo) & (rows < hi)
+    indices = tensor.indices[sel].copy()
+    indices[:, mode] -= lo
+    shape = tuple(
+        (hi - lo) if m == mode else s for m, s in enumerate(tensor.shape)
+    )
+    return COOTensor(shape, indices, tensor.values[sel], validate=False)
+
+
+def _run_task(
+    kernel: Kernel,
+    task: ThreadTask,
+    factors: Sequence[np.ndarray],
+    view: np.ndarray,
+) -> float:
+    """Execute one worker's sub-plan into its output view; returns the
+    worker's wall-clock seconds."""
+    t0 = time.perf_counter()
+    if task.plan is not None:
+        kernel.execute(task.plan, factors, out=view)
+    return time.perf_counter() - t0
+
+
+def _process_worker(
+    shm_name: str,
+    shape: tuple[int, ...],
+    dtype_str: str,
+    kernel_name: str,
+    task: ThreadTask,
+    factors: "list[np.ndarray]",
+) -> float:
+    """Process-backend worker: attach to the shared output by name, write
+    the owned row range, detach.  Runs in a child process."""
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        full = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
+        view = full[task.start : task.stop]
+        return _run_task(get_kernel(kernel_name), task, factors, view)
+    finally:
+        shm.close()
+
+
+class ParallelExecutor:
+    """Shared-memory parallel executor for any registered kernel.
+
+    >>> executor = ParallelExecutor(n_threads=4)
+    >>> pplan = executor.prepare(tensor, mode=0, kernel="splatt")
+    >>> A = executor.execute(pplan, factors)          # doctest: +SKIP
+
+    ``prepare`` once, ``execute`` per CP-ALS iteration; the vetted
+    schedule and the per-worker sub-plans are reused.  After each
+    execution :attr:`last_report` holds the observed per-worker times.
+    """
+
+    def __init__(self, n_threads: int = 2, backend: str = "thread") -> None:
+        n_threads = int(n_threads)
+        if n_threads < 1:
+            raise ConfigError(f"n_threads must be >= 1, got {n_threads}")
+        if backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown backend {backend!r}; available: {BACKENDS}"
+            )
+        self.n_threads = n_threads
+        self.backend = backend
+        #: Per-worker wall-clock of the most recent :meth:`execute`.
+        self.last_report: "ExecutionReport | None" = None
+
+    # -- schedule construction ----------------------------------------
+    def prepare(
+        self,
+        tensor: COOTensor,
+        mode: int,
+        kernel: "str | Kernel" = "splatt",
+        *,
+        thread_ranges: "Sequence[tuple[int, int]] | None" = None,
+        **params: object,
+    ) -> ParallelPlan:
+        """Partition, vet, and prepare a parallel schedule.
+
+        ``thread_ranges`` overrides the greedy nnz-balanced partition
+        with explicit half-open output-row ranges; the plan verifier
+        rejects ranges that do not tile the output exactly once (gap,
+        overlap, out-of-bounds — rule PL407) and the race detector
+        re-checks overlap, both via :class:`ScheduleError`, before any
+        sub-plan is built.  ``params`` go to the kernel's ``prepare``
+        for every sub-tensor (block counts are clamped per sub-shape by
+        the kernels themselves).
+        """
+        from repro.analysis.plans import verify_thread_ranges
+
+        kern = get_kernel(kernel) if isinstance(kernel, str) else kernel
+        mode = check_mode(mode, tensor.order)
+        n_rows = int(tensor.shape[mode])
+        if thread_ranges is not None:
+            ranges = [(int(lo), int(hi)) for lo, hi in thread_ranges]
+            plan_diags = verify_thread_ranges(ranges, n_rows)
+            if plan_diags:
+                raise ScheduleError(
+                    "thread_ranges do not tile the output rows: "
+                    + "; ".join(d.message for d in plan_diags[:3])
+                )
+            write_sets = write_sets_for_ranges(ranges, label="thread")
+        else:
+            boundaries = partition_rows(
+                tensor, mode, min(self.n_threads, max(n_rows, 1))
+            )
+            ranges = [
+                (int(boundaries[t]), int(boundaries[t + 1]))
+                for t in range(boundaries.shape[0] - 1)
+            ]
+            write_sets = write_sets_for_boundaries(boundaries)
+        # The launch gate: disjoint per-worker output rows, or no launch.
+        verify_safe(write_sets, mode, "parallel MTTKRP schedule")
+
+        base_params = dict(params)
+        if kern.name == "csf-any" and "mode_order" not in base_params:
+            # csf-any's default tree layout sorts *all* modes by length,
+            # which would differ per sub-tensor (the output extent
+            # shrinks).  Pin the full tensor's default so every worker
+            # and the serial reference reduce in the same order —
+            # bitwise-reproducible results across thread counts.
+            base_params["mode_order"] = tuple(
+                sorted(range(tensor.order), key=lambda m: tensor.shape[m])
+            )
+
+        tasks: list[ThreadTask] = []
+        for idx, (lo, hi) in enumerate(ranges):
+            sub = _extract_rows(tensor, mode, lo, hi)
+            sub_params = dict(base_params)
+            counts = sub_params.get("block_counts")
+            if counts is not None:
+                # Clamp per-mode block counts to the sub-tensor's extents
+                # (a worker's row range can be thinner than the grid).
+                sub_params["block_counts"] = tuple(
+                    max(1, min(int(c), s))
+                    for c, s in zip(counts, sub.shape)  # type: ignore[arg-type]
+                )
+            plan = (
+                kern.prepare(sub, mode, **sub_params) if sub.nnz > 0 else None
+            )
+            tasks.append(
+                ThreadTask(index=idx, start=lo, stop=hi, nnz=sub.nnz, plan=plan)
+            )
+        return ParallelPlan(
+            kernel_name=kern.name,
+            shape=tensor.shape,
+            mode=mode,
+            tasks=tuple(tasks),
+        )
+
+    # -- execution ----------------------------------------------------
+    def execute(
+        self,
+        plan: ParallelPlan,
+        factors: Sequence[np.ndarray],
+        out: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Run the schedule; returns the ``(I_mode, R)`` result in the
+        factors' dtype.  Workers write disjoint row ranges of the one
+        output buffer, so the result is identical to serial execution
+        (same sub-plans, same per-range reduction order)."""
+        factors, rank = check_factors(factors, plan.shape, plan.mode)
+        A = alloc_output(
+            out, int(plan.shape[plan.mode]), rank, factor_dtype(factors)
+        )
+        kern = get_kernel(plan.kernel_name)
+        if self.backend == "process" and len(plan.tasks) > 1:
+            times = self._execute_processes(plan, kern, factors, A)
+        elif self.backend == "thread" and len(plan.tasks) > 1:
+            times = self._execute_threads(plan, kern, factors, A)
+        else:
+            times = [
+                _run_task(kern, task, factors, A[task.start : task.stop])
+                for task in plan.tasks
+            ]
+        self.last_report = ExecutionReport(
+            backend=self.backend,
+            thread_times_s=tuple(times),
+            thread_nnz=tuple(t.nnz for t in plan.tasks),
+        )
+        return A
+
+    def _execute_threads(
+        self,
+        plan: ParallelPlan,
+        kern: Kernel,
+        factors: Sequence[np.ndarray],
+        A: np.ndarray,
+    ) -> list[float]:
+        with ThreadPoolExecutor(
+            max_workers=min(self.n_threads, len(plan.tasks))
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _run_task, kern, task, factors, A[task.start : task.stop]
+                )
+                for task in plan.tasks
+            ]
+            return [f.result() for f in futures]
+
+    def _execute_processes(
+        self,
+        plan: ParallelPlan,
+        kern: Kernel,
+        factors: Sequence[np.ndarray],
+        A: np.ndarray,
+    ) -> list[float]:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=max(1, A.nbytes))
+        try:
+            shared = np.ndarray(A.shape, dtype=A.dtype, buffer=shm.buf)
+            shared[...] = 0.0
+            payload = [f if f is None else np.asarray(f) for f in factors]
+            with ProcessPoolExecutor(
+                max_workers=min(self.n_threads, len(plan.tasks))
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _process_worker,
+                        shm.name,
+                        A.shape,
+                        A.dtype.str,
+                        plan.kernel_name,
+                        task,
+                        payload,
+                    )
+                    for task in plan.tasks
+                ]
+                times = [f.result() for f in futures]
+            A[...] = shared
+        finally:
+            shm.close()
+            shm.unlink()
+        return times
+
+
+def parallel_mttkrp(
+    tensor: COOTensor,
+    factors: Sequence[np.ndarray],
+    mode: int,
+    kernel: "str | Kernel" = "splatt",
+    *,
+    n_threads: int = 2,
+    backend: str = "thread",
+    out: "np.ndarray | None" = None,
+    **params: object,
+) -> np.ndarray:
+    """One-shot convenience: prepare a parallel schedule and execute it."""
+    executor = ParallelExecutor(n_threads=n_threads, backend=backend)
+    pplan = executor.prepare(tensor, mode, kernel, **params)
+    return executor.execute(pplan, factors, out=out)

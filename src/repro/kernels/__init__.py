@@ -14,7 +14,15 @@ machine model (:mod:`repro.machine`) turns into memory-traffic and
 execution-time estimates.
 """
 
-from repro.kernels.base import Kernel, Plan, BlockStats, get_kernel, KERNELS
+from repro.kernels.base import (
+    Kernel,
+    Plan,
+    BlockStats,
+    get_kernel,
+    KERNELS,
+    check_factors,
+    factor_dtype,
+)
 from repro.kernels.reference import reference_mttkrp
 from repro.kernels.coo_mttkrp import COOKernel
 from repro.kernels.splatt_mttkrp import SplattKernel
@@ -32,6 +40,8 @@ __all__ = [
     "BlockStats",
     "get_kernel",
     "KERNELS",
+    "check_factors",
+    "factor_dtype",
     "reference_mttkrp",
     "COOKernel",
     "SplattKernel",

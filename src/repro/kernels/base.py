@@ -186,6 +186,33 @@ class Kernel(ABC):
         plan = self.prepare(tensor, mode, **params)
         return self.execute(plan, factors)
 
+    def execute_parallel(
+        self,
+        tensor: COOTensor,
+        factors: Sequence[np.ndarray],
+        mode: int,
+        *,
+        n_threads: int = 2,
+        backend: str = "thread",
+        out: np.ndarray | None = None,
+        **params: object,
+    ) -> np.ndarray:
+        """Shared-memory parallel MTTKRP via :mod:`repro.exec`.
+
+        Partitions the output mode into nnz-balanced row ranges, prepares
+        one sub-plan per worker, vets the schedule through the race
+        detector, and executes the sub-plans concurrently into disjoint
+        rows of one shared output buffer.  ``params`` are forwarded to
+        :meth:`prepare` for each sub-plan.
+        """
+        # Imported lazily: repro.exec builds on the kernel registry, so a
+        # module-level import would be circular.
+        from repro.exec import ParallelExecutor
+
+        executor = ParallelExecutor(n_threads=n_threads, backend=backend)
+        parallel_plan = executor.prepare(tensor, mode, kernel=self.name, **params)
+        return executor.execute(parallel_plan, factors, out=out)
+
     def __repr__(self) -> str:
         return f"<Kernel {self.name}>"
 
@@ -218,6 +245,14 @@ def merge_intervals(
     return tuple(merged)
 
 
+#: Factor precisions the kernels honor end-to-end; anything else numeric
+#: is promoted to :data:`~repro.util.validation.VALUE_DTYPE`.
+SUPPORTED_FACTOR_DTYPES: tuple[np.dtype, ...] = (
+    np.dtype(np.float32),
+    np.dtype(np.float64),
+)
+
+
 def check_factors(
     factors: Sequence[np.ndarray],
     shape: Sequence[int],
@@ -225,14 +260,19 @@ def check_factors(
 ) -> tuple[list[np.ndarray], int]:
     """Validate factor matrices against a tensor shape for one MTTKRP.
 
-    Returns the factors as float64 arrays (``None`` kept at the output
-    mode) and the shared rank ``R``.
+    float32 and float64 factors keep their precision (every kernel's
+    output matches the factor dtype — see :func:`factor_dtype`); other
+    numeric dtypes are promoted to float64.  Mixing float32 and float64
+    factors in one call raises :class:`ConfigError` rather than silently
+    upcasting.  Returns the factors as C-contiguous arrays (``None`` kept
+    at the output mode) and the shared rank ``R``.
     """
     order = len(shape)
     mode = check_mode(mode, order)
     if len(factors) != order:
         raise ShapeError(f"need {order} factor matrices, got {len(factors)}")
     rank: int | None = None
+    shared_dtype: np.dtype | None = None
     coerced: list[np.ndarray] = []
     for m, f in enumerate(factors):
         if m == mode:
@@ -247,15 +287,23 @@ def check_factors(
             raise ShapeError(
                 f"factor {m} is complex ({arr.dtype}); MTTKRP factors are real"
             )
-        # Uniform coercion for every kernel: C-contiguous float64, so
-        # float32/int inputs behave identically across the kernel zoo and
-        # the gather-heavy inner loops see contiguous rows.  An already-
-        # conforming array passes through untouched — ndarray subclasses
-        # (the sanitizer's guarded factors) keep their type.
-        if arr.dtype == VALUE_DTYPE and arr.flags.c_contiguous:
+        target = arr.dtype if arr.dtype in SUPPORTED_FACTOR_DTYPES else VALUE_DTYPE
+        if shared_dtype is None:
+            shared_dtype = target
+        elif target != shared_dtype:
+            raise ConfigError(
+                f"factor {m} is {target} but earlier factors are "
+                f"{shared_dtype}; mixed-precision factors would silently "
+                "upcast — cast them to one dtype first"
+            )
+        # C-contiguous at the shared precision so the gather-heavy inner
+        # loops see contiguous rows.  An already-conforming array passes
+        # through untouched — ndarray subclasses (the sanitizer's guarded
+        # factors) keep their type.
+        if arr.dtype == target and arr.flags.c_contiguous:
             f = arr
         else:
-            f = np.ascontiguousarray(arr, dtype=VALUE_DTYPE)
+            f = np.ascontiguousarray(arr, dtype=target)
         if f.ndim != 2 or f.shape[0] != shape[m]:
             raise ShapeError(
                 f"factor {m} must have shape ({shape[m]}, R), got {f.shape}"
@@ -270,18 +318,32 @@ def check_factors(
     return coerced, check_rank(rank)
 
 
+def factor_dtype(factors: Sequence[np.ndarray]) -> np.dtype:
+    """Shared dtype of already-checked factors (the output dtype contract:
+    every kernel's result uses the dtype :func:`check_factors` settled on)."""
+    for f in factors:
+        if f is not None:
+            return np.dtype(f.dtype)
+    raise ShapeError("no non-output factors to infer a dtype from")
+
+
 def alloc_output(
-    out: np.ndarray | None, n_rows: int, rank: int
+    out: np.ndarray | None,
+    n_rows: int,
+    rank: int,
+    dtype: "np.dtype | type" = VALUE_DTYPE,
 ) -> np.ndarray:
-    """Return a zeroed ``(n_rows, rank)`` output buffer, reusing ``out``."""
+    """Return a zeroed ``(n_rows, rank)`` output buffer of ``dtype``,
+    reusing ``out``."""
+    dt = np.dtype(dtype)
     if out is None:
-        return np.zeros((n_rows, rank), dtype=VALUE_DTYPE)
+        return np.zeros((n_rows, rank), dtype=dt)
     if out.shape != (n_rows, rank):
         raise ShapeError(
             f"out buffer has shape {out.shape}, expected {(n_rows, rank)}"
         )
-    if out.dtype != VALUE_DTYPE:
-        raise ShapeError(f"out buffer must be float64, got {out.dtype}")
+    if out.dtype != dt:
+        raise ShapeError(f"out buffer must be {dt}, got {out.dtype}")
     out[...] = 0.0
     return out
 

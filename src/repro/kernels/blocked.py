@@ -24,6 +24,7 @@ from repro.kernels.base import (
     Plan,
     alloc_output,
     check_factors,
+    factor_dtype,
     intervals_from_rows,
     register_kernel,
 )
@@ -112,7 +113,7 @@ class MultiDimBlockedKernel(Kernel):
         factors, rank = check_factors(factors, plan.shape, plan.mode)
         B = factors[plan.inner_mode]
         C = factors[plan.fiber_mode]
-        A = alloc_output(out, plan.shape[plan.mode], rank)
+        A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
         for block, fiber_rows in zip(plan.blocked.blocks, plan.fiber_rows):
             out_lo, out_hi = block.bounds[plan.mode]
             in_lo, in_hi = block.bounds[plan.inner_mode]

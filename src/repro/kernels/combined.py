@@ -22,6 +22,7 @@ from repro.kernels.base import (
     Plan,
     alloc_output,
     check_factors,
+    factor_dtype,
     register_kernel,
 )
 from repro.kernels.blocked import MBPlan, resolve_grid
@@ -89,7 +90,7 @@ class CombinedBlockedKernel(Kernel):
         factors, rank = check_factors(factors, plan.shape, plan.mode)
         B = factors[plan.inner_mode]
         C = factors[plan.fiber_mode]
-        A = alloc_output(out, plan.shape[plan.mode], rank)
+        A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
         mb = plan.mb_plan
         for lo, hi in plan.rank_blocking.strips(rank):
             B_s = np.ascontiguousarray(B[:, lo:hi])

@@ -25,6 +25,7 @@ from repro.kernels.base import (
     Plan,
     alloc_output,
     check_factors,
+    factor_dtype,
     intervals_from_rows,
     register_kernel,
 )
@@ -100,7 +101,7 @@ class COOKernel(Kernel):
         factors, rank = check_factors(factors, plan.shape, plan.mode)
         B = factors[plan.inner_mode]
         C = factors[plan.fiber_mode]
-        A = alloc_output(out, plan.shape[plan.mode], rank)
+        A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
         nnz = plan.vals.shape[0]
         if nnz == 0:
             return A
@@ -108,7 +109,11 @@ class COOKernel(Kernel):
         for lo in range(0, nnz, chunk):
             hi = min(lo + chunk, nnz)
             i = plan.i[lo:hi]
-            contrib = plan.vals[lo:hi, None] * B[plan.j[lo:hi]]
+            # Tensor values are stored float64; casting the chunk to the
+            # factor dtype keeps float32 runs float32 end-to-end (a no-op
+            # view for float64).
+            vals = plan.vals[lo:hi].astype(A.dtype, copy=False)
+            contrib = vals[:, None] * B[plan.j[lo:hi]]
             contrib *= C[plan.k[lo:hi]]
             # Nonzeros are sorted by i: reduce runs of equal i, then add the
             # partial sums into A.  Rows straddling chunk boundaries simply

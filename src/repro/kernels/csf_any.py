@@ -36,6 +36,7 @@ from repro.kernels.base import (
     Plan,
     alloc_output,
     check_factors,
+    factor_dtype,
     register_kernel,
 )
 from repro.tensor.coo import COOTensor
@@ -144,17 +145,20 @@ class CSFAnyKernel(Kernel):
     ) -> np.ndarray:
         factors, rank = check_factors(factors, plan.shape, plan.mode)
         csf = plan.csf
-        A = alloc_output(out, plan.shape[plan.mode], rank)
+        A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
         if csf.nnz == 0:
             return A
         lvl = plan.target_level
         order = csf.order
+        # Values are stored float64; the cast keeps float32 factor runs
+        # float32 end-to-end (no-op view for float64).
+        vals = csf.vals.astype(A.dtype, copy=False)
 
         # ---- up pass: subtree sums below the target level --------------
         if lvl == order - 1:
             up = None  # leaves carry raw values; handled in the combine
         else:
-            prod = csf.vals[:, None] * factors[csf.mode_order[-1]][csf.leaf_fids]
+            prod = vals[:, None] * factors[csf.mode_order[-1]][csf.leaf_fids]
             up = np.add.reduceat(prod, csf.levels[-1].fptr[:-1], axis=0)
             for m in range(order - 2, lvl, -1):
                 up = up * factors[csf.mode_order[m]][csf.levels[m].fids]
@@ -178,7 +182,7 @@ class CSFAnyKernel(Kernel):
         if lvl == 0:
             A[csf.levels[0].fids] += up
         elif lvl == order - 1:
-            rows = down * csf.vals[:, None]
+            rows = down * vals[:, None]
             _scatter_add_rows(A, csf.leaf_fids, rows)
         else:
             _scatter_add_rows(A, csf.levels[lvl].fids, down * up)

@@ -25,6 +25,7 @@ from repro.kernels.base import (
     Plan,
     alloc_output,
     check_factors,
+    factor_dtype,
     intervals_from_rows,
     register_kernel,
 )
@@ -152,7 +153,7 @@ class BlockedCSFKernel(Kernel):
         out: np.ndarray | None = None,
     ) -> np.ndarray:
         factors, rank = check_factors(factors, plan.shape, plan.mode)
-        A = alloc_output(out, plan.shape[plan.mode], rank)
+        A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
         strips = (
             plan.rank_blocking.strips(rank)
             if plan.rank_blocking is not None

@@ -25,6 +25,7 @@ from repro.kernels.base import (
     Plan,
     alloc_output,
     check_factors,
+    factor_dtype,
     intervals_from_rows,
     register_kernel,
 )
@@ -120,7 +121,7 @@ class CSFKernel(Kernel):
         out: np.ndarray | None = None,
     ) -> np.ndarray:
         factors, rank = check_factors(factors, plan.shape, plan.mode)
-        A = alloc_output(out, plan.shape[plan.mode], rank)
+        A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
         execute_csf_into(plan.csf, factors, A, self.scratch_elems)
         return A
 
@@ -158,7 +159,10 @@ def execute_csf_into(
         )
         f1 = min(max(f1, f0 + 1), n_nodes)
         lo, hi = int(fptr[f0]), int(fptr[f1])
-        prod = vals[lo:hi, None] * leaf_factor[leaf_fids[lo:hi]]
+        # Cast the value chunk to the output dtype so float32 factors stay
+        # float32 (no-op view for float64).
+        vchunk = vals[lo:hi].astype(A.dtype, copy=False)
+        prod = vchunk[:, None] * leaf_factor[leaf_fids[lo:hi]]
         chunks.append(np.add.reduceat(prod, fptr[f0:f1] - lo, axis=0))
         f0 = f1
     acc = np.concatenate(chunks, axis=0) if len(chunks) > 1 else chunks[0]

@@ -23,6 +23,7 @@ from repro.kernels.base import (
     Plan,
     alloc_output,
     check_factors,
+    factor_dtype,
     register_kernel,
 )
 from repro.kernels.splatt_mttkrp import SplattPlan, execute_splatt_into
@@ -108,7 +109,7 @@ class RankBlockedKernel(Kernel):
         factors, rank = check_factors(factors, plan.shape, plan.mode)
         B = factors[plan.inner_mode]
         C = factors[plan.fiber_mode]
-        A = alloc_output(out, plan.shape[plan.mode], rank)
+        A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
         splatt = plan.base.splatt
         for lo, hi in plan.rank_blocking.strips(rank):
             # Strips are contiguous column ranges; copying them (rather than

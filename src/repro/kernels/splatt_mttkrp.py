@@ -30,6 +30,7 @@ from repro.kernels.base import (
     Plan,
     alloc_output,
     check_factors,
+    factor_dtype,
     intervals_from_rows,
     register_kernel,
 )
@@ -77,8 +78,11 @@ def execute_splatt_into(
         f1 = min(max(f1, f0 + 1), n_fibers)
         lo, hi = int(fiber_ptr[f0]), int(fiber_ptr[f1])
 
-        # Lines 5-7: per-fiber accumulation of val * B[j].
-        prod = splatt.vals[lo:hi, None] * B[splatt.jidx[lo:hi]]
+        # Lines 5-7: per-fiber accumulation of val * B[j].  The value
+        # chunk is cast to the output dtype so float32 factors stay
+        # float32 (no-op view for float64).
+        vals = splatt.vals[lo:hi].astype(A.dtype, copy=False)
+        prod = vals[:, None] * B[splatt.jidx[lo:hi]]
         fiber_acc = np.add.reduceat(prod, fiber_ptr[f0:f1] - lo, axis=0)
 
         # Lines 8-9: scale by the fiber's C row, reduce fibers into rows.
@@ -136,7 +140,7 @@ class SplattKernel(Kernel):
         factors, rank = check_factors(factors, plan.shape, plan.mode)
         B = factors[plan.inner_mode]
         C = factors[plan.fiber_mode]
-        A = alloc_output(out, plan.shape[plan.mode], rank)
+        A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
         execute_splatt_into(
             plan.splatt, plan.fiber_rows, B, C, A, self.scratch_elems
         )

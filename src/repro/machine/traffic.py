@@ -260,7 +260,7 @@ def _phase_traffic(
 
 
 def estimate_traffic(
-    plan: Plan, rank: int, machine: MachineSpec
+    plan: Plan, rank: int, machine: MachineSpec, *, itemsize: int = 8
 ) -> TrafficEstimate:
     """Estimate the memory traffic of executing ``plan`` at rank ``rank``.
 
@@ -268,21 +268,30 @@ def estimate_traffic(
     tensor is re-read once per strip, Algorithm 2) and shrink the row
     width each phase works with; mode blocks contribute their per-phase
     compulsory misses (the Section V-A redundancy).
+
+    ``itemsize`` is the element size in bytes of the values/factors
+    (8 for float64, 4 for float32): factor rows and the value stream
+    scale with it, while index/pointer streams stay 8-byte integers.
     """
     rank = check_rank(rank)
+    if itemsize <= 0:
+        raise ValueError(f"itemsize must be positive, got {itemsize}")
     stats = plan.block_stats()
     rank_blocking = getattr(plan, "rank_blocking", None)
     strips = rank_blocking.strips(rank) if rank_blocking is not None else [(0, rank)]
 
     total_nnz = sum(b.nnz for b in stats)
     total_fibers = sum(b.n_fibers for b in stats)
-    # val + j_index per nonzero, k_index + k_pointer per fiber, per strip.
-    stream_bytes = len(strips) * (16.0 * total_nnz + 16.0 * total_fibers)
+    # val (itemsize) + j_index (8) per nonzero, k_index + k_pointer
+    # (8 each) per fiber, per strip.
+    stream_bytes = len(strips) * (
+        (itemsize + 8.0) * total_nnz + 16.0 * total_fibers
+    )
 
     profiles = [_PhaseProfile(s) for s in stats]
     acc_b, acc_c, acc_a = _EMPTY, _EMPTY, _EMPTY
     for lo, hi in strips:
-        row_bytes = (hi - lo) * 8.0
+        row_bytes = (hi - lo) * float(itemsize)
         for profile in profiles:
             b, c, a = _phase_traffic(profile, row_bytes, machine)
             acc_b = acc_b.merged(b)

@@ -17,6 +17,6 @@ package is that framework:
 
 from repro.tune.signature import TensorSignature
 from repro.tune.cache import TuningCache
-from repro.tune.tuner import TunedConfig, Tuner
+from repro.tune.tuner import TunedConfig, TunedThreads, Tuner
 
-__all__ = ["TensorSignature", "TuningCache", "TunedConfig", "Tuner"]
+__all__ = ["TensorSignature", "TuningCache", "TunedConfig", "TunedThreads", "Tuner"]

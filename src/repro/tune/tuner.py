@@ -50,6 +50,25 @@ class TunedConfig:
         return self.baseline_cost / self.cost if self.cost > 0 else 0.0
 
 
+@dataclass(frozen=True)
+class TunedThreads:
+    """Model-backed thread-count choice for the parallel executor."""
+
+    #: Thread count with the lowest modeled makespan.
+    n_threads: int
+    #: Modeled makespan at :attr:`n_threads`, seconds.
+    makespan: float
+    #: Modeled single-thread time, seconds.
+    serial_time: float
+    #: Modeled makespan per candidate thread count.
+    makespans: "dict[int, float]"
+
+    @property
+    def speedup(self) -> float:
+        """Modeled speedup of the chosen count over one thread."""
+        return self.serial_time / self.makespan if self.makespan > 0 else 0.0
+
+
 class Tuner:
     """Tunes blocking configurations for (tensor, mode, rank, machine)."""
 
@@ -193,6 +212,65 @@ class Tuner:
             rb = None if cols is None else RankBlocking(block_cols=cols)
             key = None if all(c == 1 for c in counts) else counts
             yield key, rb
+
+    # ------------------------------------------------------------------
+    def tune_threads(
+        self,
+        rank: int,
+        thread_counts: "tuple[int, ...]" = (1, 2, 4, 8, 10, 20),
+        *,
+        block_counts: "tuple[int, ...] | None" = None,
+        rank_blocking: "RankBlocking | None" = None,
+        socket_read_bandwidth: "float | None" = 75e9,
+        socket_write_bandwidth: "float | None" = 35e9,
+    ) -> TunedThreads:
+        """Pick the thread count with the lowest modeled makespan.
+
+        Sweeps :func:`repro.perf.parallel.parallel_predict_time` over
+        ``thread_counts``, treating this tuner's machine as the
+        *single-core* spec whose bandwidth share shrinks as threads pile
+        onto the socket.  Ties go to the smaller count (fewer threads at
+        equal makespan is strictly cheaper).  The result feeds
+        :class:`repro.exec.ParallelExecutor`'s ``n_threads``.
+        """
+        from repro.perf.parallel import parallel_predict_time
+
+        rank = check_rank(rank)
+        require(len(thread_counts) >= 1, "need at least one thread count")
+        makespans: "dict[int, float]" = {}
+        for t in thread_counts:
+            est = parallel_predict_time(
+                self.tensor,
+                self.mode,
+                rank,
+                self.machine,
+                int(t),
+                socket_read_bandwidth=socket_read_bandwidth,
+                socket_write_bandwidth=socket_write_bandwidth,
+                block_counts=block_counts,
+                rank_blocking=rank_blocking,
+            )
+            makespans[int(t)] = est.makespan
+        serial = makespans.get(1)
+        if serial is None:
+            serial = parallel_predict_time(
+                self.tensor,
+                self.mode,
+                rank,
+                self.machine,
+                1,
+                socket_read_bandwidth=socket_read_bandwidth,
+                socket_write_bandwidth=socket_write_bandwidth,
+                block_counts=block_counts,
+                rank_blocking=rank_blocking,
+            ).makespan
+        best = min(makespans, key=lambda t: (makespans[t], t))
+        return TunedThreads(
+            n_threads=best,
+            makespan=makespans[best],
+            serial_time=serial,
+            makespans=makespans,
+        )
 
     # ------------------------------------------------------------------
     def get_or_tune(

@@ -245,11 +245,28 @@ class TestCheckFactorsTightening:
         with pytest.raises(ShapeError, match="complex"):
             check_factors(factors, self.SHAPE, 0)
 
-    def test_float32_and_noncontiguous_coerced(self):
+    def test_float32_preserved_and_noncontiguous_coerced(self):
+        # float32 is a supported working precision: it must survive
+        # check_factors untouched (no silent float64 upcast).
         factors = self._factors(dtype=np.float32)
         factors[1] = np.asfortranarray(factors[1])
         out, rank = check_factors(factors, self.SHAPE, 0)
         assert rank == 3
         for f in out[1:]:
-            assert f.dtype == VALUE_DTYPE
+            assert f.dtype == np.float32
             assert f.flags["C_CONTIGUOUS"]
+
+    def test_integer_factors_coerced_to_value_dtype(self):
+        factors = self._factors()
+        factors[1] = factors[1].astype(np.int32)
+        out, _ = check_factors(factors, self.SHAPE, 0)
+        for f in out[1:]:
+            assert f.dtype == VALUE_DTYPE
+
+    def test_mixed_precision_rejected(self):
+        from repro.util.errors import ConfigError
+
+        factors = self._factors(dtype=np.float32)
+        factors[2] = factors[2].astype(np.float64)
+        with pytest.raises(ConfigError, match="mixed-precision"):
+            check_factors(factors, self.SHAPE, 0)

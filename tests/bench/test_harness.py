@@ -220,7 +220,12 @@ class TestStatistics:
 
     def test_outlier_rejection_small_or_flat_sets(self):
         assert reject_outliers([1.0, 2.0]) == ([1.0, 2.0], 0)
-        assert reject_outliers([1.0, 1.0, 1.0, 9.0]) == ([1.0, 1.0, 1.0, 9.0], 0)
+        # MAD==0 (>=50% of samples on the median) used to disable the
+        # rejection entirely; the mean-absolute-deviation fallback now
+        # still drops the straggler.
+        assert reject_outliers([1.0, 1.0, 1.0, 9.0]) == ([1.0, 1.0, 1.0], 1)
+        # ...but identical samples are all kept.
+        assert reject_outliers([3.0, 3.0, 3.0]) == ([3.0, 3.0, 3.0], 0)
 
     def test_outliers_excluded_from_summary(self):
         s = summarize_samples([1.0, 1.01, 0.99, 1.02, 0.98, 50.0])

@@ -1,0 +1,132 @@
+"""Regression tests for the benchmark-statistics bugfixes: the MAD==0
+outlier-rejection breakdown and the zero-baseline ``unmeasurable``
+verdict in ``repro bench compare``."""
+
+import pytest
+
+from repro.bench.compare import VERDICTS, compare_suites
+from repro.bench.harness import (
+    BenchmarkResult,
+    reject_outliers,
+    summarize_samples,
+)
+from repro.bench.schema import BenchSuiteResult
+
+
+class TestRejectOutliersDegenerateMAD:
+    def test_mad_zero_still_rejects_slow_outlier(self):
+        # More than half the samples sit on the median, so the MAD is
+        # exactly 0 and the old estimator kept everything — including
+        # the 5 s straggler.
+        kept, n_out = reject_outliers([0.0, 0.0, 0.0, 5.0])
+        assert kept == [0.0, 0.0, 0.0]
+        assert n_out == 1
+
+    def test_all_identical_samples_kept(self):
+        kept, n_out = reject_outliers([2.0, 2.0, 2.0, 2.0])
+        assert kept == [2.0, 2.0, 2.0, 2.0]
+        assert n_out == 0
+
+    def test_quantized_timings_with_near_cluster(self):
+        # Quantized clock: cluster at 1 ms plus one descheduled sample.
+        samples = [0.001, 0.001, 0.001, 0.001, 0.25]
+        kept, n_out = reject_outliers(samples)
+        assert 0.25 not in kept
+        assert n_out == 1
+
+    def test_nondegenerate_path_unchanged(self):
+        samples = [1.0, 1.1, 0.9, 1.05, 10.0]
+        kept, n_out = reject_outliers(samples)
+        assert 10.0 not in kept
+        assert n_out == 1
+
+    def test_small_sample_lists_untouched(self):
+        assert reject_outliers([1.0, 50.0]) == ([1.0, 50.0], 0)
+
+    def test_summary_min_excludes_degenerate_outlier(self):
+        s = summarize_samples([0.0, 0.0, 0.0, 5.0])
+        assert s.outliers == 1
+        assert s.min_s == 0.0
+        assert s.median_s == 0.0
+
+
+def _suite(named_samples):
+    results = [
+        BenchmarkResult(
+            name=name,
+            tags=("model",),
+            params={},
+            samples_s=list(samples),
+            summary=summarize_samples(samples),
+            metrics=dict(metrics),
+            model=None,
+            check="passed",
+        )
+        for name, samples, metrics in named_samples
+    ]
+    return BenchSuiteResult(
+        config={},
+        results=results,
+        git_sha="test",
+        host={"hash": "h"},
+        machine_model={"hash": "m"},
+        created_unix=0.0,
+    )
+
+
+class TestUnmeasurableVerdict:
+    def test_zero_baseline_is_unmeasurable_not_regression(self):
+        base = _suite([("b", [0.0, 0.0, 0.0], {})])
+        cur = _suite([("b", [0.5, 0.5, 0.5], {})])
+        cmp = compare_suites(base, cur)
+        (delta,) = cmp.deltas
+        assert delta.verdict == "unmeasurable"
+        assert delta.ratio is None
+        assert delta.ratio_str == "-"
+        assert "re-record" in delta.note
+        # An unmeasurable baseline must not fail the gate on its own.
+        assert cmp.exit_code() == 0
+        assert cmp.exit_code(strict_metrics=True) == 0
+
+    def test_verdict_is_known_and_ordered(self):
+        assert "unmeasurable" in VERDICTS
+        assert VERDICTS.index("unmeasurable") < VERDICTS.index("ok")
+
+    def test_real_regression_still_gates(self):
+        base = _suite([("b", [0.1, 0.1, 0.1], {})])
+        cur = _suite([("b", [0.5, 0.5, 0.5], {})])
+        cmp = compare_suites(base, cur)
+        assert cmp.deltas[0].verdict == "regression"
+        assert cmp.exit_code() == 1
+
+    def test_metric_drift_still_reported_alongside(self):
+        base = _suite([("b", [0.0, 0.0, 0.0], {"speedup": 2.0})])
+        cur = _suite([("b", [0.5, 0.5, 0.5], {"speedup": 4.0})])
+        cmp = compare_suites(base, cur)
+        (delta,) = cmp.deltas
+        # Verdict stays unmeasurable (wall-clock), but the deterministic
+        # metric drift is still captured for reporting.
+        assert delta.verdict == "unmeasurable"
+        assert "speedup" in delta.metric_drift
+
+    def test_zero_current_against_positive_baseline(self):
+        base = _suite([("b", [0.1, 0.1, 0.1], {})])
+        cur = _suite([("b", [0.0, 0.0, 0.0], {})])
+        cmp = compare_suites(base, cur)
+        (delta,) = cmp.deltas
+        assert delta.verdict in ("improvement", "ok")
+        assert cmp.exit_code() == 0
+
+
+@pytest.mark.parametrize("verdict", VERDICTS)
+def test_all_verdicts_render(verdict):
+    from repro.bench.compare import Comparison, Delta, render_comparison_text
+
+    cmp = Comparison(
+        deltas=[Delta(f"bench_{verdict}", verdict, None, None, None, None, {})],
+        threshold=1.25,
+        metric_rtol=0.05,
+        host_match=True,
+        machine_model_match=True,
+    )
+    assert f"bench_{verdict}" in render_comparison_text(cmp)

@@ -1,0 +1,116 @@
+"""Precision contract regression tests: float32 factors must flow
+through every kernel without a silent float64 upcast, mixed precision
+must be rejected, and the traffic model must scale with element size."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import get_kernel, reference_mttkrp
+from repro.kernels.base import factor_dtype
+from repro.tensor import poisson_tensor
+from repro.util.errors import ConfigError, ShapeError
+
+KERNEL_PARAMS = {
+    "coo": {},
+    "splatt": {},
+    "csf": {},
+    "csf-any": {},
+    "csf-blocked": {"block_counts": (2, 2, 2)},
+    "mb": {"block_counts": (2, 3, 2)},
+    "rankb": {"n_rank_blocks": 3},
+    "mb+rankb": {"block_counts": (2, 2, 3), "n_rank_blocks": 2},
+}
+
+
+@pytest.fixture(scope="module")
+def problem():
+    t = poisson_tensor((14, 20, 17), 1100, seed=61)
+    rng = np.random.default_rng(62)
+    factors = [rng.standard_normal((n, 9)) for n in t.shape]
+    return t, factors
+
+
+@pytest.mark.parametrize("kernel_name", sorted(KERNEL_PARAMS))
+@pytest.mark.parametrize("mode", [0, 1, 2])
+def test_float32_in_float32_out(problem, kernel_name, mode):
+    t, factors = problem
+    f32 = [f.astype(np.float32) for f in factors]
+    got = get_kernel(kernel_name).mttkrp(
+        t, f32, mode, **KERNEL_PARAMS[kernel_name]
+    )
+    assert got.dtype == np.float32, kernel_name
+    ref = reference_mttkrp(t, factors, mode)
+    np.testing.assert_allclose(got, ref, rtol=2e-4, atol=2e-4)
+
+
+@pytest.mark.parametrize("kernel_name", sorted(KERNEL_PARAMS))
+def test_float64_unchanged(problem, kernel_name):
+    t, factors = problem
+    got = get_kernel(kernel_name).mttkrp(
+        t, factors, 0, **KERNEL_PARAMS[kernel_name]
+    )
+    assert got.dtype == np.float64
+
+
+@pytest.mark.parametrize("kernel_name", sorted(KERNEL_PARAMS))
+def test_mixed_precision_raises(problem, kernel_name):
+    t, factors = problem
+    mixed = [f.astype(np.float32) for f in factors]
+    mixed[2] = mixed[2].astype(np.float64)
+    with pytest.raises(ConfigError, match="mixed-precision"):
+        get_kernel(kernel_name).mttkrp(
+            t, mixed, 0, **KERNEL_PARAMS[kernel_name]
+        )
+
+
+def test_mixed_precision_raises_in_parallel(problem):
+    from repro.exec import ParallelExecutor
+
+    t, factors = problem
+    ex = ParallelExecutor(n_threads=1)
+    pplan = ex.prepare(t, 0, "splatt")
+    mixed = [f.astype(np.float32) for f in factors]
+    mixed[1] = mixed[1].astype(np.float64)
+    with pytest.raises(ConfigError, match="mixed-precision"):
+        ex.execute(pplan, mixed)
+
+
+def test_float32_out_buffer_honored(problem):
+    t, factors = problem
+    f32 = [f.astype(np.float32) for f in factors]
+    kern = get_kernel("splatt")
+    plan = kern.prepare(t, 0)
+    out = np.empty((t.shape[0], 9), dtype=np.float32)
+    got = kern.execute(plan, f32, out=out)
+    assert got is out
+    # A float64 buffer no longer matches the factor dtype.
+    with pytest.raises(ShapeError, match="out buffer"):
+        kern.execute(plan, f32, out=np.empty((t.shape[0], 9), dtype=np.float64))
+
+
+def test_factor_dtype_helper(problem):
+    _, factors = problem
+    assert factor_dtype(factors) == np.float64
+    assert factor_dtype([None, factors[1], factors[2]]) == np.float64
+    f32 = [f.astype(np.float32) for f in factors]
+    assert factor_dtype(f32) == np.float32
+    with pytest.raises(ShapeError):
+        factor_dtype([None, None, None])
+
+
+def test_traffic_scales_with_itemsize(problem):
+    from repro.machine import power8
+    from repro.machine.traffic import estimate_traffic
+
+    t, _ = problem
+    machine = power8(1)
+    plan = get_kernel("splatt").prepare(t, 0)
+    t8 = estimate_traffic(plan, 16, machine)
+    t4 = estimate_traffic(plan, 16, machine, itemsize=4)
+    # Factor rows and the value stream shrink with the element size;
+    # index/pointer streams are 8-byte either way, so the total drops
+    # but by less than half.
+    assert t4.total_bytes < t8.total_bytes
+    assert t4.total_bytes > t8.total_bytes / 2
+    with pytest.raises(ValueError):
+        estimate_traffic(plan, 16, machine, itemsize=0)

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.cpd",
     "repro.tune",
     "repro.bench",
+    "repro.exec",
 ]
 
 
@@ -66,5 +67,6 @@ def test_docs_exist():
         "EXPERIMENTS.md",
         os.path.join("docs", "machine-model.md"),
         os.path.join("docs", "distributed-substrate.md"),
+        os.path.join("docs", "parallel-execution.md"),
     ):
         assert os.path.exists(os.path.join(root, fname)), fname

@@ -287,6 +287,10 @@ class BenchmarkResult:
     metrics: dict[str, float]
     model: "dict[str, float] | None"
     check: str  # "passed" | "failed: <msg>" | "skipped"
+    #: Trace summary from an opt-in ``--trace`` run (span/counter totals
+    #: as produced by :meth:`repro.obs.Tracer.summary`; ``None`` when the
+    #: benchmark ran untraced).
+    trace: "dict[str, Any] | None" = None
     #: The raw experiment payload (in-process only; never serialized).
     raw: Any = None
 
@@ -305,6 +309,7 @@ def run_benchmark(
     run_checks: bool = True,
     clock_ns: "Callable[[], int] | None" = None,
     param_overrides: "Mapping[str, Any] | None" = None,
+    tracer: Any = None,
 ) -> BenchmarkResult:
     """Execute one benchmark: warmup, N timed repeats, stats, checks.
 
@@ -313,6 +318,12 @@ def run_benchmark(
     applied over the tier parameters, but only for keys the benchmark's
     tiers already declare — a suite-wide override (the CLI's
     ``--threads``) silently skips benchmarks without the knob.
+
+    When ``tracer`` (a :class:`repro.obs.Tracer`) is given, it is
+    installed around the *timed* repeats only — warmup stays untraced —
+    and its :meth:`~repro.obs.Tracer.summary` lands on the result's
+    ``trace`` field.  Tracing perturbs the wall-clock, so it is opt-in
+    and ``--trace`` runs must not be compared against untraced baselines.
     """
     tier, tier_warmup, tier_repeats = QUICK_TIER if quick else FULL_TIER
     warmup = tier_warmup if warmup is None else warmup
@@ -336,9 +347,17 @@ def run_benchmark(
         )
         for _ in range(warmup):
             call()
-        for _ in range(repeats):
-            with timer:
-                result = call()
+        if tracer is not None:
+            from repro.obs.tracer import use_tracer
+
+            with use_tracer(tracer):
+                for _ in range(repeats):
+                    with timer:
+                        result = call()
+        else:
+            for _ in range(repeats):
+                with timer:
+                    result = call()
     finally:
         if bench.setup is not None and bench.teardown is not None:
             bench.teardown(state)
@@ -371,6 +390,7 @@ def run_benchmark(
         metrics=metrics,
         model=model,
         check=check,
+        trace=tracer.summary() if tracer is not None else None,
         raw=result,
     )
 

@@ -581,3 +581,73 @@ register_benchmark(
         artifact="ablation_regblock",
     )
 )
+
+
+# ----------------------------------------------------------------------
+# Observability: tracer overhead + end-to-end float32
+# ----------------------------------------------------------------------
+def _check_tracer_overhead(d: Mapping[str, Any], params: Mapping[str, Any]) -> None:
+    # The acceptance gate: a disabled tracer must stay within 5% of the
+    # uninstrumented kernel (min-of-k timings; a 50us absolute floor keeps
+    # the ratio meaningful when the quick tier's kernel time is tiny).
+    floor_s = 50e-6
+    raw_s = d["raw_ms"] / 1e3
+    disabled_s = d["disabled_ms"] / 1e3
+    assert disabled_s <= raw_s * 1.05 + floor_s, (
+        f"disabled tracer overhead {d['disabled_overhead_pct']}% "
+        f"(raw {d['raw_ms']}ms, disabled {d['disabled_ms']}ms)"
+    )
+    # The enabled tracer must have actually recorded the kernel calls.
+    assert d["enabled_spans"] >= 1
+    assert d["enabled_nnz_counted"] == d["nnz"] * d["enabled_spans"]
+
+
+register_benchmark(
+    Benchmark(
+        name="tracer_overhead_splatt",
+        fn=suites.experiment_tracer_overhead,
+        tags=frozenset({"kernel", "supplementary"}),
+        description="repro.obs hook cost on SPLATT: raw vs disabled vs enabled",
+        params={"nnz": 200_000, "rank": 32, "inner_k": 7},
+        quick={"nnz": 50_000, "inner_k": 5},
+        check=_check_tracer_overhead,
+        # Wall-clock-derived percentages are host noise; only the
+        # structural counts are drift-gated.
+        metrics=lambda d: {
+            "enabled_spans": d["enabled_spans"],
+            "nnz": d["nnz"],
+        },
+        render=lambda d: render_rows(
+            [d], title="Tracer overhead on SPLATT (min-of-k, interleaved)"
+        ),
+        artifact="tracer_overhead_splatt",
+    )
+)
+
+
+def _check_cpd_float32(d: Mapping[str, Any], params: Mapping[str, Any]) -> None:
+    assert d["value_dtype"] == "float32"
+    # The whole model must stay float32 — any float64 here means a layer
+    # silently upcast (the bug class this benchmark pins down).
+    assert d["factor_dtypes"] == ["float32"], d["factor_dtypes"]
+    assert d["fit_finite"]
+    assert d["fit"] > 0.0
+    assert d["fit"] >= d["first_fit"] - 1e-3  # monotone up to float32 noise
+
+
+register_benchmark(
+    Benchmark(
+        name="cpd_float32",
+        fn=suites.experiment_cpd_float32,
+        tags=frozenset({"cpd", "supplementary"}),
+        description="End-to-end float32 CP-ALS: converges with no upcast",
+        params={"nnz": 30_000, "rank": 16, "n_iters": 10},
+        quick={"nnz": 8_000, "n_iters": 5},
+        check=_check_cpd_float32,
+        metrics=lambda d: {"fit": d["fit"], "n_iters": d["n_iters"]},
+        render=lambda d: render_rows(
+            [d], title="End-to-end float32 CP-ALS"
+        ),
+        artifact="cpd_float32",
+    )
+)

@@ -83,19 +83,7 @@ def suite_to_json(suite: BenchSuiteResult) -> str:
         "host": suite.host,
         "machine_model": suite.machine_model,
         "config": suite.config,
-        "benchmarks": [
-            {
-                "name": r.name,
-                "tags": list(r.tags),
-                "params": r.params,
-                "samples_s": r.samples_s,
-                "summary": r.summary.as_dict(),
-                "metrics": r.metrics,
-                "model": r.model,
-                "check": r.check,
-            }
-            for r in suite.results
-        ],
+        "benchmarks": [_result_to_dict(r) for r in suite.results],
     }
     return json.dumps(doc, indent=2, sort_keys=True) + "\n"
 
@@ -133,6 +121,24 @@ def suite_from_json(text: str) -> BenchSuiteResult:
     )
 
 
+def _result_to_dict(r: BenchmarkResult) -> dict[str, Any]:
+    entry: dict[str, Any] = {
+        "name": r.name,
+        "tags": list(r.tags),
+        "params": r.params,
+        "samples_s": r.samples_s,
+        "summary": r.summary.as_dict(),
+        "metrics": r.metrics,
+        "model": r.model,
+        "check": r.check,
+    }
+    # Additive within schema v1: the key only appears on --trace runs, so
+    # untraced documents (and the committed baseline) are unchanged.
+    if r.trace is not None:
+        entry["trace"] = r.trace
+    return entry
+
+
 def _result_from_dict(entry: Mapping[str, Any]) -> BenchmarkResult:
     for key in ("name", "samples_s", "summary", "check"):
         if key not in entry:
@@ -150,6 +156,7 @@ def _result_from_dict(entry: Mapping[str, Any]) -> BenchmarkResult:
             else None
         ),
         check=str(entry["check"]),
+        trace=dict(entry["trace"]) if entry.get("trace") else None,
     )
 
 

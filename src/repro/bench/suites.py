@@ -673,3 +673,109 @@ def experiment_ablation_regblock(
             }
         )
     return rows
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+def experiment_tracer_overhead(
+    shape: Sequence[int] = (300, 400, 350),
+    nnz: int = 200_000,
+    rank: int = 32,
+    inner_k: int = 7,
+    seed: int = 1,
+) -> dict[str, Any]:
+    """Cost of the tracing hooks on the SPLATT kernel's hot path.
+
+    Three configurations of the same prepared plan:
+
+    ``raw``
+        The uninstrumented ``execute`` body (reached through
+        ``__wrapped__`` on the :func:`functools.wraps`-preserving
+        instrumentation wrapper) — what the kernel cost before repro.obs
+        existed.
+    ``disabled``
+        The instrumented entry point with the default ``NullTracer``
+        active — the price every untraced caller pays.  The contract is
+        *near-zero*: one global load and one attribute test per
+        ``execute`` call, nothing per nonzero.
+    ``enabled``
+        A recording :class:`repro.obs.Tracer` — the opt-in cost, reported
+        for documentation, not gated.
+
+    Timings are min-of-``inner_k`` with the configurations interleaved
+    round-robin, so slow outliers (GC, scheduler preemption) cannot bias
+    one configuration systematically.
+    """
+    from repro.kernels import get_kernel
+    from repro.obs.tracer import NULL_TRACER, Tracer, use_tracer
+    from repro.tensor import poisson_tensor
+
+    tensor = poisson_tensor(tuple(shape), nnz, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    factors = [rng.standard_normal((n, rank)) for n in tensor.shape]
+    kern = get_kernel("splatt")
+    plan = kern.prepare(tensor, 0)
+    out = np.zeros((tensor.shape[0], rank))
+    raw_execute = type(kern).execute.__wrapped__
+
+    # Each leg pins its own tracer, so an ambient one (``repro bench run
+    # --trace``) cannot contaminate the raw/disabled measurements.
+    tracer = Tracer()
+    raw_t, disabled_t, enabled_t = Timer(), Timer(), Timer()
+    for _ in range(inner_k):
+        with use_tracer(NULL_TRACER):
+            with raw_t:
+                raw_execute(kern, plan, factors, out=out)
+            with disabled_t:
+                kern.execute(plan, factors, out=out)
+        with use_tracer(tracer):
+            with enabled_t:
+                kern.execute(plan, factors, out=out)
+
+    raw_s = min(raw_t.samples)
+    disabled_s = min(disabled_t.samples)
+    enabled_s = min(enabled_t.samples)
+    return {
+        "raw_ms": round(raw_s * 1e3, 4),
+        "disabled_ms": round(disabled_s * 1e3, 4),
+        "enabled_ms": round(enabled_s * 1e3, 4),
+        "disabled_overhead_pct": round((disabled_s / raw_s - 1.0) * 100, 2),
+        "enabled_overhead_pct": round((enabled_s / raw_s - 1.0) * 100, 2),
+        "enabled_spans": len(tracer.spans),
+        "enabled_nnz_counted": int(tracer.counters.get("kernel.nonzeros", 0)),
+        "nnz": tensor.nnz,
+    }
+
+
+def experiment_cpd_float32(
+    shape: Sequence[int] = (60, 80, 70),
+    nnz: int = 30_000,
+    rank: int = 16,
+    n_iters: int = 10,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """End-to-end float32 CP-ALS: the precision contract across the full
+    stack (tensor load, MTTKRP kernels, normalization, fit) — no silent
+    upcast to float64 anywhere, and the decomposition still converges."""
+    from repro.cpd import cp_als
+    from repro.tensor import poisson_tensor
+    from repro.tensor.coo import COOTensor
+
+    t64 = poisson_tensor(tuple(shape), nnz, seed=seed)
+    tensor = COOTensor(
+        t64.shape, t64.indices, t64.values.astype(np.float32)
+    )
+    res = cp_als(tensor, rank, n_iters=n_iters, seed=seed)
+    model = res.model
+    dtypes = {model.weights.dtype.name} | {
+        f.dtype.name for f in model.factors
+    }
+    return {
+        "fit": float(res.final_fit),
+        "first_fit": float(res.fits[0]),
+        "n_iters": int(res.n_iters),
+        "value_dtype": tensor.values.dtype.name,
+        "factor_dtypes": sorted(dtypes),
+        "fit_finite": bool(np.isfinite(res.final_fit)),
+    }

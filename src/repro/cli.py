@@ -16,8 +16,12 @@ Commands
               bounds, NaN/Inf, dtype drift, traffic-footprint cross-check
 ``bench``     unified benchmark harness: ``run`` the registered
               experiments (``--quick`` smoke tier, ``--filter``,
-              ``--json``), ``compare`` two result files with regression
-              gating, ``list`` the registry (see docs/benchmarking.md)
+              ``--json``, ``--trace``), ``compare`` two result files with
+              regression gating, ``list`` the registry
+              (see docs/benchmarking.md)
+``trace``     run a CPD experiment under the ``repro.obs`` tracer and
+              write Perfetto-loadable chrome-trace JSON
+              (see docs/observability.md)
 
 Every tensor-consuming command accepts ``--dataset <name>`` (a Table II
 stand-in) or ``--tns <path>`` (a FROSTT text file).
@@ -223,6 +227,69 @@ def cmd_cpd(args: argparse.Namespace) -> int:
             f"CP-ALS ({args.method}): fit {res.final_fit:.4f} after "
             f"{res.n_iters} iterations (converged={res.converged})"
         )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a CPD experiment under the runtime tracer (``repro trace``).
+
+    Writes a Chrome-trace JSON (load it in Perfetto / ``chrome://tracing``)
+    and prints the span/counter summary; ``--metrics`` additionally writes
+    the flat versioned metrics document.
+    """
+    from repro.obs import (
+        Tracer,
+        summarize_text,
+        use_tracer,
+        write_chrome_trace,
+        write_metrics_doc,
+    )
+
+    tensor = _load_tensor(args)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        if args.method == "apr":
+            from repro.cpd import cp_apr
+
+            res = cp_apr(tensor, args.rank, n_iters=args.iters, seed=args.seed)
+            outcome = (
+                f"CP-APR: log-likelihood {res.final_log_likelihood:.6g} "
+                f"after {res.n_iters} iterations"
+            )
+        elif args.method == "dimtree":
+            from repro.cpd import cp_als_dimtree
+
+            res = cp_als_dimtree(
+                tensor, args.rank, n_iters=args.iters, seed=args.seed
+            )
+            outcome = (
+                f"CP-ALS (dimtree): fit {res.final_fit:.4f} "
+                f"after {res.n_iters} iterations"
+            )
+        else:
+            from repro.cpd import cp_als
+
+            res = cp_als(
+                tensor,
+                args.rank,
+                n_iters=args.iters,
+                kernel=args.kernel,
+                seed=args.seed,
+                n_threads=args.threads,
+            )
+            outcome = (
+                f"CP-ALS ({args.kernel}, {args.threads} thread(s)): "
+                f"fit {res.final_fit:.4f} after {res.n_iters} iterations"
+            )
+
+    print(outcome)
+    print()
+    print(summarize_text(tracer))
+    write_chrome_trace(tracer, args.out)
+    print(f"\nwrote {args.out} ({len(tracer.spans)} spans)")
+    if args.metrics:
+        write_metrics_doc(tracer, args.metrics)
+        print(f"wrote {args.metrics}")
     return 0
 
 
@@ -520,6 +587,11 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
     t_start = time_mod.time()
     for bench in benches:
         t0 = time_mod.time()
+        tracer = None
+        if getattr(args, "trace", False):
+            from repro.obs import Tracer
+
+            tracer = Tracer()  # fresh per benchmark: summaries stay per-run
         result = run_benchmark(
             bench,
             quick=args.quick,
@@ -528,6 +600,7 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             run_checks=not args.no_check,
             param_overrides=overrides,
+            tracer=tracer,
         )
         results.append(result)
         if not result.check_passed:
@@ -550,6 +623,7 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "checks": not args.no_check,
             "threads": getattr(args, "threads", None),
+            "trace": bool(getattr(args, "trace", False)),
         },
         results=results,
     )
@@ -799,6 +873,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap the parallel-executor benchmarks at this many threads "
         "(benchmarks without a max_threads knob are unaffected)",
     )
+    b.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a repro.obs trace per benchmark (timed repeats only) "
+        "and attach its summary to the result JSON; perturbs timings, so "
+        "do not compare traced runs against untraced baselines",
+    )
     b.set_defaults(func=cmd_bench_run)
 
     b = bench_sub.add_parser(
@@ -842,6 +923,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--nodes", type=int, nargs="+", default=[1, 2, 4, 8, 16, 32, 64]
     )
     p.set_defaults(func=cmd_scaling)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a CPD experiment under the tracer; write chrome-trace "
+        "JSON for Perfetto (see docs/observability.md)",
+    )
+    _add_tensor_args(p)
+    p.add_argument("--rank", type=int, default=8)
+    p.add_argument("--iters", type=int, default=5)
+    p.add_argument(
+        "--method", choices=("als", "dimtree", "apr"), default="als"
+    )
+    p.add_argument("--kernel", default="splatt", help="kernel for --method als")
+    p.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="parallel-executor workers for --method als (>1 adds "
+        "exec.worker spans)",
+    )
+    p.add_argument(
+        "--out", default="trace.json", metavar="PATH", help="chrome-trace output"
+    )
+    p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="also write the flat repro-trace-metrics JSON document",
+    )
+    p.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -12,6 +12,14 @@ The MTTKRP is delegated to any registered kernel; one plan per mode is
 prepared up front and reused across all iterations — exactly the
 amortization the paper invokes for the blocking reorganization cost
 (Sections III-B, V-A).
+
+The working dtype is derived from ``tensor.values``: a float32 tensor
+yields float32 factors, weights, and grams end-to-end (the kernels'
+precision contract), everything else runs in float64.
+
+With ``n_threads > 1`` each per-mode MTTKRP runs through
+:class:`repro.exec.ParallelExecutor` (bitwise-equal to serial), and a
+traced run records per-worker spans under each mode's MTTKRP.
 """
 
 from __future__ import annotations
@@ -24,9 +32,10 @@ import numpy as np
 from repro.cpd.init import init_factors
 from repro.cpd.ktensor import KruskalTensor
 from repro.kernels.base import Kernel, Plan, get_kernel
+from repro.obs.tracer import current_tracer
 from repro.tensor.coo import COOTensor
 from repro.util.errors import ConfigError
-from repro.util.validation import VALUE_DTYPE, check_rank, require
+from repro.util.validation import check_rank, require, value_dtype_of
 
 
 @dataclass
@@ -57,6 +66,8 @@ def cp_als(
     kernel_params: "dict | None" = None,
     init: "str | Sequence[np.ndarray]" = "random",
     seed: "int | None | np.random.Generator" = 0,
+    n_threads: int = 1,
+    backend: str = "thread",
 ) -> ALSResult:
     """Compute a rank-``rank`` CP decomposition of a sparse tensor.
 
@@ -71,67 +82,95 @@ def cp_als(
     kernel_params: extra ``prepare`` arguments (e.g. ``block_counts``).
     init: initialization method name or explicit factor matrices.
     seed: RNG seed for the initialization.
+    n_threads: when > 1, run each MTTKRP through the shared-memory
+        :class:`~repro.exec.ParallelExecutor` (results stay bitwise-equal
+        to the serial path).
+    backend: executor backend (``thread``, ``process``, ``serial``) for
+        ``n_threads > 1``.
     """
     rank = check_rank(rank)
     require(n_iters >= 1, "n_iters must be >= 1")
     require(tol >= 0, "tol must be non-negative")
+    require(n_threads >= 1, "n_threads must be >= 1")
     if isinstance(kernel, str):
         kernel = get_kernel(kernel)
     kernel_params = dict(kernel_params or {})
 
+    # The working dtype follows the tensor's values: float32 in, float32
+    # factors/weights/grams out (the kernels would otherwise raise the
+    # mixed-precision ConfigError at the first execute).
+    dtype = value_dtype_of(tensor.values)
+
     if isinstance(init, str):
         factors = init_factors(tensor, rank, method=init, seed=seed)
     else:
-        factors = [np.ascontiguousarray(f, dtype=VALUE_DTYPE) for f in init]
+        factors = [np.ascontiguousarray(f, dtype=dtype) for f in init]
         if len(factors) != tensor.order:
             raise ConfigError("need one initial factor per mode")
 
-    # One plan per mode, reused across iterations.  The any-mode CSF
-    # kernel shares a single tree across all modes (its whole point).
-    from repro.kernels.csf_any import CSFAnyKernel
+    executor = None
+    if n_threads > 1:
+        from repro.exec import ParallelExecutor
 
-    if isinstance(kernel, CSFAnyKernel):
-        base = kernel.prepare(tensor, 0, **kernel_params)
-        plans: list[Plan] = [
-            CSFAnyKernel.plan_for_mode(base, mode)
+        executor = ParallelExecutor(n_threads=n_threads, backend=backend)
+        plans: "list[Plan] | list" = [
+            executor.prepare(tensor, mode, kernel, **kernel_params)
             for mode in range(tensor.order)
         ]
     else:
-        plans = [
-            kernel.prepare(tensor, mode, **kernel_params)
-            for mode in range(tensor.order)
-        ]
+        # One plan per mode, reused across iterations.  The any-mode CSF
+        # kernel shares a single tree across all modes (its whole point).
+        from repro.kernels.csf_any import CSFAnyKernel
+
+        if isinstance(kernel, CSFAnyKernel):
+            base = kernel.prepare(tensor, 0, **kernel_params)
+            plans = [
+                CSFAnyKernel.plan_for_mode(base, mode)
+                for mode in range(tensor.order)
+            ]
+        else:
+            plans = [
+                kernel.prepare(tensor, mode, **kernel_params)
+                for mode in range(tensor.order)
+            ]
     grams = [f.T @ f for f in factors]
     norm_x = float(np.linalg.norm(tensor.values))
-    weights = np.ones(rank, dtype=VALUE_DTYPE)
+    weights = np.ones(rank, dtype=dtype)
 
+    tracer = current_tracer()
     fits: list[float] = []
     converged = False
     iteration = 0
     for iteration in range(1, n_iters + 1):
-        for mode in range(tensor.order):
-            m_mat = kernel.execute(plans[mode], factors)
-            v = np.ones((rank, rank), dtype=VALUE_DTYPE)
-            for m, g in enumerate(grams):
-                if m != mode:
-                    v *= g
-            f_new = m_mat @ np.linalg.pinv(v)
-            # Column normalization: 2-norm after the first iteration,
-            # max-norm on the first (standard CP-ALS practice, keeps
-            # early weights from collapsing).
-            if iteration == 1:
-                norms = np.maximum(np.abs(f_new).max(axis=0), 1e-12)
-            else:
-                norms = np.linalg.norm(f_new, axis=0)
-                norms = np.where(norms > 1e-12, norms, 1.0)
-            f_new = f_new / norms
-            weights = norms.astype(VALUE_DTYPE)
-            factors[mode] = np.ascontiguousarray(f_new, dtype=VALUE_DTYPE)
-            grams[mode] = factors[mode].T @ factors[mode]
+        with tracer.span("als.iteration", iteration=iteration):
+            for mode in range(tensor.order):
+                if executor is not None:
+                    m_mat = executor.execute(plans[mode], factors)
+                else:
+                    m_mat = kernel.execute(plans[mode], factors)
+                v = np.ones((rank, rank), dtype=dtype)
+                for m, g in enumerate(grams):
+                    if m != mode:
+                        v *= g
+                f_new = m_mat @ np.linalg.pinv(v)
+                # Column normalization: 2-norm after the first iteration,
+                # max-norm on the first (standard CP-ALS practice, keeps
+                # early weights from collapsing).
+                if iteration == 1:
+                    norms = np.maximum(np.abs(f_new).max(axis=0), 1e-12)
+                else:
+                    norms = np.linalg.norm(f_new, axis=0)
+                    norms = np.where(norms > 1e-12, norms, 1.0)
+                f_new = f_new / norms
+                weights = norms.astype(dtype, copy=False)
+                factors[mode] = np.ascontiguousarray(f_new, dtype=dtype)
+                grams[mode] = factors[mode].T @ factors[mode]
 
-        model = KruskalTensor(weights, factors)
-        fit = model.fit(tensor, norm_x)
+            model = KruskalTensor(weights, factors)
+            fit = model.fit(tensor, norm_x)
         fits.append(fit)
+        if tracer.enabled:
+            tracer.metric("als.fit", fit, step=iteration)
         if len(fits) >= 2 and abs(fits[-1] - fits[-2]) < tol:
             converged = True
             break

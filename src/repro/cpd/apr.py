@@ -29,10 +29,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.cpd.ktensor import KruskalTensor
+from repro.obs.tracer import current_tracer
 from repro.tensor.coo import COOTensor
 from repro.util.errors import ConfigError
 from repro.util.rng import resolve_rng
-from repro.util.validation import VALUE_DTYPE, check_rank, require
+from repro.util.validation import check_rank, require, value_dtype_of
 
 #: Numerical floor keeping factors strictly positive (Chi & Kolda's
 #: "inadmissible zero" guard).
@@ -61,7 +62,7 @@ def poisson_log_likelihood(
     """``sum_t x_t log(m_t) - sum(m)`` (dropping the x!-terms, which are
     model-independent).  The total-sum term is computed factored:
     ``sum(m) = weights . prod_m colsum(F_m)``."""
-    rows = np.ones((tensor.nnz, weights.shape[0]), dtype=VALUE_DTYPE)
+    rows = np.ones((tensor.nnz, weights.shape[0]), dtype=weights.dtype)
     for m, f in enumerate(factors):
         rows *= f[tensor.indices[:, m]]
     model_at_nnz = rows @ weights
@@ -88,15 +89,16 @@ def _phi(
     idx = tensor.indices[order]
     vals = tensor.values[order]
 
-    other = np.ones((tensor.nnz, rank), dtype=VALUE_DTYPE)
+    dtype = weights.dtype
+    other = np.ones((tensor.nnz, rank), dtype=dtype)
     for m, f in enumerate(factors):
         if m != mode:
             other *= f[idx[:, m]]
     model_at_nnz = (other * factors[mode][idx[:, mode]]) @ weights
-    ratio = vals / np.maximum(model_at_nnz, _EPS)
+    ratio = vals.astype(dtype, copy=False) / np.maximum(model_at_nnz, _EPS)
     contrib = (ratio[:, None] * other) * weights[None, :]
 
-    phi = np.zeros((tensor.shape[mode], rank), dtype=VALUE_DTYPE)
+    phi = np.zeros((tensor.shape[mode], rank), dtype=dtype)
     if tensor.nnz:
         i = idx[:, mode]
         boundaries = np.flatnonzero(np.diff(i)) + 1
@@ -135,44 +137,50 @@ def cp_apr(
         raise ConfigError("CP-APR requires nonnegative count data")
     rng = resolve_rng(seed)
 
+    # Working dtype follows the tensor's values (float32 stays float32).
+    dtype = value_dtype_of(tensor.values)
     if isinstance(init, str):
         if init != "random":
             raise ConfigError(f"unknown CP-APR init {init!r}")
         factors = [
-            rng.random((n, rank)).astype(VALUE_DTYPE) + 0.1
+            (rng.random((n, rank)) + 0.1).astype(dtype)
             for n in tensor.shape
         ]
     else:
-        factors = [np.ascontiguousarray(f, dtype=VALUE_DTYPE) for f in init]
+        factors = [np.ascontiguousarray(f, dtype=dtype) for f in init]
         if len(factors) != tensor.order:
             raise ConfigError("need one initial factor per mode")
         if any(np.any(f < 0) for f in factors):
             raise ConfigError("CP-APR initial factors must be nonnegative")
 
     # Absorb scale into the weights: columns are kept 1-normalized.
-    weights = np.ones(rank, dtype=VALUE_DTYPE)
+    weights = np.ones(rank, dtype=dtype)
     for m, f in enumerate(factors):
         colsum = np.maximum(f.sum(axis=0), _EPS)
         factors[m] = f / colsum
         weights = weights * colsum
 
+    tracer = current_tracer()
     lls: list[float] = []
     converged = False
     iteration = 0
     for iteration in range(1, n_iters + 1):
-        for mode in range(tensor.order):
-            # Work on the weight-absorbed factor (Chi & Kolda's B-hat).
-            b_hat = factors[mode] * weights[None, :]
-            for _ in range(inner_iters):
-                tmp_factors = list(factors)
-                tmp_factors[mode] = b_hat
-                phi = _phi(tensor, np.ones(rank, dtype=VALUE_DTYPE), tmp_factors, mode)
-                b_hat = np.maximum(b_hat * phi, _EPS)
-            colsum = np.maximum(b_hat.sum(axis=0), _EPS)
-            factors[mode] = b_hat / colsum
-            weights = colsum
+        with tracer.span("apr.iteration", iteration=iteration):
+            for mode in range(tensor.order):
+                # Work on the weight-absorbed factor (Chi & Kolda's B-hat).
+                b_hat = factors[mode] * weights[None, :]
+                for _ in range(inner_iters):
+                    tmp_factors = list(factors)
+                    tmp_factors[mode] = b_hat
+                    phi = _phi(tensor, np.ones(rank, dtype=dtype), tmp_factors, mode)
+                    b_hat = np.maximum(b_hat * phi, _EPS)
+                colsum = np.maximum(b_hat.sum(axis=0), _EPS)
+                factors[mode] = b_hat / colsum
+                weights = colsum
 
-        lls.append(poisson_log_likelihood(tensor, weights, factors))
+            lls.append(poisson_log_likelihood(tensor, weights, factors))
+        if tracer.enabled:
+            tracer.metric("apr.log_likelihood", lls[-1], step=iteration)
         if len(lls) >= 2:
             prev, cur = lls[-2], lls[-1]
             if abs(cur - prev) <= tol * max(abs(prev), 1.0):

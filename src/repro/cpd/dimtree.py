@@ -31,9 +31,10 @@ import numpy as np
 from repro.cpd.als import ALSResult
 from repro.cpd.init import init_factors
 from repro.cpd.ktensor import KruskalTensor
+from repro.obs.tracer import current_tracer
 from repro.tensor.coo import COOTensor
 from repro.util.errors import ConfigError
-from repro.util.validation import INDEX_DTYPE, VALUE_DTYPE, check_rank, require
+from repro.util.validation import INDEX_DTYPE, check_rank, require, value_dtype_of
 
 
 class DimTreePlan:
@@ -89,8 +90,9 @@ class DimTreePlan:
         return int(self.vals.shape[0])
 
     def memo_bytes(self, rank: int) -> int:
-        """Storage of the memoized ``Y`` for one rank."""
-        return 8 * self.n_pairs * check_rank(rank)
+        """Storage of the memoized ``Y`` for one rank (at the value
+        itemsize: float32 tensors halve the memo)."""
+        return self.vals.dtype.itemsize * self.n_pairs * check_rank(rank)
 
     def flops_per_sweep(self, rank: int) -> float:
         """Multiply-add flops of one full 3-mode sweep."""
@@ -101,13 +103,14 @@ class DimTreePlan:
     def contract_mode2(self, c_factor: np.ndarray) -> np.ndarray:
         """The memo: ``Y[p, :] = sum_{t in p} x_t * C[k_t, :]``."""
         if self.nnz == 0:
-            return np.zeros((0, c_factor.shape[1]), dtype=VALUE_DTYPE)
-        prod = self.vals[:, None] * c_factor[self.k_of_nnz]
+            return np.zeros((0, c_factor.shape[1]), dtype=c_factor.dtype)
+        vals = self.vals.astype(c_factor.dtype, copy=False)
+        prod = vals[:, None] * c_factor[self.k_of_nnz]
         return np.add.reduceat(prod, self.pair_ptr[:-1], axis=0)
 
     def mttkrp_mode0(self, memo: np.ndarray, b_factor: np.ndarray) -> np.ndarray:
         """``A[i] = sum_j Y[ij] * B[j]`` via the i-grouped pair order."""
-        out = np.zeros((self.shape[0], memo.shape[1]), dtype=VALUE_DTYPE)
+        out = np.zeros((self.shape[0], memo.shape[1]), dtype=memo.dtype)
         if self.n_pairs == 0:
             return out
         contrib = memo * b_factor[self.pair_j]
@@ -119,7 +122,7 @@ class DimTreePlan:
 
     def mttkrp_mode1(self, memo: np.ndarray, a_factor: np.ndarray) -> np.ndarray:
         """``B[j] = sum_i Y[ij] * A[i]`` via the j-sorted pair order."""
-        out = np.zeros((self.shape[1], memo.shape[1]), dtype=VALUE_DTYPE)
+        out = np.zeros((self.shape[1], memo.shape[1]), dtype=memo.dtype)
         if self.n_pairs == 0:
             return out
         order = self.by_j
@@ -136,12 +139,13 @@ class DimTreePlan:
         """``C[k] = sum_t x_t * (A[i_t] * B[j_t])``, reusing the pair
         products ``W[p] = A[i_p] * B[j_p]``."""
         rank = a_factor.shape[1]
-        out = np.zeros((self.shape[2], rank), dtype=VALUE_DTYPE)
+        out = np.zeros((self.shape[2], rank), dtype=a_factor.dtype)
         if self.nnz == 0:
             return out
         w = a_factor[self.pair_i] * b_factor[self.pair_j]
         order = self.by_k
-        contrib = self.vals[order, None] * w[self.pair_of_nnz[order]]
+        vals = self.vals.astype(a_factor.dtype, copy=False)
+        contrib = vals[order, None] * w[self.pair_of_nnz[order]]
         k = self.k_of_nnz[order]
         boundaries = np.flatnonzero(np.diff(k)) + 1
         starts = np.concatenate(([0], boundaries))
@@ -166,50 +170,61 @@ def cp_als_dimtree(
     rank = check_rank(rank)
     require(n_iters >= 1, "n_iters must be >= 1")
     plan = DimTreePlan(tensor)
+    # Working dtype follows the tensor's values (float32 stays float32).
+    dtype = value_dtype_of(tensor.values)
 
     if isinstance(init, str):
         factors = init_factors(tensor, rank, method=init, seed=seed)
     else:
-        factors = [np.ascontiguousarray(f, dtype=VALUE_DTYPE) for f in init]
+        factors = [np.ascontiguousarray(f, dtype=dtype) for f in init]
         if len(factors) != 3:
             raise ConfigError("need three initial factors")
 
     grams = [f.T @ f for f in factors]
     norm_x = float(np.linalg.norm(tensor.values))
-    weights = np.ones(rank, dtype=VALUE_DTYPE)
+    weights = np.ones(rank, dtype=dtype)
 
+    tracer = current_tracer()
     fits: list[float] = []
     converged = False
     iteration = 0
     for iteration in range(1, n_iters + 1):
-        # One contraction with C serves both the mode-0 and mode-1 updates
-        # (recomputed after the mode-2 update changes C next sweep).
-        memo = plan.contract_mode2(factors[2])
-        for mode in range(3):
-            if mode == 0:
-                m_mat = plan.mttkrp_mode0(memo, factors[1])
-            elif mode == 1:
-                m_mat = plan.mttkrp_mode1(memo, factors[0])
-            else:
-                m_mat = plan.mttkrp_mode2(factors[0], factors[1])
-            v = np.ones((rank, rank), dtype=VALUE_DTYPE)
-            for m, g in enumerate(grams):
-                if m != mode:
-                    v *= g
-            f_new = m_mat @ np.linalg.pinv(v)
-            if iteration == 1:
-                norms = np.maximum(np.abs(f_new).max(axis=0), 1e-12)
-            else:
-                norms = np.linalg.norm(f_new, axis=0)
-                norms = np.where(norms > 1e-12, norms, 1.0)
-            f_new = f_new / norms
-            weights = norms.astype(VALUE_DTYPE)
-            factors[mode] = np.ascontiguousarray(f_new, dtype=VALUE_DTYPE)
-            grams[mode] = factors[mode].T @ factors[mode]
+        with tracer.span("als.iteration", iteration=iteration, driver="dimtree"):
+            # One contraction with C serves both the mode-0 and mode-1
+            # updates (recomputed after the mode-2 update changes C next
+            # sweep).
+            memo = plan.contract_mode2(factors[2])
+            for mode in range(3):
+                with tracer.span(
+                    "mttkrp", kernel="dimtree", mode=mode, nnz=plan.nnz,
+                    n_pairs=plan.n_pairs,
+                ):
+                    if mode == 0:
+                        m_mat = plan.mttkrp_mode0(memo, factors[1])
+                    elif mode == 1:
+                        m_mat = plan.mttkrp_mode1(memo, factors[0])
+                    else:
+                        m_mat = plan.mttkrp_mode2(factors[0], factors[1])
+                v = np.ones((rank, rank), dtype=dtype)
+                for m, g in enumerate(grams):
+                    if m != mode:
+                        v *= g
+                f_new = m_mat @ np.linalg.pinv(v)
+                if iteration == 1:
+                    norms = np.maximum(np.abs(f_new).max(axis=0), 1e-12)
+                else:
+                    norms = np.linalg.norm(f_new, axis=0)
+                    norms = np.where(norms > 1e-12, norms, 1.0)
+                f_new = f_new / norms
+                weights = norms.astype(dtype, copy=False)
+                factors[mode] = np.ascontiguousarray(f_new, dtype=dtype)
+                grams[mode] = factors[mode].T @ factors[mode]
 
-        model = KruskalTensor(weights, factors)
-        fit = model.fit(tensor, norm_x)
+            model = KruskalTensor(weights, factors)
+            fit = model.fit(tensor, norm_x)
         fits.append(fit)
+        if tracer.enabled:
+            tracer.metric("als.fit", fit, step=iteration)
         if len(fits) >= 2 and abs(fits[-1] - fits[-2]) < tol:
             converged = True
             break

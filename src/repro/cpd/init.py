@@ -7,7 +7,7 @@ import numpy as np
 from repro.tensor.coo import COOTensor
 from repro.util.errors import ConfigError
 from repro.util.rng import resolve_rng
-from repro.util.validation import VALUE_DTYPE, check_rank
+from repro.util.validation import check_rank, value_dtype_of
 
 
 def init_factors(
@@ -31,13 +31,16 @@ def init_factors(
     """
     rank = check_rank(rank)
     rng = resolve_rng(seed)
+    # Factors inherit the tensor's working dtype (float32 stays float32)
+    # so the kernels' precision contract holds from the very first MTTKRP.
+    dtype = value_dtype_of(tensor.values)
     if method == "random":
         return [
-            rng.random((n, rank)).astype(VALUE_DTYPE) for n in tensor.shape
+            rng.random((n, rank)).astype(dtype) for n in tensor.shape
         ]
     if method == "randn":
         return [
-            rng.standard_normal((n, rank)).astype(VALUE_DTYPE)
+            rng.standard_normal((n, rank)).astype(dtype)
             for n in tensor.shape
         ]
     if method == "hosvd":
@@ -64,7 +67,8 @@ def _hosvd_mode(
     rows = tensor.indices[order, mode]
     vals = tensor.values[order]
 
-    gram = np.zeros((n, n), dtype=VALUE_DTYPE)
+    dtype = value_dtype_of(tensor.values)
+    gram = np.zeros((n, n), dtype=dtype)
     if tensor.nnz:
         starts = np.flatnonzero(
             np.concatenate(([True], key_s[1:] != key_s[:-1]))
@@ -80,4 +84,4 @@ def _hosvd_mode(
     if lead.shape[1] < rank:
         pad = rng.random((n, rank - lead.shape[1]))
         lead = np.concatenate([lead, pad], axis=1)
-    return np.ascontiguousarray(lead, dtype=VALUE_DTYPE)
+    return np.ascontiguousarray(lead, dtype=dtype)

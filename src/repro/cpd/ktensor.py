@@ -23,9 +23,17 @@ class KruskalTensor:
     def __init__(
         self, weights: np.ndarray, factors: Sequence[np.ndarray]
     ) -> None:
-        self.weights = np.ascontiguousarray(weights, dtype=VALUE_DTYPE)
+        # The model keeps one shared precision: float32 only when every
+        # input is float32 (matching the kernels' contract), float64
+        # otherwise — so a float32 CP-ALS run stays float32 end-to-end.
+        parts = [np.asanyarray(weights)] + [np.asanyarray(f) for f in factors]
+        if all(p.dtype == np.float32 for p in parts):
+            dtype = np.dtype(np.float32)
+        else:
+            dtype = np.dtype(VALUE_DTYPE)
+        self.weights = np.ascontiguousarray(weights, dtype=dtype)
         self.factors = [
-            np.ascontiguousarray(f, dtype=VALUE_DTYPE) for f in factors
+            np.ascontiguousarray(f, dtype=dtype) for f in factors
         ]
         if self.weights.ndim != 1:
             raise ShapeError("weights must be 1-D")
@@ -59,7 +67,7 @@ class KruskalTensor:
         """Frobenius norm via the Gram-matrix identity:
         ``||X||^2 = lambda^T (G_1 * G_2 * ... ) lambda`` with
         ``G_m = F_m^T F_m`` and ``*`` the Hadamard product."""
-        gram = np.ones((self.rank, self.rank), dtype=VALUE_DTYPE)
+        gram = np.ones((self.rank, self.rank), dtype=self.weights.dtype)
         for f in self.factors:
             gram *= f.T @ f
         value = float(self.weights @ gram @ self.weights)
@@ -74,7 +82,7 @@ class KruskalTensor:
             )
         if tensor.nnz == 0:
             return 0.0
-        rows = np.ones((tensor.nnz, self.rank), dtype=VALUE_DTYPE)
+        rows = np.ones((tensor.nnz, self.rank), dtype=self.weights.dtype)
         for m, f in enumerate(self.factors):
             rows *= f[tensor.indices[:, m]]
         return float(tensor.values @ (rows @ self.weights))

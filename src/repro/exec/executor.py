@@ -66,6 +66,7 @@ from repro.kernels.base import (
     factor_dtype,
     get_kernel,
 )
+from repro.obs.tracer import current_tracer
 from repro.perf.parallel import partition_rows
 from repro.tensor.coo import COOTensor
 from repro.util.errors import ConfigError, ScheduleError
@@ -168,11 +169,30 @@ def _run_task(
     view: np.ndarray,
 ) -> float:
     """Execute one worker's sub-plan into its output view; returns the
-    worker's wall-clock seconds."""
-    t0 = time.perf_counter()
-    if task.plan is not None:
-        kernel.execute(task.plan, factors, out=view)
-    return time.perf_counter() - t0
+    worker's wall-clock seconds.
+
+    When a tracer is active the worker's interval is recorded as an
+    ``exec.worker`` span on the executing thread, so measured per-worker
+    imbalance (:class:`ExecutionReport`) shows up on the trace timeline.
+    """
+    tracer = current_tracer()
+    if not tracer.enabled:
+        t0 = time.perf_counter()
+        if task.plan is not None:
+            kernel.execute(task.plan, factors, out=view)
+        return time.perf_counter() - t0
+    with tracer.span(
+        "exec.worker",
+        worker=task.index,
+        rows=[task.start, task.stop],
+        nnz=task.nnz,
+    ) as sp:
+        t0 = time.perf_counter()
+        if task.plan is not None:
+            kernel.execute(task.plan, factors, out=view)
+        elapsed = time.perf_counter() - t0
+        sp.meta["wall_s"] = elapsed
+    return elapsed
 
 
 def _process_worker(
@@ -320,15 +340,45 @@ class ParallelExecutor:
             out, int(plan.shape[plan.mode]), rank, factor_dtype(factors)
         )
         kern = get_kernel(plan.kernel_name)
-        if self.backend == "process" and len(plan.tasks) > 1:
-            times = self._execute_processes(plan, kern, factors, A)
-        elif self.backend == "thread" and len(plan.tasks) > 1:
-            times = self._execute_threads(plan, kern, factors, A)
-        else:
-            times = [
-                _run_task(kern, task, factors, A[task.start : task.stop])
-                for task in plan.tasks
-            ]
+        tracer = current_tracer()
+        with tracer.span(
+            "exec.parallel",
+            backend=self.backend,
+            kernel=plan.kernel_name,
+            mode=int(plan.mode),
+            n_workers=len(plan.tasks),
+        ):
+            launch_ns = time.monotonic_ns()
+            if self.backend == "process" and len(plan.tasks) > 1:
+                times = self._execute_processes(plan, kern, factors, A)
+            elif self.backend == "thread" and len(plan.tasks) > 1:
+                times = self._execute_threads(plan, kern, factors, A)
+            else:
+                times = [
+                    _run_task(kern, task, factors, A[task.start : task.stop])
+                    for task in plan.tasks
+                ]
+        if tracer.enabled:
+            tracer.count("exec.launches", 1)
+            tracer.count("exec.workers", len(plan.tasks))
+            if self.backend == "process" and len(plan.tasks) > 1:
+                # Child processes cannot reach the parent's tracer, so
+                # their spans are synthesized from the reported per-worker
+                # durations, anchored at launch time (start skew within a
+                # worker is not observable from here).
+                for task, secs in zip(plan.tasks, times):
+                    tracer.add_span(
+                        "exec.worker",
+                        launch_ns,
+                        int(secs * 1e9),
+                        thread_id=1_000_000 + task.index,
+                        thread_name=f"process-worker-{task.index}",
+                        worker=task.index,
+                        rows=[task.start, task.stop],
+                        nnz=task.nnz,
+                        wall_s=secs,
+                        synthesized=True,
+                    )
         self.last_report = ExecutionReport(
             backend=self.backend,
             thread_times_s=tuple(times),

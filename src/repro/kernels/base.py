@@ -16,12 +16,14 @@ is all the analytic cache model needs (DESIGN.md §3).
 
 from __future__ import annotations
 
+import functools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.obs.tracer import current_tracer
 from repro.tensor.coo import COOTensor
 from repro.util.errors import ConfigError, RegistrationError, ShapeError
 from repro.util.validation import VALUE_DTYPE, check_mode, check_rank
@@ -151,11 +153,69 @@ class Plan(ABC):
         )
 
 
+def _traced_execute(impl: Callable) -> Callable:
+    """Wrap a kernel's ``execute`` with the observability hook.
+
+    Applied automatically by :meth:`Kernel.__init_subclass__`, so every
+    registered kernel emits one ``mttkrp`` span (with plan metadata) and
+    per-call counters when a tracer is active — the subclasses keep their
+    plain ``execute(self, plan, factors, out=None)`` bodies and the static
+    kernel contract (KC104-KC106) untouched.  With the tracer disabled the
+    wrapper costs one global load and one attribute test per call; it never
+    runs per nonzero.
+    """
+
+    @functools.wraps(impl)
+    def execute(self, plan, factors, out=None):  # type: ignore[no-untyped-def]
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return impl(self, plan, factors, out=out)
+        stats = plan.block_stats()
+        nnz = sum(b.nnz for b in stats)
+        n_fibers = sum(b.n_fibers for b in stats)
+        distinct_out = sum(b.distinct_out for b in stats)
+        with tracer.span(
+            "mttkrp",
+            kernel=self.name,
+            plan=type(plan).__name__,
+            mode=int(plan.mode),
+            shape=list(plan.shape),
+            n_blocks=len(stats),
+            nnz=nnz,
+            n_fibers=n_fibers,
+        ):
+            result = impl(self, plan, factors, out=out)
+        rank = int(result.shape[1])
+        itemsize = int(result.dtype.itemsize)
+        tracer.count("kernel.calls", 1)
+        tracer.count("kernel.nonzeros", nnz)
+        tracer.count("kernel.fibers", n_fibers)
+        # One B-row gather per nonzero plus one C-row gather per fiber —
+        # the access streams of Section IV's pressure-point analysis.
+        tracer.count("kernel.gathers", nnz + n_fibers)
+        tracer.count(
+            "kernel.factor_bytes",
+            (nnz + n_fibers + distinct_out) * rank * itemsize,
+        )
+        return result
+
+    execute._obs_instrumented = True  # type: ignore[attr-defined]
+    return execute
+
+
 class Kernel(ABC):
     """An MTTKRP strategy.  Subclasses set :attr:`name` and implement
     :meth:`prepare` and :meth:`execute`."""
 
     name: str = "abstract"
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        """Instrument each concrete ``execute`` with the tracing hook
+        exactly once (idempotent under re-import and subclass chains)."""
+        super().__init_subclass__(**kwargs)
+        impl = cls.__dict__.get("execute")
+        if impl is not None and not getattr(impl, "_obs_instrumented", False):
+            cls.execute = _traced_execute(impl)  # type: ignore[method-assign]
 
     @abstractmethod
     def prepare(self, tensor: COOTensor, mode: int, **params: object) -> Plan:

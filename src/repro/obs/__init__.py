@@ -1,0 +1,57 @@
+"""Runtime observability: tracing, metrics, and profiling hooks.
+
+``repro.obs`` records what actually happened during a run — nested
+thread-aware spans, typed counters, and metric points — and exports the
+recording as chrome-trace JSON (Perfetto-loadable), a flat versioned
+metrics document, or a terminal summary.
+
+The hot layers are pre-instrumented: ``Kernel.execute`` (per-mode MTTKRP
+spans), ``repro.exec.ParallelExecutor`` (per-worker spans), ``Tuner``
+(candidate-evaluation spans, cache hit/miss counters), and the CPD outer
+loops (fit per iteration).  All hooks route through :func:`current_tracer`
+and are no-ops until a real :class:`Tracer` is activated via
+:func:`use_tracer`/:func:`set_tracer` — the disabled path costs one global
+load and one attribute test per kernel call (see ``docs/observability.md``).
+"""
+
+from repro.obs.export import (
+    METRICS_SCHEMA_KIND,
+    METRICS_SCHEMA_VERSION,
+    summarize_text,
+    to_chrome_trace,
+    to_metrics_doc,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_doc,
+)
+from repro.obs.tracer import (
+    COUNTER_UNITS,
+    NULL_TRACER,
+    MetricPoint,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "COUNTER_UNITS",
+    "METRICS_SCHEMA_KIND",
+    "METRICS_SCHEMA_VERSION",
+    "MetricPoint",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "current_tracer",
+    "set_tracer",
+    "summarize_text",
+    "to_chrome_trace",
+    "to_metrics_doc",
+    "use_tracer",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_doc",
+]

@@ -1,0 +1,225 @@
+"""Exporters for :class:`repro.obs.Tracer` recordings.
+
+Three output shapes, mirroring how the bench schema is organized:
+
+``to_chrome_trace``
+    The Trace Event Format consumed by ``chrome://tracing`` and Perfetto —
+    one complete ("X") event per span with microsecond timestamps relative
+    to the tracer's origin, thread-name metadata events, and counter ("C")
+    tracks for metric points and final counter totals.
+
+``to_metrics_doc``
+    A flat, versioned JSON document (``repro-trace-metrics`` schema v1)
+    with counters, metric points, and per-name span aggregates — the
+    machine-readable artifact CI and the bench harness consume.
+
+``summarize_text``
+    A human-readable table for terminal output (``repro trace``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.obs.tracer import COUNTER_UNITS, Tracer
+
+__all__ = [
+    "METRICS_SCHEMA_KIND",
+    "METRICS_SCHEMA_VERSION",
+    "summarize_text",
+    "to_chrome_trace",
+    "to_metrics_doc",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_doc",
+]
+
+METRICS_SCHEMA_VERSION = 1
+METRICS_SCHEMA_KIND = "repro-trace-metrics"
+
+#: pid used for every event; the tracer records a single process (process
+#: backend workers are synthesized parent-side from reported durations).
+_TRACE_PID = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce span metadata to JSON-safe types."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def to_chrome_trace(tracer: Tracer) -> dict[str, Any]:
+    """Render the recording in the Trace Event Format (JSON object form)."""
+    events: list[dict[str, Any]] = []
+    thread_names: dict[int, str] = {}
+    last_ts_us = 0.0
+    for span in tracer.spans:
+        ts_us = (span.start_ns - tracer.origin_ns) / 1e3
+        dur_us = span.dur_ns / 1e3
+        last_ts_us = max(last_ts_us, ts_us + dur_us)
+        thread_names.setdefault(span.thread_id, span.thread_name)
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": ts_us,
+                "dur": dur_us,
+                "pid": _TRACE_PID,
+                "tid": span.thread_id,
+                "args": _jsonable(span.meta),
+            }
+        )
+    for tid, tname in sorted(thread_names.items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _TRACE_PID,
+                "tid": tid,
+                "args": {"name": tname},
+            }
+        )
+    for point in tracer.metrics:
+        events.append(
+            {
+                "name": point.name,
+                "ph": "C",
+                "ts": (point.ts_ns - tracer.origin_ns) / 1e3,
+                "pid": _TRACE_PID,
+                "args": {"value": point.value},
+            }
+        )
+    # Counters are cumulative totals; emit them once at trace end so the
+    # viewer shows final values without pretending to know their timeline.
+    for name in sorted(tracer.counters):
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": last_ts_us,
+                "pid": _TRACE_PID,
+                "args": {"value": tracer.counters[name]},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "schema_kind": METRICS_SCHEMA_KIND},
+    }
+
+
+def validate_chrome_trace(doc: dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a structurally valid
+    chrome-trace object (the CI smoke step and tests call this)."""
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("chrome trace must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        for key in ("name", "ph", "pid"):
+            if key not in ev:
+                raise ValueError(f"event {i} missing required key {key!r}")
+        if ev["ph"] == "X":
+            for key in ("ts", "dur", "tid"):
+                if key not in ev:
+                    raise ValueError(f"complete event {i} missing {key!r}")
+            if ev["dur"] < 0:
+                raise ValueError(f"complete event {i} has negative duration")
+    json.dumps(doc)  # must be serializable as-is
+
+
+def to_metrics_doc(tracer: Tracer, *, meta: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Flat versioned metrics document (schema ``repro-trace-metrics`` v1)."""
+    summary = tracer.summary()
+    counters = [
+        {
+            "name": name,
+            "value": value,
+            "unit": COUNTER_UNITS.get(name, ""),
+        }
+        for name, value in sorted(tracer.counters.items())
+    ]
+    metrics = [
+        {
+            "name": p.name,
+            "value": p.value,
+            "step": p.step,
+            "ts_s": (p.ts_ns - tracer.origin_ns) / 1e9,
+        }
+        for p in tracer.metrics
+    ]
+    return {
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "kind": METRICS_SCHEMA_KIND,
+        "meta": _jsonable(meta or {}),
+        "counters": counters,
+        "metrics": metrics,
+        "spans": summary["spans"],
+        "n_threads": summary["n_threads"],
+    }
+
+
+def summarize_text(tracer: Tracer) -> str:
+    """Human-readable span/counter/metric table for terminal output."""
+    summary = tracer.summary()
+    lines = ["== trace summary =="]
+    if summary["spans"]:
+        lines.append(f"{'span':<28} {'count':>7} {'total':>10} {'max':>10}")
+        for name in sorted(summary["spans"]):
+            agg = summary["spans"][name]
+            lines.append(
+                f"{name:<28} {agg['count']:>7d} "
+                f"{agg['total_s'] * 1e3:>8.2f}ms {agg['max_s'] * 1e3:>8.2f}ms"
+            )
+    else:
+        lines.append("(no spans recorded)")
+    if tracer.counters:
+        lines.append("")
+        lines.append(f"{'counter':<28} {'value':>14} unit")
+        for name in sorted(tracer.counters):
+            unit = COUNTER_UNITS.get(name, "")
+            lines.append(f"{name:<28} {tracer.counters[name]:>14,.0f} {unit}")
+    if tracer.metrics:
+        lines.append("")
+        lines.append(f"{'metric':<28} {'step':>6} {'value':>14}")
+        for p in tracer.metrics:
+            step = "-" if p.step is None else str(p.step)
+            lines.append(f"{p.name:<28} {step:>6} {p.value:>14.6g}")
+    lines.append("")
+    lines.append(f"threads observed: {summary['n_threads']}")
+    return "\n".join(lines)
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    """Validate and write the chrome-trace JSON to ``path``."""
+    doc = to_chrome_trace(tracer)
+    validate_chrome_trace(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def write_metrics_doc(
+    tracer: Tracer, path: str, *, meta: dict[str, Any] | None = None
+) -> None:
+    """Write the flat metrics document to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_metrics_doc(tracer, meta=meta), fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -18,11 +18,11 @@ import numpy as np
 from repro.util.errors import ShapeError
 from repro.util.validation import (
     INDEX_DTYPE,
-    VALUE_DTYPE,
     as_value_array,
     check_bounds,
     check_mode,
     check_shape,
+    value_dtype_of,
 )
 
 
@@ -97,12 +97,14 @@ class COOTensor:
         return self.nnz / total if total else 0.0
 
     def memory_bytes(self) -> int:
-        """Storage cost in bytes: ``8 * (order + 1) * nnz``.
+        """Storage cost in bytes: ``8 * order * nnz`` of indices plus one
+        value stream at the stored itemsize.
 
         Matches the paper's ``32 * nnz`` for 3-mode tensors with 64-bit
-        indices and values (Section III-C).
+        indices and double-precision values (Section III-C); float32
+        tensors halve the value stream.
         """
-        return 8 * (self.order + 1) * self.nnz
+        return (8 * self.order + self.values.dtype.itemsize) * self.nnz
 
     def mode_index(self, mode: int) -> np.ndarray:
         """Return the 1-D coordinate array of one mode (a view)."""
@@ -173,7 +175,7 @@ class COOTensor:
         np.any(idx[1:] != idx[:-1], axis=1, out=new_group[1:])
         group_ids = np.cumsum(new_group) - 1
         n_groups = int(group_ids[-1]) + 1
-        summed = np.zeros(n_groups, dtype=VALUE_DTYPE)
+        summed = np.zeros(n_groups, dtype=vals.dtype)
         np.add.at(summed, group_ids, vals)
         return COOTensor(
             self.shape,
@@ -295,15 +297,20 @@ class COOTensor:
             raise ShapeError(
                 f"refusing to densify a tensor with {total:.3g} entries"
             )
-        dense = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        dense = np.zeros(self.shape, dtype=self.values.dtype)
         flat = np.ravel_multi_index(tuple(self.indices.T), self.shape)
         np.add.at(dense.reshape(-1), flat, self.values)
         return dense
 
     @classmethod
     def from_dense(cls, array: np.ndarray) -> "COOTensor":
-        """Build a COO tensor from a dense array, dropping exact zeros."""
-        array = np.asarray(array, dtype=VALUE_DTYPE)
+        """Build a COO tensor from a dense array, dropping exact zeros.
+
+        float32/float64 arrays keep their dtype; other dtypes are coerced
+        to the canonical value dtype.
+        """
+        array = np.asarray(array)
+        array = np.asarray(array, dtype=value_dtype_of(array))
         coords = np.nonzero(array)
         indices = np.stack(coords, axis=1).astype(INDEX_DTYPE)
         return cls(array.shape, indices, array[coords], validate=False)

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.tensor.coo import COOTensor
 from repro.util.errors import FormatError, ShapeError
-from repro.util.validation import INDEX_DTYPE, VALUE_DTYPE, check_shape
+from repro.util.validation import INDEX_DTYPE, check_shape, value_dtype_of
 
 
 @dataclass(frozen=True)
@@ -72,7 +72,7 @@ class CSFTensor:
             )
         self.levels = levels
         self.leaf_fids = np.ascontiguousarray(leaf_fids, dtype=INDEX_DTYPE)
-        self.vals = np.ascontiguousarray(vals, dtype=VALUE_DTYPE)
+        self.vals = np.ascontiguousarray(vals, dtype=value_dtype_of(np.asanyarray(vals)))
         if validate:
             self.check_invariants()
 
@@ -112,7 +112,7 @@ class CSFTensor:
                 mode_order,
                 levels,
                 np.empty(0, dtype=INDEX_DTYPE),
-                np.empty(0, dtype=VALUE_DTYPE),
+                np.empty(0, dtype=coo.values.dtype),
                 validate=False,
             )
 

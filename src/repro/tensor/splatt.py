@@ -35,7 +35,12 @@ import numpy as np
 
 from repro.tensor.coo import COOTensor
 from repro.util.errors import FormatError, ShapeError
-from repro.util.validation import INDEX_DTYPE, VALUE_DTYPE, check_mode, check_shape
+from repro.util.validation import (
+    INDEX_DTYPE,
+    check_mode,
+    check_shape,
+    value_dtype_of,
+)
 
 
 class SplattTensor:
@@ -86,7 +91,7 @@ class SplattTensor:
         self.fiber_kidx = np.ascontiguousarray(fiber_kidx, dtype=INDEX_DTYPE)
         self.fiber_ptr = np.ascontiguousarray(fiber_ptr, dtype=INDEX_DTYPE)
         self.jidx = np.ascontiguousarray(jidx, dtype=INDEX_DTYPE)
-        self.vals = np.ascontiguousarray(vals, dtype=VALUE_DTYPE)
+        self.vals = np.ascontiguousarray(vals, dtype=value_dtype_of(np.asanyarray(vals)))
         if validate:
             self.check_invariants()
 
@@ -136,7 +141,7 @@ class SplattTensor:
                 np.empty(0, dtype=INDEX_DTYPE),
                 np.zeros(1, dtype=INDEX_DTYPE),
                 np.empty(0, dtype=INDEX_DTYPE),
-                np.empty(0, dtype=VALUE_DTYPE),
+                np.empty(0, dtype=coo.values.dtype),
                 validate=False,
             )
 

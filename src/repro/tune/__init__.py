@@ -15,8 +15,15 @@ package is that framework:
   the way CP-ALS amortizes plan preparation.
 """
 
-from repro.tune.signature import TensorSignature
+from repro.tune.signature import TensorSignature, key_itemsize
 from repro.tune.cache import TuningCache
 from repro.tune.tuner import TunedConfig, TunedThreads, Tuner
 
-__all__ = ["TensorSignature", "TuningCache", "TunedConfig", "TunedThreads", "Tuner"]
+__all__ = [
+    "TensorSignature",
+    "TuningCache",
+    "TunedConfig",
+    "TunedThreads",
+    "Tuner",
+    "key_itemsize",
+]

@@ -25,6 +25,10 @@ class CacheEntry:
     rank_block_cols: "int | None"
     cost: float
     strategy: str
+    #: Value itemsize the configuration was tuned for (``None`` on entries
+    #: written before the dtype-aware cache; the tuner treats those as
+    #: misses rather than serving a float64 tuning to a float32 run).
+    itemsize: "int | None" = None
 
     def rank_blocking(self) -> "RankBlocking | None":
         """Materialize the RankBlocking (or None)."""
@@ -41,11 +45,15 @@ class CacheEntry:
     @classmethod
     def from_dict(cls, d: dict) -> "CacheEntry":
         counts = d.get("block_counts")
+        itemsize = d.get("itemsize")
         return cls(
             block_counts=None if counts is None else tuple(int(c) for c in counts),
             rank_block_cols=d.get("rank_block_cols"),
             cost=float(d.get("cost", 0.0)),
             strategy=str(d.get("strategy", "unknown")),
+            # Legacy entries (no itemsize recorded) stay None and read as
+            # misses for any dtype-checked lookup.
+            itemsize=None if itemsize is None else int(itemsize),
         )
 
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from repro.blocking.heuristic import select_blocking
 from repro.blocking.rank import REGISTER_BLOCK_COLS, RankBlocking
 from repro.machine.spec import MachineSpec
+from repro.obs.tracer import current_tracer
 from repro.perf.model import ConfigPlanner, predict_time
 from repro.tensor.coo import COOTensor
 from repro.tune.cache import CacheEntry, TuningCache
@@ -96,8 +97,20 @@ class Tuner:
 
     # ------------------------------------------------------------------
     def _evaluate(self, counts, rb, rank: int) -> float:
-        plan = self.planner.plan_for(counts, rb)
-        return predict_time(plan, rank, self.machine).total
+        tracer = current_tracer()
+        if not tracer.enabled:
+            plan = self.planner.plan_for(counts, rb)
+            return predict_time(plan, rank, self.machine).total
+        with tracer.span(
+            "tune.evaluate",
+            counts=None if counts is None else list(counts),
+            strip_cols=None if rb is None else rb.block_cols,
+        ) as sp:
+            plan = self.planner.plan_for(counts, rb)
+            cost = predict_time(plan, rank, self.machine).total
+            sp.meta["cost"] = cost
+        tracer.count("tune.evaluations", 1)
+        return cost
 
     def _verify(self, counts, rb, rank: int, origin: str) -> None:
         """Run the plan verifier on a candidate configuration; a search
@@ -133,6 +146,17 @@ class Tuner:
 
         if strategy == "heuristic":
             evaluate = self.planner.evaluator(rank, self.machine)
+            tracer = current_tracer()
+            if tracer.enabled:
+                base_evaluate = evaluate
+
+                def evaluate(*args: object, **kwargs: object) -> float:
+                    with tracer.span("tune.evaluate", strategy="heuristic") as sp:
+                        cost = base_evaluate(*args, **kwargs)
+                        sp.meta["cost"] = cost
+                    tracer.count("tune.evaluations", 1)
+                    return cost
+
             choice = select_blocking(
                 self.tensor,
                 self.mode,
@@ -277,43 +301,66 @@ class Tuner:
         self, rank: int, strategy: str = "heuristic", **tune_kwargs
     ) -> TunedConfig:
         """Cache-first tuning: reuse a stored configuration when the
-        tensor's signature has been tuned before on this machine."""
-        if self.cache is not None:
-            hit = self.cache.get(self.signature.key(), rank, self.machine.name)
-            if hit is not None:
-                rb = hit.rank_blocking()
-                try:
-                    self._verify(hit.block_counts, rb, rank, "cached")
-                except ConfigError:
-                    hit = None  # stale/unsound entry: fall through, re-tune
-            if hit is not None:
-                baseline = self._evaluate(None, None, rank)
-                cost = self._evaluate(hit.block_counts, rb, rank)
-                return TunedConfig(
-                    block_counts=hit.block_counts,
-                    rank_blocking=rb,
-                    cost=cost,
-                    baseline_cost=baseline,
-                    n_evaluations=2,
-                    strategy=hit.strategy,
-                    from_cache=True,
+        tensor's signature has been tuned before on this machine.
+
+        Entries are dtype-checked: a hit whose recorded itemsize differs
+        from this tensor's (including legacy entries that recorded none)
+        is treated as a miss, since the traffic model's working sets —
+        and therefore the tuned configuration — scale with element size.
+        """
+        tracer = current_tracer()
+        with tracer.span(
+            "tune.get_or_tune", rank=int(rank), strategy=strategy
+        ) as sp:
+            if self.cache is not None:
+                hit = self.cache.get(
+                    self.signature.key(), rank, self.machine.name
                 )
-        result = self.tune(rank, strategy, **tune_kwargs)
-        if self.cache is not None:
-            self._verify(result.block_counts, result.rank_blocking, rank, "tuned")
-            self.cache.put(
-                self.signature.key(),
-                rank,
-                self.machine.name,
-                CacheEntry(
-                    block_counts=result.block_counts,
-                    rank_block_cols=(
-                        None
-                        if result.rank_blocking is None
-                        else result.rank_blocking.resolve_block_cols(rank)
+                if hit is not None and hit.itemsize != self.signature.itemsize:
+                    hit = None  # legacy or cross-dtype entry: re-tune
+                if hit is not None:
+                    rb = hit.rank_blocking()
+                    try:
+                        self._verify(hit.block_counts, rb, rank, "cached")
+                    except ConfigError:
+                        hit = None  # stale/unsound entry: fall through, re-tune
+                if hit is not None:
+                    if tracer.enabled:
+                        tracer.count("tune.cache_hits", 1)
+                        sp.meta["cache"] = "hit"
+                    baseline = self._evaluate(None, None, rank)
+                    cost = self._evaluate(hit.block_counts, rb, rank)
+                    return TunedConfig(
+                        block_counts=hit.block_counts,
+                        rank_blocking=rb,
+                        cost=cost,
+                        baseline_cost=baseline,
+                        n_evaluations=2,
+                        strategy=hit.strategy,
+                        from_cache=True,
+                    )
+                if tracer.enabled:
+                    tracer.count("tune.cache_misses", 1)
+                    sp.meta["cache"] = "miss"
+            result = self.tune(rank, strategy, **tune_kwargs)
+            if self.cache is not None:
+                self._verify(
+                    result.block_counts, result.rank_blocking, rank, "tuned"
+                )
+                self.cache.put(
+                    self.signature.key(),
+                    rank,
+                    self.machine.name,
+                    CacheEntry(
+                        block_counts=result.block_counts,
+                        rank_block_cols=(
+                            None
+                            if result.rank_blocking is None
+                            else result.rank_blocking.resolve_block_cols(rank)
+                        ),
+                        cost=result.cost,
+                        strategy=strategy,
+                        itemsize=self.signature.itemsize,
                     ),
-                    cost=result.cost,
-                    strategy=strategy,
-                ),
-            )
-        return result
+                )
+            return result

@@ -19,6 +19,27 @@ INDEX_DTYPE = np.int64
 #: Canonical dtype for all stored values (double precision, as in the paper).
 VALUE_DTYPE = np.float64
 
+#: Value dtypes the precision contract carries end-to-end.  Anything else is
+#: coerced to :data:`VALUE_DTYPE` at the tensor boundary; float32 and float64
+#: flow through unchanged (kernels enforce the same pair in
+#: ``repro.kernels.base.check_factors``).
+SUPPORTED_VALUE_DTYPES: tuple[np.dtype, ...] = (
+    np.dtype(np.float32),
+    np.dtype(np.float64),
+)
+
+
+def value_dtype_of(values: np.ndarray | None) -> np.dtype:
+    """Working value dtype for ``values`` under the precision contract.
+
+    float32 and float64 inputs keep their dtype; every other dtype (ints,
+    halves, objects) resolves to :data:`VALUE_DTYPE`, mirroring what
+    :func:`as_value_array` stores.  The CPD layer uses this to derive the
+    dtype of factors, weights, and gram matrices from ``tensor.values``.
+    """
+    dt = np.dtype(getattr(values, "dtype", VALUE_DTYPE))
+    return dt if dt in SUPPORTED_VALUE_DTYPES else np.dtype(VALUE_DTYPE)
+
 
 def require(condition: bool, message: str, exc: type[Exception] = ConfigError) -> None:
     """Raise ``exc(message)`` unless ``condition`` holds.
@@ -70,8 +91,13 @@ def as_index_array(values: Iterable[int], name: str = "indices") -> np.ndarray:
 
 
 def as_value_array(values: Iterable[float], name: str = "values") -> np.ndarray:
-    """Coerce to a 1-D contiguous ``float64`` array (the library value dtype)."""
-    arr = np.ascontiguousarray(values, dtype=VALUE_DTYPE)
+    """Coerce to a 1-D contiguous value array.
+
+    float32 and float64 inputs keep their dtype (the precision contract);
+    everything else — ints, lists, halves — is coerced to the canonical
+    :data:`VALUE_DTYPE` exactly as before.
+    """
+    arr = np.ascontiguousarray(values, dtype=value_dtype_of(np.asanyarray(values)))
     if arr.ndim != 1:
         raise ShapeError(f"{name} must be 1-D, got shape {arr.shape}")
     return arr

@@ -41,10 +41,10 @@ def make_bench(**over):
 
 
 class TestRegistry:
-    def test_all_sixteen_registered(self):
+    def test_all_eighteen_registered(self):
         names = [b.name for b in iter_benchmarks()]
-        assert len(names) == 16
-        assert len(set(names)) == 16
+        assert len(names) == 18
+        assert len(set(names)) == 18
         for expected in (
             "fig2_roofline",
             "table1_ppa",
@@ -62,6 +62,8 @@ class TestRegistry:
             "ablation_heuristic",
             "ablation_model",
             "ablation_regblock",
+            "tracer_overhead_splatt",
+            "cpd_float32",
         ):
             assert expected in names
 

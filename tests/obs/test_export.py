@@ -1,0 +1,117 @@
+"""Exporters: chrome-trace structure, the metrics document, text summary."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    METRICS_SCHEMA_KIND,
+    METRICS_SCHEMA_VERSION,
+    Tracer,
+    summarize_text,
+    to_chrome_trace,
+    to_metrics_doc,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_doc,
+)
+
+from .test_tracer import make_clock
+
+
+@pytest.fixture
+def recorded() -> Tracer:
+    tracer = Tracer(clock_ns=make_clock())
+    with tracer.span("als.iteration", iteration=1):
+        with tracer.span("mttkrp", mode=0, nnz=np.int64(100)):
+            pass
+    tracer.count("kernel.nonzeros", 100)
+    tracer.metric("als.fit", 0.25, step=1)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_schema(self, recorded):
+        doc = to_chrome_trace(recorded)
+        validate_chrome_trace(doc)  # must not raise
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["producer"] == "repro.obs"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"X", "M", "C"}
+
+    def test_complete_events_relative_to_origin(self, recorded):
+        doc = to_chrome_trace(recorded)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {"als.iteration", "mttkrp"}
+        for e in xs:
+            assert e["ts"] >= 0  # relative to tracer.origin_ns
+            assert e["dur"] >= 0
+            assert e["pid"] == 1
+        # Numpy metadata must have been coerced to plain JSON types.
+        (mttkrp,) = [e for e in xs if e["name"] == "mttkrp"]
+        assert mttkrp["args"]["nnz"] == 100
+        assert type(mttkrp["args"]["nnz"]) is int
+
+    def test_thread_metadata_and_counters(self, recorded):
+        doc = to_chrome_trace(recorded)
+        ms = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert ms and all(e["name"] == "thread_name" for e in ms)
+        cs = {e["name"] for e in doc["traceEvents"] if e["ph"] == "C"}
+        assert cs == {"als.fit", "kernel.nonzeros"}
+
+    def test_validate_rejects_broken_docs(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"no": "traceEvents"})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {
+                    "traceEvents": [
+                        {"name": "x", "ph": "X", "pid": 1, "ts": 0, "dur": -1, "tid": 1}
+                    ]
+                }
+            )
+
+    def test_write_roundtrip(self, recorded, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(recorded, str(path))
+        doc = json.loads(path.read_text())
+        validate_chrome_trace(doc)
+        assert len(doc["traceEvents"]) >= 4
+
+
+class TestMetricsDoc:
+    def test_versioned_schema(self, recorded):
+        doc = to_metrics_doc(recorded, meta={"command": "test"})
+        assert doc["schema_version"] == METRICS_SCHEMA_VERSION
+        assert doc["kind"] == METRICS_SCHEMA_KIND
+        assert doc["meta"] == {"command": "test"}
+        (counter,) = doc["counters"]
+        assert counter == {"name": "kernel.nonzeros", "value": 100, "unit": "nnz"}
+        (point,) = doc["metrics"]
+        assert point["name"] == "als.fit" and point["step"] == 1
+        assert doc["spans"]["mttkrp"]["count"] == 1
+        json.dumps(doc)  # fully serializable
+
+    def test_write_roundtrip(self, recorded, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics_doc(recorded, str(path))
+        doc = json.loads(path.read_text())
+        assert doc["kind"] == METRICS_SCHEMA_KIND
+
+
+class TestSummary:
+    def test_text_mentions_everything(self, recorded):
+        text = summarize_text(recorded)
+        assert "mttkrp" in text
+        assert "kernel.nonzeros" in text
+        assert "als.fit" in text
+        assert "threads observed: 1" in text
+
+    def test_empty_tracer(self):
+        text = summarize_text(Tracer())
+        assert "(no spans recorded)" in text

@@ -1,0 +1,166 @@
+"""The instrumentation hooks: kernels, the parallel executor, the tuner,
+and the CPD drivers, each recording through one activated tracer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import get_kernel
+from repro.obs import Tracer, use_tracer
+from repro.tensor import poisson_tensor
+
+RANK = 8
+
+
+@pytest.fixture
+def tensor():
+    return poisson_tensor((15, 20, 18), 900, seed=3)
+
+
+@pytest.fixture
+def factors(tensor):
+    rng = np.random.default_rng(11)
+    return [rng.standard_normal((n, RANK)) for n in tensor.shape]
+
+
+class TestKernelHook:
+    def test_execute_records_span_and_counters(self, tensor, factors):
+        kern = get_kernel("splatt")
+        plan = kern.prepare(tensor, 0)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            kern.execute(plan, factors)
+        (span,) = tracer.spans_named("mttkrp")
+        assert span.meta["kernel"] == "splatt"
+        assert span.meta["mode"] == 0
+        assert span.meta["nnz"] == tensor.nnz
+        assert tracer.counters["kernel.calls"] == 1
+        assert tracer.counters["kernel.nonzeros"] == tensor.nnz
+        assert tracer.counters["kernel.factor_bytes"] > 0
+
+    def test_every_registered_kernel_is_instrumented(self):
+        from repro.kernels.base import KERNELS
+
+        for name in KERNELS:
+            execute = type(get_kernel(name)).execute
+            assert getattr(execute, "_obs_instrumented", False), name
+            assert hasattr(execute, "__wrapped__"), name
+
+    def test_disabled_records_nothing_and_result_identical(self, tensor, factors):
+        kern = get_kernel("splatt")
+        plan = kern.prepare(tensor, 0)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            traced = kern.execute(plan, factors)
+        untraced = kern.execute(plan, factors)
+        np.testing.assert_array_equal(traced, untraced)
+        # Nothing recorded outside the use_tracer block.
+        assert len(tracer.spans_named("mttkrp")) == 1
+
+
+@pytest.mark.parallel_exec
+class TestExecutorHook:
+    def test_worker_spans_nest_under_parallel(self, tensor, factors):
+        from repro.exec import ParallelExecutor
+
+        executor = ParallelExecutor(n_threads=2, backend="thread")
+        pplan = executor.prepare(tensor, 0, "splatt")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = executor.execute(pplan, factors)
+        (parallel,) = tracer.spans_named("exec.parallel")
+        assert parallel.meta["n_workers"] == len(pplan.tasks)
+        workers = tracer.spans_named("exec.worker")
+        assert len(workers) == len(pplan.tasks)
+        assert {w.meta["worker"] for w in workers} == set(
+            range(len(pplan.tasks))
+        )
+        # Worker wall-clock on the trace matches the ExecutionReport.
+        report = executor.last_report
+        by_worker = {w.meta["worker"]: w.meta["wall_s"] for w in workers}
+        for idx, t in enumerate(report.thread_times_s):
+            assert by_worker[idx] == pytest.approx(t, rel=0.5, abs=0.05)
+        assert tracer.counters["exec.workers"] == len(pplan.tasks)
+        assert np.isfinite(result).all()
+
+    def test_process_backend_synthesizes_worker_spans(self, tensor, factors):
+        from repro.exec import ParallelExecutor
+
+        executor = ParallelExecutor(n_threads=2, backend="process")
+        pplan = executor.prepare(tensor, 0, "splatt")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            executor.execute(pplan, factors)
+        workers = tracer.spans_named("exec.worker")
+        assert len(workers) == len(pplan.tasks)
+        assert all(w.meta.get("synthesized") for w in workers)
+        assert len({w.thread_id for w in workers}) == len(workers)
+
+
+class TestTunerHook:
+    def test_cache_hit_miss_counters(self, tensor):
+        from repro.machine import power8_socket
+        from repro.tune import Tuner, TuningCache
+
+        cache = TuningCache()
+        tracer = Tracer()
+        with use_tracer(tracer):
+            tuner = Tuner(tensor, 0, power8_socket(), cache=cache)
+            tuner.get_or_tune(RANK)
+            tuner.get_or_tune(RANK)
+        assert tracer.counters["tune.cache_misses"] == 1
+        assert tracer.counters["tune.cache_hits"] == 1
+        assert tracer.counters["tune.evaluations"] >= 1
+        outcomes = [
+            s.meta.get("cache") for s in tracer.spans_named("tune.get_or_tune")
+        ]
+        assert outcomes == ["miss", "hit"]
+        assert len(tracer.spans_named("tune.evaluate")) >= 1
+
+
+class TestCPDHooks:
+    def test_cp_als_iteration_spans_and_fit_metrics(self, tensor):
+        from repro.cpd import cp_als
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            res = cp_als(tensor, RANK, n_iters=3, seed=0)
+        iters = tracer.spans_named("als.iteration")
+        assert len(iters) == res.n_iters
+        # One mttkrp span per mode per iteration (serial path).
+        assert len(tracer.spans_named("mttkrp")) == 3 * res.n_iters
+        fits = [p for p in tracer.metrics if p.name == "als.fit"]
+        assert [p.step for p in fits] == list(range(1, res.n_iters + 1))
+        assert fits[-1].value == pytest.approx(res.final_fit)
+
+    def test_cp_apr_spans(self, tensor):
+        from repro.cpd import cp_apr
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            res = cp_apr(tensor, RANK, n_iters=2, seed=0)
+        assert len(tracer.spans_named("apr.iteration")) == res.n_iters
+        assert any(p.name == "apr.log_likelihood" for p in tracer.metrics)
+
+    def test_cp_als_dimtree_spans(self, tensor):
+        from repro.cpd import cp_als_dimtree
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            res = cp_als_dimtree(tensor, RANK, n_iters=2, seed=0)
+        assert len(tracer.spans_named("als.iteration")) == res.n_iters
+        assert len(tracer.spans_named("mttkrp")) == 3 * res.n_iters
+
+    @pytest.mark.parallel_exec
+    def test_cp_als_threaded_trace_has_worker_spans(self, tensor):
+        from repro.cpd import cp_als
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            res = cp_als(tensor, RANK, n_iters=2, seed=0, n_threads=2)
+        assert len(tracer.spans_named("als.iteration")) == res.n_iters
+        # One exec.parallel (mode-level) span per mode per iteration...
+        assert len(tracer.spans_named("exec.parallel")) == 3 * res.n_iters
+        # ...with per-worker spans underneath.
+        assert len(tracer.spans_named("exec.worker")) >= 3 * res.n_iters

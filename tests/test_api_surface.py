@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.tune",
     "repro.bench",
     "repro.exec",
+    "repro.obs",
 ]
 
 

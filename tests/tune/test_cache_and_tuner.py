@@ -100,3 +100,68 @@ class TestTuner:
         Tuner(tensor, 0, machine, cache=cache).get_or_tune(256)
         reused = Tuner(other, 0, machine, cache=cache).get_or_tune(256)
         assert reused.from_cache
+
+
+class TestDtypeAwareCache:
+    """Float32 and float64 runs must not share tuning entries: the traffic
+    model's working sets halve at itemsize 4, so the tuned configuration
+    (and its cost) is dtype-specific."""
+
+    @staticmethod
+    def _as32(tensor):
+        import numpy as np
+
+        from repro.tensor.coo import COOTensor
+
+        return COOTensor(
+            tensor.shape, tensor.indices, tensor.values.astype(np.float32)
+        )
+
+    def test_signature_key_differs_by_dtype(self, setup):
+        tensor, _ = setup
+        t32 = self._as32(tensor)
+        sig64 = TensorSignature.of(tensor, 0)
+        sig32 = TensorSignature.of(t32, 0)
+        assert sig64.itemsize == 8 and sig32.itemsize == 4
+        assert sig64.key() != sig32.key()
+        # Only the dtype suffix differs: the structural fingerprint is
+        # identical (same coordinates, same histogram).
+        assert sig64.key().rsplit("_b", 1)[0] == sig32.key().rsplit("_b", 1)[0]
+
+    def test_float32_retune_gets_distinct_entry(self, setup):
+        tensor, machine = setup
+        t32 = self._as32(tensor)
+        cache = TuningCache()
+        first = Tuner(tensor, 0, machine, cache=cache).get_or_tune(128)
+        assert not first.from_cache
+        # The float64 tuning must not be served to the float32 run...
+        second = Tuner(t32, 0, machine, cache=cache).get_or_tune(128)
+        assert not second.from_cache
+        assert len(cache) == 2  # ...it gets its own entry
+        # ...and both runs hit their own entry afterwards.
+        assert Tuner(t32, 0, machine, cache=cache).get_or_tune(128).from_cache
+        assert Tuner(tensor, 0, machine, cache=cache).get_or_tune(128).from_cache
+
+    def test_legacy_entry_without_itemsize_is_a_miss(self, setup):
+        tensor, machine = setup
+        cache = TuningCache()
+        tuner = Tuner(tensor, 0, machine, cache=cache)
+        # A pre-dtype-era entry stored under today's key (itemsize=None,
+        # as CacheEntry.from_dict produces for legacy files).
+        legacy = CacheEntry(None, None, 1.0, "heuristic", itemsize=None)
+        cache.put(tuner.signature.key(), 128, machine.name, legacy)
+        result = tuner.get_or_tune(128)
+        assert not result.from_cache  # legacy entry read as a miss
+        stored = cache.get(tuner.signature.key(), 128, machine.name)
+        assert stored.itemsize == 8  # re-tuned entry records its dtype
+
+    def test_from_dict_legacy_roundtrip(self):
+        entry = CacheEntry.from_dict(
+            {"block_counts": [2, 2, 2], "cost": 0.5, "strategy": "heuristic"}
+        )
+        assert entry.itemsize is None
+        modern = CacheEntry.from_dict(
+            {"block_counts": None, "cost": 0.5, "strategy": "heuristic",
+             "itemsize": 4}
+        )
+        assert modern.itemsize == 4

@@ -40,7 +40,18 @@ class TestSignature:
         sig = TensorSignature.of(t, 2)
         key = sig.key()
         assert key == TensorSignature.of(t, 2).key()
-        assert key.endswith("_m2")
+        assert "_m2" in key
+        # The key ends with the value itemsize (float64 here).
+        assert key.endswith("_b8")
+
+    def test_key_itemsize_helper(self):
+        from repro.tune.signature import key_itemsize
+
+        t = poisson_tensor((30, 40, 35), 2000, seed=7)
+        key = TensorSignature.of(t, 0).key()
+        assert key_itemsize(key) == 8
+        # Legacy keys (written before the dtype field) carry no suffix.
+        assert key_itemsize("s5-5-5_n8_f1_r3_k0.1_m2") is None
 
     def test_to_dict_roundtrippable(self):
         t = poisson_tensor((30, 40, 35), 2000, seed=8)

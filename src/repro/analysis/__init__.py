@@ -22,11 +22,29 @@ Three passes behind one diagnostic model (``repro check``):
 * :mod:`repro.analysis.sanitize` — instrumented kernel execution: checks
   observed writes against the plan's declared write-set, gather bounds,
   NaN/Inf emergence, dtype drift, and the traffic-model footprint
-  (rules SZ501-SZ506; ``repro sanitize``).
+  (rules SZ501-SZ506; ``repro sanitize``);
+* :mod:`repro.analysis.dataflow` — interprocedural dtype & effect
+  dataflow (opt-in via ``repro check --dataflow``): propagates a
+  precision lattice to prove the float32 contract statically, infers
+  worker-task write effects, and lints tracer placement (rules
+  DF601-DF610); DF611 is its registration-time gate in
+  ``Kernel.__init_subclass__`` / ``register_kernel``.
+
+Unused ``# repro: noqa`` suppressions are reported as DG001.  Findings
+render as text, JSON, or SARIF 2.1.0 (:mod:`repro.analysis.sarif`).
 
 Rule catalog with rationale and suppression: ``docs/static-analysis.md``.
 """
 
+from repro.analysis.dataflow import (
+    DType,
+    FunctionSummary,
+    dataflow_vet_enabled,
+    enforce_kernel_dataflow,
+    join,
+    scan_files,
+    vet_kernel_class,
+)
 from repro.analysis.diagnostics import (
     RULES,
     Diagnostic,
@@ -36,7 +54,9 @@ from repro.analysis.diagnostics import (
     render_text,
     resolve_rules,
     rule_family_counts,
+    unused_suppression_diagnostics,
 )
+from repro.analysis.sarif import render_sarif, to_sarif
 from repro.analysis.plans import (
     tiling_report,
     verify_decomposition,
@@ -95,4 +115,14 @@ __all__ = [
     "sanitized_execute",
     "CheckResult",
     "run_check",
+    "DType",
+    "FunctionSummary",
+    "dataflow_vet_enabled",
+    "enforce_kernel_dataflow",
+    "join",
+    "scan_files",
+    "vet_kernel_class",
+    "unused_suppression_diagnostics",
+    "render_sarif",
+    "to_sarif",
 ]

@@ -14,8 +14,10 @@ catalog with rationale and examples lives in ``docs/static-analysis.md``.
 from __future__ import annotations
 
 import enum
+import io
 import json
 import re
+import tokenize
 from dataclasses import dataclass, field
 
 from repro.util.errors import ConfigError
@@ -82,6 +84,20 @@ RULES: dict[str, Rule] = {
         Rule("SZ504", Severity.ERROR, "Inf emerged from finite inputs"),
         Rule("SZ505", Severity.ERROR, "output dtype drifted from VALUE_DTYPE"),
         Rule("SZ506", Severity.WARNING, "observed factor-row footprint diverges from the traffic model"),
+        # --- dtype & effect dataflow (DF6xx) --------------------------
+        Rule("DF601", Severity.ERROR, "literal float64 dtype on a precision-contract path"),
+        Rule("DF602", Severity.ERROR, "dtype-less numpy allocation on a precision-contract path"),
+        Rule("DF603", Severity.ERROR, "widening cast of a factor-derived value to float64"),
+        Rule("DF604", Severity.ERROR, "mixed-precision binary operation"),
+        Rule("DF605", Severity.ERROR, "helper returns a fixed dtype into a factor-dtype pipeline"),
+        Rule("DF606", Severity.ERROR, "worker/kernel body writes state outside its own arguments"),
+        Rule("DF607", Severity.ERROR, "process-backend task captures module-level mutable state"),
+        Rule("DF608", Severity.ERROR, "unpicklable callable/argument submitted to a process pool"),
+        Rule("DF609", Severity.ERROR, "tracer emission inside a per-element loop"),
+        Rule("DF610", Severity.WARNING, "tracer emission inside a kernel loop"),
+        Rule("DF611", Severity.ERROR, "kernel class failed registration-time dataflow vetting"),
+        # --- suppression hygiene (DG0xx) ------------------------------
+        Rule("DG001", Severity.WARNING, "unused `# repro: noqa` suppression"),
     ]
 }
 
@@ -151,21 +167,42 @@ def resolve_rules(spec: "str | list[str] | None") -> "set[str] | None":
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[\w,\s]+)\])?")
 
 
+def _record_noqa(
+    out: "dict[int, set[str] | None]", lineno: int, m: "re.Match[str]"
+) -> None:
+    rules = m.group("rules")
+    if rules is None:
+        out[lineno] = None
+    else:
+        out[lineno] = {r.strip().upper() for r in rules.split(",") if r.strip()}
+
+
 def suppressions_for_source(source: str) -> "dict[int, set[str] | None]":
     """Map 1-based line numbers to their suppressed rule ids.
 
-    A value of ``None`` suppresses every rule on that line.
+    A value of ``None`` suppresses every rule on that line.  Only real
+    comment tokens count — a ``# repro: noqa`` spelling quoted inside a
+    docstring (or backtick-quoted inside a doc comment, as in this very
+    module) documents the marker rather than applying it.  Sources that
+    fail to tokenize fall back to a plain line scan.
     """
     out: dict[int, set[str] | None] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _NOQA_RE.search(line)
-        if not m:
-            continue
-        rules = m.group("rules")
-        if rules is None:
-            out[lineno] = None
-        else:
-            out[lineno] = {r.strip().upper() for r in rules.split(",") if r.strip()}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _NOQA_RE.search(tok.string)
+            if m is None:
+                continue
+            if m.start() > 0 and tok.string[m.start() - 1] in "`\"'":
+                continue  # quoted mention, not a directive
+            _record_noqa(out, tok.start[0], m)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        out.clear()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            m = _NOQA_RE.search(line)
+            if m is not None:
+                _record_noqa(out, lineno, m)
     return out
 
 
@@ -206,7 +243,78 @@ RULE_FAMILIES: dict[str, str] = {
     "HP": "hot-path lint",
     "PL": "plan verifier",
     "SZ": "execution sanitizer",
+    "DF": "dtype & effect dataflow",
+    "DG": "suppression hygiene",
 }
+
+#: Families whose rules are produced at runtime, never by a file-based
+#: pass — a ``# repro: noqa[SZ501]`` in source can therefore never be
+#: "exercised" by ``repro check`` and is exempt from DG001.
+RUNTIME_FAMILIES: frozenset = frozenset({"RS", "SZ"})
+
+
+def unused_suppression_diagnostics(
+    raw_diags: list[Diagnostic],
+    suppressions: "dict[int, set[str] | None]",
+    file: str,
+    active_families: "set[str] | frozenset",
+) -> list[Diagnostic]:
+    """Rule DG001 (the RUF100 analog): flag ``# repro: noqa`` comments
+    that suppressed nothing.
+
+    ``raw_diags`` are the file's diagnostics *before* suppression, so a
+    noqa that matched at least one finding counts as used.  Only rules
+    whose family pass actually ran this invocation (``active_families``)
+    are considered — a ``noqa[DF601]`` is not "unused" just because the
+    run skipped ``--dataflow`` — and runtime-only families (RS/SZ) are
+    always exempt.  A line whose noqa names ``DG001`` itself is never
+    flagged (the self-suppression spelling).
+    """
+    by_line: dict[int, set[str]] = {}
+    for d in raw_diags:
+        by_line.setdefault(d.line, set()).add(d.rule)
+    out: list[Diagnostic] = []
+    for line in sorted(suppressions):
+        rules = suppressions[line]
+        fired = by_line.get(line, set())
+        if rules is None:
+            # Bare `# repro: noqa`: unused only when nothing at all fired.
+            if not fired:
+                out.append(
+                    Diagnostic(
+                        "DG001",
+                        file,
+                        line,
+                        0,
+                        "bare `# repro: noqa` suppresses nothing on this line",
+                        hint="remove it, or scope it to the rule you expect "
+                        "(`# repro: noqa[RULE]`)",
+                    )
+                )
+            continue
+        if "DG001" in rules:
+            continue
+        considered = {
+            r
+            for r in rules
+            if family_of(r) in active_families
+            and family_of(r) not in RUNTIME_FAMILIES
+        }
+        unused = sorted(considered - fired)
+        if unused:
+            out.append(
+                Diagnostic(
+                    "DG001",
+                    file,
+                    line,
+                    0,
+                    "unused suppression: "
+                    + ", ".join(unused)
+                    + " never fires on this line",
+                    hint="drop the stale rule id(s) from the noqa comment",
+                )
+            )
+    return out
 
 
 def family_of(rule: str) -> str:

@@ -35,10 +35,26 @@ from repro.analysis.diagnostics import (
     apply_suppressions,
     filter_rules,
     suppressions_for_source,
+    unused_suppression_diagnostics,
 )
 
-#: Directories never scanned (caches, VCS internals).
-_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+#: Directories never scanned (caches, VCS internals, virtualenvs, and
+#: packaging output — ``repro check <repo-root>`` must not lint
+#: site-packages or sdist copies of the tree).
+_SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    ".pytest_cache",
+    ".venv",
+    "venv",
+    "build",
+    "dist",
+}
+
+
+def _skip_part(part: str) -> bool:
+    return part in _SKIP_DIRS or part.endswith(".egg-info")
 
 
 def default_paths() -> list[Path]:
@@ -58,7 +74,7 @@ def iter_python_files(paths: Sequence[Path]) -> list[Path]:
             out.add(p)
         elif p.is_dir():
             for f in p.rglob("*.py"):
-                if not any(part in _SKIP_DIRS for part in f.parts):
+                if not any(_skip_part(part) for part in f.parts):
                     out.add(f)
     return sorted(out)
 
@@ -95,13 +111,21 @@ def run_check(
     select: "set[str] | None" = None,
     ignore: "set[str] | None" = None,
     plans: bool = False,
+    dataflow: bool = False,
 ) -> CheckResult:
     """Run the contract and hot-path passes over ``paths``.
 
     ``select`` / ``ignore`` are resolved rule-id sets
     (:func:`repro.analysis.diagnostics.resolve_rules`).  ``plans=True``
     additionally runs the plan-verifier AST pass
-    (:func:`repro.analysis.plans.scan_source`) over every file.
+    (:func:`repro.analysis.plans.scan_source`) over every file;
+    ``dataflow=True`` runs the interprocedural dtype/effect pass
+    (:func:`repro.analysis.dataflow.scan_files`) across all of them with
+    one shared summary table.
+
+    Unused ``# repro: noqa`` comments are reported as DG001, judged only
+    against rule families whose pass actually ran on that file this
+    invocation.
     """
     from repro.analysis import plans as plans_mod
     files = iter_python_files(
@@ -110,6 +134,9 @@ def run_check(
     diags: list[Diagnostic] = []
     registrations: list[contract.RegisteredKernel] = []
     sources: dict[str, str] = {}
+    #: Per-file diagnostics *before* suppression (DG001's evidence).
+    raw_by_file: dict[str, list[Diagnostic]] = {}
+    hot_files: set[str] = set()
 
     for f in files:
         rel = str(f)
@@ -122,21 +149,42 @@ def run_check(
         file_diags = list(scan.diagnostics)
         registrations.extend(scan.registrations)
         if is_hot_path(f):
+            hot_files.add(rel)
             file_diags.extend(hotpath.scan_source(source, rel))
         if plans:
             file_diags.extend(plans_mod.scan_source(source, rel))
-        diags.extend(
-            apply_suppressions(file_diags, suppressions_for_source(source))
-        )
+        raw_by_file[rel] = file_diags
 
-    dup = contract.duplicate_name_diagnostics(registrations)
-    # Duplicate-name findings honour suppressions on the registration line.
-    for d in dup:
-        source = sources.get(d.file)
-        if source is not None:
-            if not apply_suppressions([d], suppressions_for_source(source)):
-                continue
-        diags.append(d)
+    if dataflow:
+        from repro.analysis import dataflow as dataflow_mod
+
+        for rel, df_diags in dataflow_mod.scan_files(sources).items():
+            raw_by_file.setdefault(rel, []).extend(df_diags)
+
+    # Duplicate-name findings join their file's raw list so both their
+    # suppressions and DG001 usage accounting see them.
+    for d in contract.duplicate_name_diagnostics(registrations):
+        raw_by_file.setdefault(d.file, []).append(d)
+
+    for rel, file_diags in raw_by_file.items():
+        source = sources.get(rel)
+        if source is None:  # pragma: no cover - defensive
+            diags.extend(file_diags)
+            continue
+        suppressions = suppressions_for_source(source)
+        diags.extend(apply_suppressions(file_diags, suppressions))
+        active = {"KC", "DG"}
+        if rel in hot_files:
+            active.add("HP")
+        if plans:
+            active.add("PL")
+        if dataflow:
+            active.add("DF")
+        diags.extend(
+            unused_suppression_diagnostics(
+                file_diags, suppressions, rel, active
+            )
+        )
 
     diags = filter_rules(diags, select=select, ignore=ignore)
     diags.sort(key=lambda d: (d.file, d.line, d.col, d.rule))

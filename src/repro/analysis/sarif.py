@@ -1,0 +1,115 @@
+"""SARIF 2.1.0 rendering for ``repro check`` (``--format sarif``).
+
+SARIF (Static Analysis Results Interchange Format) is the output format
+code-scanning UIs ingest; CI uploads the file produced here through
+``github/codeql-action/upload-sarif`` so findings annotate pull requests
+inline.  One ``reportingDescriptor`` is emitted per rule in the catalog
+(not just the rules that fired), so the scanning UI can always resolve a
+result's ``ruleId`` to its summary and help text.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path, PurePath
+
+from repro.analysis.diagnostics import RULES, Diagnostic, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Diagnostic severity -> SARIF result level.
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_descriptors() -> list[dict]:
+    """Every catalog rule as a SARIF ``reportingDescriptor``."""
+    descriptors = []
+    for rule in RULES.values():
+        descriptors.append(
+            {
+                "id": rule.id,
+                "name": rule.id,
+                "shortDescription": {"text": rule.summary},
+                "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+                "helpUri": (
+                    "https://example.invalid/repro/docs/static-analysis"
+                    f"#{rule.id.lower()}"
+                ),
+            }
+        )
+    return descriptors
+
+
+def _artifact_uri(file: str) -> str:
+    """A relative POSIX URI for ``file`` (SARIF wants forward slashes;
+    code-scanning wants repo-relative paths when possible)."""
+    path = Path(file)
+    if path.is_absolute():
+        try:
+            path = path.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    return PurePath(path).as_posix()
+
+
+def _result(diag: Diagnostic, rule_index: dict) -> dict:
+    message = diag.message
+    if diag.hint:
+        message += f" (hint: {diag.hint})"
+    return {
+        "ruleId": diag.rule,
+        "ruleIndex": rule_index[diag.rule],
+        "level": _LEVELS[diag.severity],
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _artifact_uri(diag.file),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(1, diag.line),
+                        # Diagnostic columns are 0-based AST offsets;
+                        # SARIF columns are 1-based.
+                        "startColumn": diag.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(diags: list, files_checked: int = 0) -> dict:
+    """The SARIF log object for one ``repro check`` run."""
+    descriptors = _rule_descriptors()
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/static-analysis"
+                        ),
+                        "rules": descriptors,
+                    }
+                },
+                "results": [_result(d, rule_index) for d in diags],
+                "columnKind": "unicodeCodePoints",
+                "properties": {"filesChecked": files_checked},
+            }
+        ],
+    }
+
+
+def render_sarif(diags: list, files_checked: int = 0) -> str:
+    """Serialized SARIF log (``repro check --format sarif``)."""
+    return json.dumps(to_sarif(diags, files_checked), indent=2)

@@ -10,7 +10,8 @@ Commands
 ``scaling``   the Table III distributed strong-scaling experiment
 ``datasets``  list the Table II registry
 ``check``     static analysis: kernel contracts, schedule races, hot-path
-              lint, and (``--plans``) plan-soundness verification
+              lint, (``--plans``) plan-soundness verification, and
+              (``--dataflow``) interprocedural dtype/effect dataflow
               (see docs/static-analysis.md)
 ``sanitize``  instrumented kernel execution: write-set containment, gather
               bounds, NaN/Inf, dtype drift, traffic-footprint cross-check
@@ -342,6 +343,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     from repro.analysis import (
         check_schedule,
         render_json,
+        render_sarif,
         render_text,
         resolve_rules,
         run_check,
@@ -359,6 +361,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         select=resolve_rules(args.select),
         ignore=resolve_rules(args.ignore),
         plans=args.plans,
+        dataflow=args.dataflow,
     )
     diags = result.diagnostics
 
@@ -387,6 +390,8 @@ def cmd_check(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(render_json(diags, result.files_checked, statistics=args.statistics))
+    elif args.format == "sarif":
+        print(render_sarif(diags, result.files_checked))
     else:
         print(render_text(diags, result.files_checked, statistics=args.statistics))
     return 1 if diags else 0
@@ -758,7 +763,9 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="files/directories to check (default: the repro package itself)",
     )
-    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
     p.add_argument("--select", help="only these rule ids/prefixes (e.g. KC,HP301)")
     p.add_argument("--ignore", help="skip these rule ids/prefixes")
     p.add_argument(
@@ -768,9 +775,16 @@ def build_parser() -> argparse.ArgumentParser:
         "constructions in the checked files (rules PL4xx)",
     )
     p.add_argument(
+        "--dataflow",
+        action="store_true",
+        help="also run the interprocedural dtype/effect dataflow pass "
+        "(rules DF6xx): precision-contract proof, worker write effects, "
+        "tracer placement",
+    )
+    p.add_argument(
         "--statistics",
         action="store_true",
-        help="append a per-rule-family count summary (KC/RS/HP/PL/SZ)",
+        help="append a per-rule-family count summary (KC/RS/HP/PL/SZ/DF/DG)",
     )
     p.add_argument(
         "--race-grid",

@@ -171,10 +171,14 @@ class _PhaseProfile:
         self.uniform = stats.inner_counts is None or stats.fiber_counts is None
         if self.uniform:
             return
+        # Intentional float64: these are integer access *counts* feeding
+        # cumsum prefix sums inside the analytic traffic model — model
+        # precision is independent of the factor/value dtype contract,
+        # and float32 prefix sums lose integer exactness past 2^24.
         counts = np.concatenate(
             [
-                np.asarray(stats.inner_counts, dtype=np.float64),
-                np.asarray(stats.fiber_counts, dtype=np.float64),
+                np.asarray(stats.inner_counts, dtype=np.float64),  # repro: noqa[DF601]
+                np.asarray(stats.fiber_counts, dtype=np.float64),  # repro: noqa[DF601]
             ]
         )
         is_inner = np.zeros(counts.shape[0], dtype=bool)

@@ -171,6 +171,50 @@ class TestPlansFlag:
         assert main(["check", str(tmp_path), "--plans", "--ignore", "PL"]) == 0
 
 
+DF_HAZARD = (
+    "import numpy as np\n"
+    "def f(factors):\n"
+    "    return np.zeros((3, 4), dtype=np.float64)\n"
+)
+
+
+class TestDataflowFlag:
+    def test_seeded_violation_exits_one(self, tmp_path, capsys):
+        kdir = tmp_path / "kernels"
+        kdir.mkdir()
+        (kdir / "k.py").write_text(DF_HAZARD)
+        assert main(["check", str(tmp_path), "--dataflow"]) == 1
+        out = capsys.readouterr().out
+        assert "DF601" in out
+        assert ":3:" in out  # line of the allocation
+
+    def test_without_flag_dataflow_pass_is_off(self, tmp_path, capsys):
+        kdir = tmp_path / "kernels"
+        kdir.mkdir()
+        (kdir / "k.py").write_text(DF_HAZARD)
+        assert main(["check", str(tmp_path)]) == 0
+
+    def test_repo_self_hosted_dataflow_is_clean(self, capsys):
+        # The acceptance gate: the pass proves the repo's own kernel,
+        # CPD, executor, and tuner paths honour the precision contract.
+        assert main(["check", "--dataflow"]) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+    def test_statistics_lists_df_family(self, tmp_path, capsys):
+        kdir = tmp_path / "kernels"
+        kdir.mkdir()
+        (kdir / "k.py").write_text(DF_HAZARD)
+        assert main(["check", str(tmp_path), "--dataflow", "--statistics"]) == 1
+        assert "DF: 1  (dtype & effect dataflow)" in capsys.readouterr().out
+
+    def test_select_df_family(self, tmp_path, capsys):
+        kdir = tmp_path / "kernels"
+        kdir.mkdir()
+        (kdir / "k.py").write_text(DF_HAZARD)
+        assert main(["check", str(tmp_path), "--dataflow", "--select", "DF"]) == 1
+        assert main(["check", str(tmp_path), "--dataflow", "--ignore", "DF"]) == 0
+
+
 class TestStatisticsFlag:
     def test_text_statistics_lists_families(self, seeded_kernels, capsys):
         assert main(["check", str(seeded_kernels), "--statistics"]) == 1

@@ -1,0 +1,420 @@
+"""The interprocedural dtype & effect dataflow pass (DF601-DF610)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dataflow import (
+    DType,
+    build_summaries,
+    is_dtype_scope,
+    join,
+    join_all,
+    module_info,
+    scan_files,
+    scan_source,
+)
+
+KERNEL_FILE = "src/repro/kernels/k.py"
+CPD_FILE = "src/repro/cpd/helpers.py"
+EXEC_FILE = "src/repro/exec/worker.py"
+OUTSIDE = "src/repro/tensor/io.py"
+
+
+def _rules(diags):
+    return sorted(d.rule for d in diags)
+
+
+class TestScope:
+    def test_contract_dirs_in_scope(self):
+        for f in (KERNEL_FILE, CPD_FILE, EXEC_FILE, "src/repro/tune/t.py"):
+            assert is_dtype_scope(f), f
+
+    def test_other_dirs_out_of_scope(self):
+        assert not is_dtype_scope(OUTSIDE)
+
+    def test_dtype_rules_silent_outside_scope(self):
+        src = (
+            "import numpy as np\n"
+            "def f(factors):\n"
+            "    return np.zeros((3, 4), dtype=np.float64)\n"
+        )
+        assert scan_source(src, OUTSIDE) == []
+        assert _rules(scan_source(src, KERNEL_FILE)) == ["DF601"]
+
+
+class TestDF601LiteralFloat64:
+    @pytest.mark.parametrize(
+        "alloc",
+        [
+            "np.zeros((3, 4), dtype=np.float64)",
+            "np.empty((3, 4), dtype=np.float64)",
+            "np.full((3, 4), 0.0, dtype=np.float64)",
+            "np.asarray(x, dtype=np.float64)",
+            "np.zeros((3, 4), dtype='float64')",
+            "np.zeros((3, 4), dtype=float)",
+        ],
+    )
+    def test_literal_float64_flagged(self, alloc):
+        src = f"import numpy as np\ndef f(x, factors):\n    return {alloc}\n"
+        assert "DF601" in _rules(scan_source(src, KERNEL_FILE))
+
+    def test_float32_literal_not_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(factors):\n"
+            "    return np.zeros((3, 4), dtype=np.float32)\n"
+        )
+        assert scan_source(src, KERNEL_FILE) == []
+
+    def test_derived_dtype_not_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(factors):\n"
+            "    return np.zeros((3, 4), dtype=factor_dtype(factors))\n"
+        )
+        assert scan_source(src, KERNEL_FILE) == []
+
+    def test_alloc_output_literal_dtype_flagged(self):
+        src = "def f(out, factors):\n    return alloc_output(out, 3, 4, np.float64)\n"
+        assert _rules(scan_source(src, KERNEL_FILE)) == ["DF601"]
+
+    def test_int_dtype_not_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(factors):\n"
+            "    return np.zeros((3, 4), dtype=np.int64)\n"
+        )
+        assert scan_source(src, KERNEL_FILE) == []
+
+
+class TestDF602DtypelessAllocation:
+    def test_dtypeless_zeros_flagged(self):
+        src = "import numpy as np\ndef f(factors):\n    return np.zeros((3, 4))\n"
+        assert _rules(scan_source(src, KERNEL_FILE)) == ["DF602"]
+
+    def test_zeros_like_inherits_silently(self):
+        # *_like allocators inherit their prototype's dtype: no hazard.
+        src = "import numpy as np\ndef f(factors):\n    return np.zeros_like(factors[0])\n"
+        assert scan_source(src, KERNEL_FILE) == []
+
+
+class TestDF603WideningCast:
+    def test_factor_astype_float64_flagged(self):
+        src = "def f(factors):\n    a = factors[0]\n    return a.astype(np.float64)\n"
+        assert _rules(scan_source(src, KERNEL_FILE)) == ["DF603"]
+
+    def test_np_float64_of_factor_flagged(self):
+        src = "import numpy as np\ndef f(factors):\n    return np.float64(factors[0])\n"
+        assert _rules(scan_source(src, KERNEL_FILE)) == ["DF603"]
+
+    def test_astype_own_dtype_not_flagged(self):
+        src = "def f(factors, x):\n    return x.astype(factors[0].dtype)\n"
+        assert scan_source(src, KERNEL_FILE) == []
+
+    def test_astype_on_unknown_not_flagged(self):
+        src = "import numpy as np\ndef f(x):\n    return x.astype(np.float64)\n"
+        assert scan_source(src, KERNEL_FILE) == []
+
+
+class TestDF604MixedBinop:
+    def test_pinned_alloc_meets_factors(self):
+        src = (
+            "import numpy as np\n"
+            "def f(factors):\n"
+            "    x = np.zeros(4, dtype=np.float32)\n"
+            "    return factors[0] + x\n"
+        )
+        assert _rules(scan_source(src, KERNEL_FILE)) == ["DF604"]
+
+    def test_alloc_output_default_is_float64(self):
+        # alloc_output without the dtype argument defaults to VALUE_DTYPE.
+        src = (
+            "def f(out, factors):\n"
+            "    A = alloc_output(out, 10, 4)\n"
+            "    A += factors[0]\n"
+            "    return A\n"
+        )
+        assert _rules(scan_source(src, KERNEL_FILE)) == ["DF604"]
+
+    def test_factor_with_factor_clean(self):
+        src = "def f(factors):\n    return factors[0] * factors[1]\n"
+        assert scan_source(src, KERNEL_FILE) == []
+
+    def test_scalar_literals_are_neutral(self):
+        # `x * 1e-12` must not read as mixing float64 into the pipeline.
+        src = "def f(factors):\n    return factors[0] * 1e-12\n"
+        assert scan_source(src, KERNEL_FILE) == []
+
+    def test_branch_join_propagates(self):
+        src = (
+            "import numpy as np\n"
+            "def f(factors, flag):\n"
+            "    if flag:\n"
+            "        x = np.zeros(4, dtype=np.float32)\n"
+            "    else:\n"
+            "        x = factors[0]\n"
+            "    return x + factors[1]\n"
+        )
+        # x is MIXED after the join; MIXED is already the error state and
+        # is not re-reported at every later use.
+        assert scan_source(src, KERNEL_FILE) == []
+
+
+class TestDF605InterproceduralMix:
+    SRC = (
+        "import numpy as np\n"
+        "def widen():\n"
+        "    return np.zeros(4, dtype=np.float32)\n"
+        "def f(factors):\n"
+        "    return widen() + factors[0]\n"
+    )
+
+    def test_same_file_summary(self):
+        assert _rules(scan_source(self.SRC, KERNEL_FILE)) == ["DF605"]
+
+    def test_cross_file_summary(self):
+        helper = "import numpy as np\ndef widen():\n    return np.zeros(4, dtype=np.float32)\n"
+        user = "def f(factors):\n    return widen() + factors[0]\n"
+        per_file = scan_files({CPD_FILE: helper, KERNEL_FILE: user})
+        assert _rules(per_file[KERNEL_FILE]) == ["DF605"]
+        assert per_file[CPD_FILE] == []
+
+    def test_transitive_returns_two_rounds(self):
+        src = (
+            "import numpy as np\n"
+            "def inner():\n"
+            "    return np.zeros(4, dtype=np.float32)\n"
+            "def outer():\n"
+            "    return inner()\n"
+            "def f(factors):\n"
+            "    return outer() + factors[0]\n"
+        )
+        assert _rules(scan_source(src, KERNEL_FILE)) == ["DF605"]
+
+
+WORKER_PREFIX = (
+    "import numpy as np\n"
+    "SCRATCH = {}\n"
+    "def run(tasks):\n"
+    "    with ThreadPoolExecutor(2) as pool:\n"
+    "        for t in tasks:\n"
+    "            pool.submit(worker, t, None)\n"
+)
+
+
+class TestDF606ForeignWrites:
+    def test_worker_writing_global_flagged(self):
+        src = WORKER_PREFIX + (
+            "def worker(t, out):\n"
+            "    SCRATCH[t] = 1\n"
+        )
+        assert "DF606" in _rules(scan_source(src, EXEC_FILE))
+
+    def test_worker_writing_through_args_clean(self):
+        src = WORKER_PREFIX + (
+            "def worker(t, out):\n"
+            "    out[t.lo : t.hi] = 0.0\n"
+        )
+        assert scan_source(src, EXEC_FILE) == []
+
+    def test_global_statement_flagged(self):
+        src = WORKER_PREFIX + (
+            "def worker(t, out):\n"
+            "    global SCRATCH\n"
+            "    SCRATCH = {}\n"
+        )
+        assert "DF606" in _rules(scan_source(src, EXEC_FILE))
+
+    def test_transitive_helper_write_flagged(self):
+        src = WORKER_PREFIX + (
+            "def poke(key):\n"
+            "    SCRATCH[key] = 1\n"
+            "def worker(t, out):\n"
+            "    poke(t)\n"
+        )
+        assert "DF606" in _rules(scan_source(src, EXEC_FILE))
+
+    def test_kernel_execute_writing_global_flagged(self):
+        src = (
+            "STATE = {}\n"
+            "class K(Kernel):\n"
+            "    def execute(self, plan, factors, out=None):\n"
+            "        STATE['last'] = plan\n"
+            "        return out\n"
+        )
+        assert "DF606" in _rules(scan_source(src, KERNEL_FILE))
+
+    def test_non_worker_function_exempt(self):
+        # Orchestration code may maintain module caches; only worker
+        # tasks and kernel bodies carry the isolation obligation.
+        src = "CACHE = {}\ndef remember(k, v):\n    CACHE[k] = v\n"
+        assert scan_source(src, EXEC_FILE) == []
+
+
+class TestDF607ProcessCapture:
+    PREFIX = (
+        "CACHE = {}\n"
+        "def run(tasks):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        for t in tasks:\n"
+        "            pool.submit(worker, t)\n"
+    )
+
+    def test_mutable_global_read_flagged(self):
+        src = self.PREFIX + "def worker(t):\n    return CACHE.get(t)\n"
+        assert "DF607" in _rules(scan_source(src, EXEC_FILE))
+
+    def test_thread_backend_exempt(self):
+        src = self.PREFIX.replace("ProcessPoolExecutor", "ThreadPoolExecutor")
+        src += "def worker(t):\n    return CACHE.get(t)\n"
+        assert scan_source(src, EXEC_FILE) == []
+
+    def test_immutable_global_exempt(self):
+        src = (
+            "LIMIT = 128\n"
+            "def run(tasks):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        for t in tasks:\n"
+            "            pool.submit(worker, t)\n"
+            "def worker(t):\n"
+            "    return min(t, LIMIT)\n"
+        )
+        assert scan_source(src, EXEC_FILE) == []
+
+
+class TestDF608Unpicklable:
+    def test_lambda_task_flagged(self):
+        src = (
+            "def run(data):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        pool.submit(lambda x: x, data)\n"
+        )
+        assert _rules(scan_source(src, EXEC_FILE)) == ["DF608"]
+
+    def test_nested_function_task_flagged(self):
+        src = (
+            "def run(data):\n"
+            "    def task(x):\n"
+            "        return x\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        pool.submit(task, data)\n"
+        )
+        assert _rules(scan_source(src, EXEC_FILE)) == ["DF608"]
+
+    def test_lock_argument_flagged(self):
+        src = (
+            "def run(worker, data):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        pool.submit(worker, data, Lock())\n"
+        )
+        assert _rules(scan_source(src, EXEC_FILE)) == ["DF608"]
+
+    def test_thread_pool_exempt(self):
+        src = (
+            "def run(data):\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        pool.submit(lambda x: x, data)\n"
+        )
+        assert scan_source(src, EXEC_FILE) == []
+
+
+class TestDF609DF610TracerPlacement:
+    def test_counter_in_per_element_loop_flagged_anywhere(self):
+        src = (
+            "def f(vals, out, tracer):\n"
+            "    for i in range(len(vals)):\n"
+            "        tracer.count('x', 1)\n"
+            "        out[i] = vals[i]\n"
+        )
+        assert "DF609" in _rules(scan_source(src, OUTSIDE))
+
+    def test_current_tracer_call_recognized(self):
+        src = (
+            "def f(vals, out):\n"
+            "    for i in range(vals.shape[0]):\n"
+            "        current_tracer().metric('x', vals[i])\n"
+        )
+        assert "DF609" in _rules(scan_source(src, OUTSIDE))
+
+    def test_any_kernel_loop_emission_warns(self):
+        src = (
+            "def f(plan, tracer):\n"
+            "    for block in plan.blocks:\n"
+            "        tracer.count('block', 1)\n"
+        )
+        assert _rules(scan_source(src, KERNEL_FILE)) == ["DF610"]
+        # The same chunk-loop emission outside kernel scope is allowed.
+        assert scan_source(src, OUTSIDE) == []
+
+    def test_emission_outside_loops_clean(self):
+        src = (
+            "def f(plan, tracer):\n"
+            "    with tracer.span('mttkrp'):\n"
+            "        pass\n"
+            "    tracer.count('calls', 1)\n"
+        )
+        assert scan_source(src, KERNEL_FILE) == []
+
+    def test_non_tracer_count_method_exempt(self):
+        src = (
+            "def f(items):\n"
+            "    for i in range(len(items)):\n"
+            "        items.count(i)\n"
+        )
+        assert scan_source(src, KERNEL_FILE) == []
+
+
+class TestLatticeHelpers:
+    def test_join_all_empty_is_bottom(self):
+        assert join_all([]) is DType.BOTTOM
+
+    def test_distinct_concrete_points_mix(self):
+        assert join(DType.F32, DType.F64) is DType.MIXED
+        assert join(DType.F32, DType.FACTOR) is DType.MIXED
+
+    def test_unknown_absorbs(self):
+        assert join(DType.UNKNOWN, DType.F32) is DType.UNKNOWN
+
+
+class TestSummaries:
+    def test_returns_and_global_writes(self):
+        import ast
+
+        src = (
+            "import numpy as np\n"
+            "STATE = {}\n"
+            "def widen():\n"
+            "    return np.zeros(4, dtype=np.float32)\n"
+            "def poke(k):\n"
+            "    STATE[k] = 1\n"
+            "def both(k):\n"
+            "    poke(k)\n"
+            "    return widen()\n"
+        )
+        info = module_info(ast.parse(src), CPD_FILE)
+        table = build_summaries([info])
+        assert table["widen"].returns is DType.F32
+        assert table["poke"].global_writes == ("STATE",)
+        # Round two propagates poke's effect into its caller.
+        assert table["both"].global_writes == ("STATE",)
+        assert table["both"].returns is DType.F32
+
+    def test_syntax_error_file_skipped(self):
+        assert scan_source("def broken(:\n", KERNEL_FILE) == []
+        assert scan_files({KERNEL_FILE: "def broken(:\n"}) == {}
+
+
+class TestSuppression:
+    def test_noqa_respected_through_runner(self, tmp_path):
+        from repro.analysis import run_check
+
+        kdir = tmp_path / "kernels"
+        kdir.mkdir()
+        (kdir / "k.py").write_text(
+            "import numpy as np\n"
+            "def f(factors):\n"
+            "    return np.zeros((3, 4), dtype=np.float64)  # repro: noqa[DF601]\n"
+        )
+        result = run_check(paths=[tmp_path], dataflow=True)
+        assert _rules(result.diagnostics) == []

@@ -1,0 +1,142 @@
+"""Seeded-mutant detection: each planted contract violation in a *real*
+kernel source must be caught by the dataflow pass.
+
+The mutants are built from the pristine ``splatt_mttkrp.py`` on disk, so
+they track the actual kernel idiom rather than a synthetic fixture — if
+the kernel is refactored such that an anchor disappears, the test fails
+loudly instead of silently checking nothing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro.kernels.splatt_mttkrp as splatt_mod
+from repro.analysis.dataflow import scan_source
+
+SPLATT_FILE = Path(splatt_mod.__file__)
+PRISTINE = SPLATT_FILE.read_text(encoding="utf-8")
+
+#: The allocation line every mutant below rewrites or extends.
+ALLOC_ANCHOR = (
+    "        A = alloc_output(out, plan.shape[plan.mode], rank, "
+    "factor_dtype(factors))\n"
+)
+CHECK_ANCHOR = (
+    "        factors, rank = check_factors(factors, plan.shape, plan.mode)\n"
+)
+
+
+def _rules(diags):
+    return sorted({d.rule for d in diags})
+
+
+def _mutate(anchor: str, replacement: str) -> str:
+    assert anchor in PRISTINE, "mutation anchor vanished from splatt_mttkrp.py"
+    return PRISTINE.replace(anchor, replacement)
+
+
+def test_pristine_kernel_is_clean():
+    assert scan_source(PRISTINE, str(SPLATT_FILE)) == []
+
+
+class TestSeededMutants:
+    def test_float64_literal_allocation_detected(self):
+        mutant = _mutate(
+            ALLOC_ANCHOR,
+            "        A = np.zeros((plan.shape[plan.mode], rank), "
+            "dtype=np.float64)\n",
+        )
+        assert "DF601" in _rules(scan_source(mutant, str(SPLATT_FILE)))
+
+    def test_float64_literal_via_alloc_output_detected(self):
+        mutant = _mutate(
+            ALLOC_ANCHOR,
+            "        A = alloc_output(out, plan.shape[plan.mode], rank, "
+            "np.float64)\n",
+        )
+        assert "DF601" in _rules(scan_source(mutant, str(SPLATT_FILE)))
+
+    def test_dtypeless_allocation_detected(self):
+        mutant = _mutate(
+            ALLOC_ANCHOR,
+            "        A = np.zeros((plan.shape[plan.mode], rank))\n",
+        )
+        assert "DF602" in _rules(scan_source(mutant, str(SPLATT_FILE)))
+
+    def test_widening_cast_detected(self):
+        mutant = _mutate(
+            ALLOC_ANCHOR,
+            ALLOC_ANCHOR + "        B = B.astype(np.float64)\n",
+        )
+        assert "DF603" in _rules(scan_source(mutant, str(SPLATT_FILE)))
+
+    def test_captured_global_worker_write_detected(self):
+        mutant = _mutate(
+            CHECK_ANCHOR,
+            CHECK_ANCHOR + "        _LAST_PLAN['plan'] = plan\n",
+        )
+        assert "DF606" in _rules(scan_source(mutant, str(SPLATT_FILE)))
+
+    def test_in_loop_counter_call_detected(self):
+        mutant = _mutate(
+            ALLOC_ANCHOR,
+            ALLOC_ANCHOR
+            + "        for _i in range(len(A)):\n"
+            + "            current_tracer().count('mutant.rows', 1)\n",
+        )
+        assert "DF609" in _rules(scan_source(mutant, str(SPLATT_FILE)))
+
+    def test_chunk_loop_span_warns_in_kernel_scope(self):
+        mutant = _mutate(
+            ALLOC_ANCHOR,
+            ALLOC_ANCHOR
+            + "        for _b in plan.block_stats():\n"
+            + "            current_tracer().count('mutant.blocks', 1)\n",
+        )
+        assert "DF610" in _rules(scan_source(mutant, str(SPLATT_FILE)))
+
+
+class TestMutantsThroughRunner:
+    """The same mutants must surface through ``repro check --dataflow``
+    on a file tree (suppressions, scope gating, and summaries intact)."""
+
+    @pytest.mark.parametrize(
+        "replacement, rule",
+        [
+            (
+                "        A = np.zeros((plan.shape[plan.mode], rank), "
+                "dtype=np.float64)\n",
+                "DF601",
+            ),
+            ("        A = np.zeros((plan.shape[plan.mode], rank))\n", "DF602"),
+        ],
+    )
+    def test_runner_reports_mutant(self, tmp_path, replacement, rule):
+        from repro.analysis import run_check
+
+        kdir = tmp_path / "kernels"
+        kdir.mkdir()
+        (kdir / "splatt_mutant.py").write_text(
+            _mutate(ALLOC_ANCHOR, replacement), encoding="utf-8"
+        )
+        result = run_check(paths=[tmp_path], dataflow=True, ignore={"KC101"})
+        assert rule in _rules(result.diagnostics)
+
+    def test_runner_without_dataflow_misses_df_rules(self, tmp_path):
+        kdir = tmp_path / "kernels"
+        kdir.mkdir()
+        (kdir / "splatt_mutant.py").write_text(
+            _mutate(
+                ALLOC_ANCHOR,
+                "        A = np.zeros((plan.shape[plan.mode], rank), "
+                "dtype=np.float64)\n",
+            ),
+            encoding="utf-8",
+        )
+        from repro.analysis import run_check
+
+        result = run_check(paths=[tmp_path], dataflow=False, ignore={"KC101"})
+        assert not any(d.rule.startswith("DF") for d in result.diagnostics)

@@ -1,0 +1,74 @@
+"""Hypothesis properties of the dtype lattice: ``join`` must be a real
+semilattice operation, or the whole-function fixpoint is order-dependent
+and the analyzer's verdicts change with statement ordering."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.dataflow import (
+    BOTTOM,
+    UNKNOWN,
+    DType,
+    Value,
+    join,
+    join_all,
+    join_values,
+)
+
+points = st.sampled_from(list(DType))
+values = st.builds(Value, dtype=points, via_call=st.booleans())
+
+
+@given(points, points)
+def test_join_commutative(a, b):
+    assert join(a, b) is join(b, a)
+
+
+@given(points, points, points)
+def test_join_associative(a, b, c):
+    assert join(join(a, b), c) is join(a, join(b, c))
+
+
+@given(points)
+def test_join_idempotent(a):
+    assert join(a, a) is a
+
+
+@given(points)
+def test_bottom_is_identity(a):
+    assert join(DType.BOTTOM, a) is a
+    assert join(a, DType.BOTTOM) is a
+
+
+@given(points)
+def test_unknown_is_absorbing(a):
+    assert join(DType.UNKNOWN, a) is DType.UNKNOWN
+    assert join(a, DType.UNKNOWN) is DType.UNKNOWN
+
+
+@given(st.lists(points))
+def test_join_all_is_an_upper_bound(xs):
+    result = join_all(xs)
+    for x in xs:
+        # lub property: joining any input back in changes nothing.
+        assert join(result, x) is result
+
+
+@given(st.lists(points, min_size=1))
+def test_join_all_order_independent(xs):
+    assert join_all(xs) is join_all(list(reversed(xs)))
+
+
+@given(values, values)
+def test_value_join_tracks_provenance(a, b):
+    j = join_values(a, b)
+    assert j.dtype is join(a.dtype, b.dtype)
+    assert j.via_call == (a.via_call or b.via_call)
+
+
+@given(values)
+def test_value_join_units(v):
+    assert join_values(BOTTOM, v).dtype is v.dtype
+    assert join_values(UNKNOWN, v).dtype is DType.UNKNOWN

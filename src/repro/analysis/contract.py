@@ -287,11 +287,19 @@ def _check_plan_class(cls: ast.ClassDef, file: str, scan: ContractScan) -> None:
             )
 
 
-def scan_source(source: str, file: str) -> ContractScan:
-    """Run the contract pass over one module's source."""
+def scan_source(
+    source: str, file: str, tree: "ast.Module | None" = None
+) -> ContractScan:
+    """Run the contract pass over one module's source.
+
+    ``tree`` optionally supplies the already-parsed module (the runner's
+    shared parse cache); without it the source is parsed here, keeping
+    KC111 syntax-error reporting for standalone callers.
+    """
     scan = ContractScan()
     try:
-        tree = ast.parse(source, filename=file)
+        if tree is None:
+            tree = ast.parse(source, filename=file)
     except SyntaxError as exc:  # pragma: no cover - defensive
         scan.diagnostics.append(
             Diagnostic(

@@ -1074,12 +1074,20 @@ def scan_source(
     return scan_module(tree, file, summaries)
 
 
-def scan_files(sources: dict) -> dict:
+def scan_files(sources: dict, parsed: "dict | None" = None) -> dict:
     """The interprocedural entry the runner uses: build one summary
     table across every file, then scan each against it.  Returns
-    ``{file: [Diagnostic, ...]}`` (pre-suppression)."""
+    ``{file: [Diagnostic, ...]}`` (pre-suppression).
+
+    ``parsed`` optionally maps file -> pre-parsed ``ast.Module`` (the
+    runner's shared parse cache); files absent from it are parsed here.
+    """
     trees: dict[str, ast.Module] = {}
     for file, source in sources.items():
+        cached = parsed.get(file) if parsed else None
+        if cached is not None:
+            trees[file] = cached
+            continue
         try:
             trees[file] = ast.parse(source, filename=file)
         except SyntaxError:

@@ -223,11 +223,15 @@ def _check_allocations(tree: ast.AST, file: str, diags: list[Diagnostic]) -> Non
             )
 
 
-def scan_source(source: str, file: str) -> list[Diagnostic]:
-    """Run the hot-path pass over one module's source."""
+def scan_source(
+    source: str, file: str, tree: "ast.Module | None" = None
+) -> list[Diagnostic]:
+    """Run the hot-path pass over one module's source.  ``tree``
+    optionally reuses the runner's shared parse of the module."""
     diags: list[Diagnostic] = []
     try:
-        tree = ast.parse(source, filename=file)
+        if tree is None:
+            tree = ast.parse(source, filename=file)
     except SyntaxError:  # contract pass reports the parse failure
         return diags
     _check_loops(tree, file, diags)

@@ -685,17 +685,21 @@ def _raises_spans(tree: ast.AST) -> list[tuple[int, int]]:
     return spans
 
 
-def scan_source(source: str, filename: str) -> list[Diagnostic]:
+def scan_source(
+    source: str, filename: str, tree: "ast.Module | None" = None
+) -> list[Diagnostic]:
     """Find literal ``BlockGrid(...)`` / ``BlockGrid.from_boundaries(...)``
     / ``RankBlocking(...)`` / ``ProcessGrid(...)`` constructions in a
-    source file, construct each, and verify it.
+    source file, construct each, and verify it.  ``tree`` optionally
+    reuses the runner's shared parse of the module.
 
     Calls whose arguments are not literals are skipped (a dynamic plan
     is the tuner's job to verify), as are calls inside
     ``with pytest.raises(...)`` blocks (deliberately invalid fixtures).
     """
     try:
-        tree = ast.parse(source, filename=filename)
+        if tree is None:
+            tree = ast.parse(source, filename=filename)
     except SyntaxError:
         return []
     spans = _raises_spans(tree)

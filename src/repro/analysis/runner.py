@@ -24,6 +24,7 @@ Inline ``# repro: noqa[...]`` suppressions are honoured per file before
 
 from __future__ import annotations
 
+import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
@@ -84,12 +85,44 @@ def is_hot_path(path: Path) -> bool:
     return "kernels" in path.parts[:-1]
 
 
+class ParseCache:
+    """One shared AST per source file for every pass in a check run.
+
+    Each pass used to re-parse its input (contract, hotpath, plans,
+    dataflow, cost: up to five parses per file per invocation); the
+    runner now parses once here and hands the tree to every pass.
+    ``parse_count`` is the number of actual ``ast.parse`` calls — the
+    cache-sharing test asserts it equals the number of distinct files.
+    """
+
+    def __init__(self) -> None:
+        self._trees: dict[str, "ast.Module | None"] = {}
+        self.parse_count: int = 0
+
+    def tree(self, file: str, source: str) -> "ast.Module | None":
+        """The parsed module, or ``None`` for unparseable source (the
+        contract pass still reports KC111 from its own parse attempt)."""
+        if file not in self._trees:
+            self.parse_count += 1
+            try:
+                self._trees[file] = ast.parse(source, filename=file)
+            except SyntaxError:
+                self._trees[file] = None
+        return self._trees[file]
+
+    def mapping(self) -> "dict[str, ast.Module | None]":
+        """Snapshot of every cached (file -> tree) entry."""
+        return dict(self._trees)
+
+
 @dataclass
 class CheckResult:
     """Outcome of one ``repro check`` run."""
 
     diagnostics: list[Diagnostic] = field(default_factory=list)
     files_checked: int = 0
+    #: ``ast.parse`` calls actually made via the shared cache.
+    parse_count: int = 0
 
     @property
     def errors(self) -> int:
@@ -112,6 +145,8 @@ def run_check(
     ignore: "set[str] | None" = None,
     plans: bool = False,
     dataflow: bool = False,
+    cost: bool = False,
+    calibrate: bool = False,
 ) -> CheckResult:
     """Run the contract and hot-path passes over ``paths``.
 
@@ -121,16 +156,26 @@ def run_check(
     (:func:`repro.analysis.plans.scan_source`) over every file;
     ``dataflow=True`` runs the interprocedural dtype/effect pass
     (:func:`repro.analysis.dataflow.scan_files`) across all of them with
-    one shared summary table.
+    one shared summary table; ``cost=True`` certifies every shipped
+    kernel against the traffic model (:mod:`repro.analysis.cost`,
+    CT7xx), and ``calibrate=True`` additionally runs the kernels on tiny
+    seeded tensors cross-checking measured obs counters against the
+    symbolic certificates (implies ``cost``).
+
+    Every pass shares one :class:`ParseCache`, so each file is parsed at
+    most once per invocation regardless of how many passes are enabled.
 
     Unused ``# repro: noqa`` comments are reported as DG001, judged only
     against rule families whose pass actually ran on that file this
     invocation.
     """
     from repro.analysis import plans as plans_mod
+
+    cost = cost or calibrate
     files = iter_python_files(
         [Path(p) for p in paths] if paths else default_paths()
     )
+    cache = ParseCache()
     diags: list[Diagnostic] = []
     registrations: list[contract.RegisteredKernel] = []
     sources: dict[str, str] = {}
@@ -145,21 +190,45 @@ def run_check(
         except OSError:
             continue
         sources[rel] = source
-        scan = contract.scan_source(source, rel)
+        tree = cache.tree(rel, source)
+        scan = contract.scan_source(source, rel, tree)
         file_diags = list(scan.diagnostics)
         registrations.extend(scan.registrations)
         if is_hot_path(f):
             hot_files.add(rel)
-            file_diags.extend(hotpath.scan_source(source, rel))
+            file_diags.extend(hotpath.scan_source(source, rel, tree))
         if plans:
-            file_diags.extend(plans_mod.scan_source(source, rel))
+            file_diags.extend(plans_mod.scan_source(source, rel, tree))
         raw_by_file[rel] = file_diags
 
     if dataflow:
         from repro.analysis import dataflow as dataflow_mod
 
-        for rel, df_diags in dataflow_mod.scan_files(sources).items():
+        df_by_file = dataflow_mod.scan_files(sources, cache.mapping())
+        for rel, df_diags in df_by_file.items():
             raw_by_file.setdefault(rel, []).extend(df_diags)
+
+    cost_files: set[str] = set()
+    if cost:
+        from repro.analysis import cost as cost_mod
+
+        scan_result = cost_mod.certify_all(trees=cache.mapping())
+        if calibrate:
+            from repro.analysis import calibrate as calibrate_mod
+
+            cal = calibrate_mod.calibrate_all(scan_result.certificates)
+            for rel, cal_diags in cal.items():
+                scan_result.diagnostics_by_file.setdefault(rel, []).extend(
+                    cal_diags
+                )
+        for rel, ct_diags in scan_result.diagnostics_by_file.items():
+            cost_files.add(rel)
+            raw_by_file.setdefault(rel, []).extend(ct_diags)
+            # kernel modules may sit outside the scanned paths (e.g.
+            # `repro check tests --cost`); load their source so noqa
+            # suppression and DG001 accounting still apply.
+            if rel not in sources and rel in scan_result.sources:
+                sources[rel] = scan_result.sources[rel]
 
     # Duplicate-name findings join their file's raw list so both their
     # suppressions and DG001 usage accounting see them.
@@ -180,6 +249,8 @@ def run_check(
             active.add("PL")
         if dataflow:
             active.add("DF")
+        if rel in cost_files:
+            active.add("CT")
         diags.extend(
             unused_suppression_diagnostics(
                 file_diags, suppressions, rel, active
@@ -188,4 +259,8 @@ def run_check(
 
     diags = filter_rules(diags, select=select, ignore=ignore)
     diags.sort(key=lambda d: (d.file, d.line, d.col, d.rule))
-    return CheckResult(diagnostics=diags, files_checked=len(files))
+    return CheckResult(
+        diagnostics=diags,
+        files_checked=len(files),
+        parse_count=cache.parse_count,
+    )

@@ -1,0 +1,276 @@
+"""Exact multivariate Laurent-polynomial algebra for cost certificates.
+
+The loop-nest cost certifier (:mod:`repro.analysis.cost`) expresses every
+array's access count as a polynomial over the iteration-space symbols of
+one MTTKRP execution — ``nnz``, ``n_fibers``, ``distinct_out``, rank
+``R``, strip count ``n_strips``, ``itemsize`` — and proves kernel/model
+agreement by *exact* normalized comparison, never by numeric sampling.
+
+Negative integer exponents are allowed (Laurent polynomials): a rank
+strip is ``R / n_strips`` columns wide, so strip-sliced factor widths are
+``R * n_strips**-1`` — still closed under addition and multiplication,
+still with a unique normal form, which is all the certifier needs.
+Coefficients are :class:`fractions.Fraction`, so arithmetic is exact.
+
+The normal form (sorted monomials, zero coefficients dropped) makes
+equality structural: two expressions are equal iff algebra says so.
+Property tests (commutativity, associativity, distributivity,
+substitution/evaluation agreement) live in
+``tests/analysis/test_symbolic_property.py``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+#: A monomial: sorted tuple of (symbol, nonzero integer exponent).
+Monomial = tuple[tuple[str, int], ...]
+
+#: Numbers accepted wherever a scalar can stand in for a polynomial.
+Scalar = (int, Fraction)
+
+
+def _as_fraction(value: "int | Fraction") -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    raise TypeError(f"expected int or Fraction, got {type(value).__name__}")
+
+
+class Poly:
+    """An exact multivariate Laurent polynomial in normal form.
+
+    Immutable; construct via :meth:`const`, :meth:`var`, or arithmetic.
+    ``terms`` maps monomials to nonzero Fraction coefficients.
+    """
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: "Mapping[Monomial, Fraction] | None" = None) -> None:
+        normalized: dict[Monomial, Fraction] = {}
+        for mono, coeff in (terms or {}).items():
+            coeff = _as_fraction(coeff)
+            if coeff == 0:
+                continue
+            clean = tuple(
+                sorted((s, int(e)) for s, e in mono if int(e) != 0)
+            )
+            normalized[clean] = normalized.get(clean, Fraction(0)) + coeff
+        object.__setattr__(
+            self,
+            "terms",
+            {m: c for m, c in normalized.items() if c != 0},
+        )
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("Poly is immutable")
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def const(cls, value: "int | Fraction") -> "Poly":
+        """The constant polynomial ``value``."""
+        return cls({(): _as_fraction(value)})
+
+    @classmethod
+    def var(cls, name: str, power: int = 1) -> "Poly":
+        """The monomial ``name**power`` (power may be negative)."""
+        if not name:
+            raise ValueError("symbol name must be non-empty")
+        return cls({((name, int(power)),): Fraction(1)})
+
+    @staticmethod
+    def coerce(value: "Poly | int | Fraction") -> "Poly":
+        """Lift a scalar to a constant polynomial; pass Polys through."""
+        if isinstance(value, Poly):
+            return value
+        return Poly.const(value)
+
+    # -- algebra -------------------------------------------------------
+    def __add__(self, other: "Poly | int | Fraction") -> "Poly":
+        if not isinstance(other, (Poly, *Scalar)):
+            return NotImplemented
+        other = Poly.coerce(other)
+        terms = dict(self.terms)
+        for mono, coeff in other.terms.items():
+            terms[mono] = terms.get(mono, Fraction(0)) + coeff
+        return Poly(terms)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Poly":
+        return Poly({m: -c for m, c in self.terms.items()})
+
+    def __sub__(self, other: "Poly | int | Fraction") -> "Poly":
+        if not isinstance(other, (Poly, *Scalar)):
+            return NotImplemented
+        return self + (-Poly.coerce(other))
+
+    def __rsub__(self, other: "Poly | int | Fraction") -> "Poly":
+        if not isinstance(other, (Poly, *Scalar)):
+            return NotImplemented
+        return Poly.coerce(other) + (-self)
+
+    def __mul__(self, other: "Poly | int | Fraction") -> "Poly":
+        if not isinstance(other, (Poly, *Scalar)):
+            return NotImplemented
+        other = Poly.coerce(other)
+        terms: dict[Monomial, Fraction] = {}
+        for m1, c1 in self.terms.items():
+            for m2, c2 in other.terms.items():
+                powers: dict[str, int] = {}
+                for sym, exp in m1 + m2:
+                    powers[sym] = powers.get(sym, 0) + exp
+                mono = tuple(
+                    sorted((s, e) for s, e in powers.items() if e != 0)
+                )
+                terms[mono] = terms.get(mono, Fraction(0)) + c1 * c2
+        return Poly(terms)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, exponent: int) -> "Poly":
+        """Integer powers; negative exponents require a single monomial
+        (the only inverses Laurent polynomials have)."""
+        if not isinstance(exponent, int):
+            return NotImplemented
+        if exponent == 0:
+            return Poly.const(1)
+        if exponent > 0:
+            out = self
+            for _ in range(exponent - 1):
+                out = out * self
+            return out
+        return self.inverse() ** (-exponent)
+
+    def inverse(self) -> "Poly":
+        """``1 / self`` for single-monomial polynomials."""
+        if len(self.terms) != 1:
+            raise ValueError(
+                f"only monomials are invertible, got {self}"
+            )
+        ((mono, coeff),) = self.terms.items()
+        return Poly({tuple((s, -e) for s, e in mono): Fraction(1) / coeff})
+
+    def __truediv__(self, other: "Poly | int | Fraction") -> "Poly":
+        if not isinstance(other, (Poly, *Scalar)):
+            return NotImplemented
+        return self * Poly.coerce(other).inverse()
+
+    # -- structure -----------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Scalar):
+            other = Poly.const(other)
+        if not isinstance(other, Poly):
+            return NotImplemented
+        return self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.terms.items()))
+
+    def __bool__(self) -> bool:
+        return bool(self.terms)
+
+    @property
+    def is_constant(self) -> bool:
+        return all(m == () for m in self.terms)
+
+    def symbols(self) -> set[str]:
+        """Every symbol appearing with a nonzero exponent."""
+        return {s for mono in self.terms for s, _ in mono}
+
+    # -- substitution / evaluation ------------------------------------
+    def substitute(self, mapping: "Mapping[str, Poly | int | Fraction]") -> "Poly":
+        """Replace symbols by polynomials (or scalars).
+
+        Symbols raised to negative powers may only be replaced by
+        invertible (single-monomial, nonzero) polynomials.
+        """
+        out = Poly.const(0)
+        for mono, coeff in self.terms.items():
+            term = Poly.const(coeff)
+            for sym, exp in mono:
+                if sym in mapping:
+                    replacement = Poly.coerce(mapping[sym])
+                    if exp < 0:
+                        replacement = replacement.inverse() ** (-exp)
+                    else:
+                        replacement = replacement**exp
+                    term = term * replacement
+                else:
+                    term = term * Poly.var(sym, exp)
+            out = out + term
+        return out
+
+    def evaluate(self, env: "Mapping[str, int | Fraction | float]") -> Fraction:
+        """Exact numeric value with every symbol bound in ``env``.
+
+        Raises :class:`KeyError` for unbound symbols and
+        :class:`ZeroDivisionError` when a negative power meets zero.
+        """
+        total = Fraction(0)
+        for mono, coeff in self.terms.items():
+            value = coeff
+            for sym, exp in mono:
+                bound = env[sym]
+                frac = (
+                    Fraction(bound)
+                    if not isinstance(bound, Fraction)
+                    else bound
+                )
+                value = value * frac**exp
+            total += value
+        return total
+
+    # -- rendering -----------------------------------------------------
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for mono in sorted(self.terms, key=lambda m: (-len(m), m)):
+            coeff = self.terms[mono]
+            syms = "*".join(
+                sym if exp == 1 else f"{sym}**{exp}" for sym, exp in mono
+            )
+            if not syms:
+                parts.append(str(coeff))
+            elif coeff == 1:
+                parts.append(syms)
+            elif coeff == -1:
+                parts.append(f"-{syms}")
+            else:
+                parts.append(f"{coeff}*{syms}")
+        out = " + ".join(parts)
+        return out.replace("+ -", "- ")
+
+    def __repr__(self) -> str:
+        return f"Poly({self})"
+
+
+# -- the certifier's iteration-space vocabulary ------------------------
+#: Total nonzeros across all phases of a plan.
+NNZ = Poly.var("nnz")
+#: Total non-empty fibers across all phases.
+N_FIBERS = Poly.var("n_fibers")
+#: Per-phase distinct output rows, summed over phases.
+DISTINCT_OUT = Poly.var("distinct_out")
+#: Factorization rank.
+RANK = Poly.var("R")
+#: Number of rank strips (1 when the plan has no rank blocking).
+N_STRIPS = Poly.var("n_strips")
+#: Bytes per value/factor element (8 for float64, 4 for float32).
+ITEMSIZE = Poly.var("itemsize")
+#: Output-mode length (rows of ``A``).
+I_OUT = Poly.var("I_out")
+
+ZERO = Poly.const(0)
+ONE = Poly.const(1)
+
+
+def poly_sum(polys: "Iterable[Poly]") -> Poly:
+    """Sum of an iterable of polynomials (0 when empty)."""
+    total = ZERO
+    for p in polys:
+        total = total + p
+    return total

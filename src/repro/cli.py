@@ -362,6 +362,8 @@ def cmd_check(args: argparse.Namespace) -> int:
         ignore=resolve_rules(args.ignore),
         plans=args.plans,
         dataflow=args.dataflow,
+        cost=args.cost,
+        calibrate=args.calibrate,
     )
     diags = result.diagnostics
 
@@ -782,9 +784,24 @@ def build_parser() -> argparse.ArgumentParser:
         "tracer placement",
     )
     p.add_argument(
+        "--cost",
+        action="store_true",
+        help="also certify every shipped kernel's loop nest against the "
+        "analytic traffic model (rules CT7xx): symbolic per-array access "
+        "polynomials vs estimate_traffic/predicted_footprint, write "
+        "footprints vs declared write_set(), obs counter emissions",
+    )
+    p.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="with --cost (implied): run each kernel on tiny seeded "
+        "tensors and cross-check measured obs counters against the "
+        "symbolic certificates exactly (CT708/CT709)",
+    )
+    p.add_argument(
         "--statistics",
         action="store_true",
-        help="append a per-rule-family count summary (KC/RS/HP/PL/SZ/DF/DG)",
+        help="append a per-rule-family count summary (KC/RS/HP/PL/SZ/DF/CT/DG)",
     )
     p.add_argument(
         "--race-grid",

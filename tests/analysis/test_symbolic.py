@@ -1,0 +1,153 @@
+"""Unit tests for the exact Laurent-polynomial algebra."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.symbolic import (
+    DISTINCT_OUT,
+    ITEMSIZE,
+    N_FIBERS,
+    N_STRIPS,
+    NNZ,
+    ONE,
+    RANK,
+    ZERO,
+    Poly,
+    poly_sum,
+)
+
+
+class TestConstruction:
+    def test_const_and_var(self):
+        assert Poly.const(3) == 3
+        assert Poly.var("x") + Poly.var("x") == 2 * Poly.var("x")
+
+    def test_zero_coefficients_dropped(self):
+        p = Poly.var("x") - Poly.var("x")
+        assert p == ZERO
+        assert not p.terms
+        assert not p
+
+    def test_coerce(self):
+        assert Poly.coerce(5) == Poly.const(5)
+        p = Poly.var("x")
+        assert Poly.coerce(p) is p
+
+    def test_fraction_coefficients(self):
+        p = Poly.const(Fraction(1, 3)) * 3
+        assert p == ONE
+
+    def test_empty_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            Poly.var("")
+
+    def test_immutable(self):
+        p = Poly.var("x")
+        with pytest.raises(AttributeError):
+            p.terms = {}
+
+
+class TestAlgebra:
+    def test_distribution(self):
+        x, y, z = Poly.var("x"), Poly.var("y"), Poly.var("z")
+        assert x * (y + z) == x * y + x * z
+
+    def test_scalar_mixing(self):
+        x = Poly.var("x")
+        assert 2 + x - 2 == x
+        assert (3 * x) / 3 == x
+
+    def test_negative_powers(self):
+        r, s = Poly.var("R"), Poly.var("S")
+        strip = r / s
+        assert strip * s == r
+        assert s * (r * s**-1) == r
+
+    def test_strip_width_cancellation(self):
+        # the certifier's central identity: S strips of nnz rows, each
+        # R/S wide, gather exactly nnz*R elements
+        total = N_STRIPS * NNZ * (RANK / N_STRIPS)
+        assert total == NNZ * RANK
+
+    def test_pow(self):
+        x = Poly.var("x")
+        assert x**3 == x * x * x
+        assert x**0 == ONE
+        assert (x**2) * (x**-2) == ONE
+
+    def test_inverse_requires_monomial(self):
+        with pytest.raises(ValueError):
+            (Poly.var("x") + 1).inverse()
+
+    def test_truediv_by_polynomial_monomial_only(self):
+        x = Poly.var("x")
+        with pytest.raises(ValueError):
+            x / (x + 1)
+
+    def test_hash_consistency(self):
+        a = Poly.var("x") * 2 + 1
+        b = 1 + Poly.var("x") + Poly.var("x")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_poly_sum(self):
+        xs = [Poly.var("x"), Poly.var("y"), 1 * Poly.var("x")]
+        assert poly_sum(xs) == 2 * Poly.var("x") + Poly.var("y")
+        assert poly_sum([]) == ZERO
+
+
+class TestSubstitution:
+    def test_simple(self):
+        p = NNZ * RANK + N_FIBERS
+        assert p.substitute({"n_fibers": NNZ}) == NNZ * RANK + NNZ
+
+    def test_collapse_strips(self):
+        p = 8 * N_STRIPS * NNZ
+        assert p.substitute({"n_strips": 1}) == 8 * NNZ
+
+    def test_negative_power_substitution(self):
+        width = RANK / N_STRIPS
+        assert width.substitute({"n_strips": 2}) == RANK * Fraction(1, 2)
+
+    def test_substitute_by_poly(self):
+        p = Poly.var("x") ** 2
+        assert p.substitute({"x": Poly.var("y") + 1}) == (
+            Poly.var("y") ** 2 + 2 * Poly.var("y") + 1
+        )
+
+    def test_unbound_symbols_survive(self):
+        p = NNZ + RANK
+        assert p.substitute({"nnz": 5}) == 5 + RANK
+
+
+class TestEvaluation:
+    def test_exact(self):
+        p = NNZ * RANK * ITEMSIZE + 16 * N_FIBERS
+        env = {"nnz": 100, "R": 8, "itemsize": 8, "n_fibers": 30}
+        assert p.evaluate(env) == 100 * 8 * 8 + 16 * 30
+
+    def test_negative_power_evaluation(self):
+        p = RANK / N_STRIPS
+        assert p.evaluate({"R": 8, "n_strips": 2}) == 4
+
+    def test_unbound_raises(self):
+        with pytest.raises(KeyError):
+            (NNZ + DISTINCT_OUT).evaluate({"nnz": 1})
+
+    def test_fraction_result(self):
+        p = RANK / N_STRIPS
+        assert p.evaluate({"R": 7, "n_strips": 2}) == Fraction(7, 2)
+
+
+class TestRendering:
+    def test_deterministic_str(self):
+        a = NNZ * RANK + 8 * N_FIBERS
+        b = 8 * N_FIBERS + RANK * NNZ
+        assert str(a) == str(b)
+
+    def test_zero(self):
+        assert str(ZERO) == "0"
+
+    def test_negative_exponent_rendered(self):
+        assert "n_strips**-1" in str(RANK / N_STRIPS)

@@ -1,0 +1,91 @@
+"""Hypothesis property tests for the certificate polynomial algebra.
+
+The certifier's CT701-CT707 comparisons are structural equalities over
+normalized polynomials, so ring laws and substitution/evaluation
+agreement are load-bearing, not decorative.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.symbolic import Poly, ZERO
+
+SYMBOLS = ["nnz", "n_fibers", "distinct_out", "R", "n_strips", "itemsize"]
+
+coefficients = st.integers(min_value=-8, max_value=8).map(Fraction)
+exponents = st.integers(min_value=-2, max_value=3).filter(lambda e: e != 0)
+
+monomials = st.dictionaries(
+    st.sampled_from(SYMBOLS), exponents, max_size=3
+).map(lambda d: tuple(sorted(d.items())))
+
+polys = st.dictionaries(monomials, coefficients, max_size=4).map(Poly)
+
+#: Strictly positive bindings, so negative exponents never divide by 0.
+envs = st.fixed_dictionaries(
+    {s: st.integers(min_value=1, max_value=13) for s in SYMBOLS}
+)
+
+
+@given(polys, polys)
+def test_addition_commutes(a, b):
+    assert a + b == b + a
+
+
+@given(polys, polys)
+def test_multiplication_commutes(a, b):
+    assert a * b == b * a
+
+
+@given(polys, polys, polys)
+@settings(max_examples=60)
+def test_associativity_and_distributivity(a, b, c):
+    assert (a + b) + c == a + (b + c)
+    assert (a * b) * c == a * (b * c)
+    assert a * (b + c) == a * b + a * c
+
+
+@given(polys)
+def test_additive_inverse_normalizes_to_zero(a):
+    assert a - a == ZERO
+    assert a + (-a) == ZERO
+
+
+@given(polys)
+def test_identities(a):
+    assert a + 0 == a
+    assert a * 1 == a
+    assert a * 0 == ZERO
+
+
+@given(polys, envs)
+def test_evaluation_is_a_ring_homomorphism(a, env):
+    # evaluating a+a and 2*a must agree; likewise a*a and a**2
+    assert (a + a).evaluate(env) == 2 * a.evaluate(env)
+    assert (a * a).evaluate(env) == a.evaluate(env) ** 2
+
+
+@given(polys, polys, envs)
+@settings(max_examples=60)
+def test_evaluation_respects_operations(a, b, env):
+    assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+    assert (a * b).evaluate(env) == a.evaluate(env) * b.evaluate(env)
+
+
+@given(polys, st.sampled_from(SYMBOLS), st.integers(1, 9), envs)
+@settings(max_examples=60)
+def test_substitution_evaluation_agreement(a, sym, value, env):
+    """substitute-then-evaluate == evaluate with the binding inlined."""
+    substituted = a.substitute({sym: value})
+    direct_env = dict(env)
+    direct_env[sym] = value
+    assert substituted.evaluate(env | {sym: value}) == a.evaluate(direct_env)
+
+
+@given(polys)
+def test_normal_form_roundtrip(a):
+    """Rebuilding from the term dict reproduces the same polynomial."""
+    assert Poly(a.terms) == a
+    assert hash(Poly(a.terms)) == hash(a)

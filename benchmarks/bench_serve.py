@@ -1,0 +1,24 @@
+"""Supplementary — the serve tier: open-loop latency/throughput of the
+``repro.serve`` decomposition service and warm-config amortization.
+
+Thin declaration: the experiment bodies, parameters, checks, and
+rendering live in the registered benchmarks ``serve_openloop`` and
+``serve_warm_cache`` (see ``repro.bench.registry``); these wrappers only
+hook them into pytest-benchmark.  ``serve_openloop`` drives a fixed
+arrival-rate (open-loop) mixed float32/float64 workload with two
+concurrent clients against an in-process server and verifies every
+completed job bitwise against a direct serial kernel execution;
+``serve_warm_cache`` pins the tune-once-then-hit amortization contract
+and the cross-dtype cache gate.  Run standalone with
+``repro bench run --filter serve``.
+"""
+
+from repro.bench.harness import run_for_pytest
+
+
+def test_serve_openloop(benchmark):
+    run_for_pytest("serve_openloop", benchmark)
+
+
+def test_serve_warm_cache(benchmark):
+    run_for_pytest("serve_warm_cache", benchmark)

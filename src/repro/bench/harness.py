@@ -49,6 +49,7 @@ KNOWN_TAGS = frozenset(
         "ablation",
         "supplementary",
         "parallel",
+        "serve",
     }
 )
 

@@ -651,3 +651,101 @@ register_benchmark(
         artifact="cpd_float32",
     )
 )
+
+
+# ----------------------------------------------------------------------
+# Serve tier — open-loop latency/throughput and warm-cache amortization
+# ----------------------------------------------------------------------
+def _check_serve_openloop(d: Mapping[str, Any], params: Mapping[str, Any]) -> None:
+    # Every admitted job must complete (the queue is sized for the
+    # arrival schedule) and every completion must verify bitwise
+    # against a direct serial kernel execution.
+    assert d["n_completed"] == d["n_sent"], d
+    assert d["n_errors"] == 0, d["errors_by_code"]
+    assert d["n_verify_failed"] == 0, d
+    assert d["n_verified"] == d["n_completed"], d
+    assert d["drained"] and d["drain_queue_depth"] == 0, d
+    assert d["dtypes"] == ["float32", "float64"], d["dtypes"]
+    # Four signatures in the mix: tuning runs at most once per
+    # (signature, dtype); everything else must come from the warm cache.
+    assert d["warm_misses"] <= d["n_signatures"], d
+    assert d["latency_ms"]["p99"] >= d["latency_ms"]["p50"] > 0.0, d
+
+
+register_benchmark(
+    Benchmark(
+        name="serve_openloop",
+        fn=suites.experiment_serve_openloop,
+        tags=frozenset({"serve", "parallel", "supplementary"}),
+        description=(
+            "Open-loop mixed f32/f64 load on repro.serve: p50/p95/p99, "
+            "throughput, bitwise verification, graceful drain"
+        ),
+        params={"rate_hz": 120.0, "n_requests": 120, "n_clients": 2},
+        quick={"rate_hz": 80.0, "n_requests": 48},
+        check=_check_serve_openloop,
+        # Wall-clock latencies are host noise; drift-gate only the
+        # structural outcome counts.
+        metrics=lambda d: {
+            "n_completed": d["n_completed"],
+            "n_errors": d["n_errors"],
+            "n_verified": d["n_verified"],
+        },
+        render=lambda d: render_rows(
+            [
+                {
+                    "sent": d["n_sent"],
+                    "completed": d["n_completed"],
+                    "errors": d["n_errors"],
+                    "verified": d["n_verified"],
+                    "p50_ms": round(d["latency_ms"]["p50"], 3),
+                    "p95_ms": round(d["latency_ms"]["p95"], 3),
+                    "p99_ms": round(d["latency_ms"]["p99"], 3),
+                    "jobs_per_s": round(d["throughput_jobs_s"], 1),
+                    "batches": d["batches"],
+                    "warm_hits": d["warm_hits"],
+                    "queue_peak": d["queue_peak_depth"],
+                }
+            ],
+            title="Open-loop serve load (mixed f32/f64, verified bitwise)",
+        ),
+        artifact="serve_openloop",
+    )
+)
+
+
+def _check_serve_warm_cache(d: Mapping[str, Any], params: Mapping[str, Any]) -> None:
+    # Bitwise-stable responses across repeats, exactly one tuning for
+    # the f64 signature, and the f32 twin must re-tune (dtype gate).
+    assert d["unique_sha64"] == 1, d
+    assert d["sha32_differs"], d
+    assert d["f32_completed"], d
+    assert d["warm_misses"] == 2, d  # one per dtype
+    assert d["warm_hits"] == d["n_repeats"] - 1, d
+    assert d["warm_entries"] == 2, d
+    assert d["completed"] == d["n_repeats"] + 1, d
+
+
+register_benchmark(
+    Benchmark(
+        name="serve_warm_cache",
+        fn=suites.experiment_serve_warm_cache,
+        tags=frozenset({"serve", "supplementary"}),
+        description=(
+            "Warm-config amortization on repro.serve: tune once per "
+            "(signature, dtype), hit the LRU thereafter"
+        ),
+        params={"n_repeats": 12},
+        quick={"n_repeats": 6},
+        check=_check_serve_warm_cache,
+        metrics=lambda d: {
+            "warm_misses": d["warm_misses"],
+            "warm_hits": d["warm_hits"],
+            "completed": d["completed"],
+        },
+        render=lambda d: render_rows(
+            [d], title="Serve warm-config cache amortization"
+        ),
+        artifact="serve_warm_cache",
+    )
+)

@@ -779,3 +779,115 @@ def experiment_cpd_float32(
         "factor_dtypes": sorted(dtypes),
         "fit_finite": bool(np.isfinite(res.final_fit)),
     }
+
+
+def experiment_serve_openloop(
+    rate_hz: float = 120.0,
+    n_requests: int = 120,
+    n_clients: int = 2,
+    nnz: int = 2_000,
+    dims: Sequence[int] = (48, 40, 44),
+    rank: int = 8,
+    n_workers: int = 2,
+    n_runners: int = 2,
+    queue_limit: int = 64,
+    verify: bool = True,
+) -> dict[str, Any]:
+    """Open-loop load against an in-process server: the serve tier's
+    headline experiment.
+
+    A fixed-arrival-rate schedule (mixed float32/float64 signatures,
+    ``n_clients`` concurrent submitters) drives the full admission →
+    batching → tuned-parallel-execution path; every completed job's
+    checksum is verified against a direct serial kernel execution, so
+    the benchmark simultaneously measures tail latency and *proves* the
+    batched, pooled, cancelled-around execution is bitwise-faithful.
+    Latency percentiles are open-loop (measured from scheduled arrival:
+    coordinated omission counts against the server, not the schedule).
+    """
+    from repro.serve import (
+        LoadSpec,
+        ServeClient,
+        ServeConfig,
+        default_job_mix,
+        run_open_loop,
+    )
+
+    client = ServeClient.start(
+        ServeConfig(
+            port=None,
+            n_workers=n_workers,
+            n_runners=n_runners,
+            queue_limit=queue_limit,
+        )
+    )
+    try:
+        mix = default_job_mix(nnz=nnz, dims=tuple(dims), rank=rank)
+        spec = LoadSpec(
+            jobs=mix,
+            rate_hz=rate_hz,
+            n_requests=n_requests,
+            n_clients=n_clients,
+            verify=verify,
+        )
+        report = run_open_loop(lambda: client, spec)
+        stats = client.stats()
+    finally:
+        drain = client.close() or {}
+    d = report.to_dict()
+    d["drained"] = bool(drain.get("drained"))
+    d["drain_queue_depth"] = int(drain.get("queue_depth", -1))
+    d["warm_hits"] = int(stats["warm_cache"]["hits"])
+    d["warm_misses"] = int(stats["warm_cache"]["misses"])
+    d["batches"] = int(stats["counters"].get("batches", 0))
+    d["queue_peak_depth"] = int(stats["queue"]["peak_depth"])
+    d["n_signatures"] = len(mix)
+    d["dtypes"] = sorted({j["tensor"]["dtype"] for j in mix})
+    return d
+
+
+def experiment_serve_warm_cache(
+    n_repeats: int = 12,
+    nnz: int = 2_000,
+    dims: Sequence[int] = (48, 40, 44),
+    rank: int = 8,
+) -> dict[str, Any]:
+    """Warm-config amortization: the same tensor signature submitted
+    sequentially must tune exactly once, then hit the warm LRU — the
+    serving analogue of the paper's amortize-the-setup argument.  Also
+    exercises the cross-dtype gate: a float32 twin of the signature must
+    *miss* (separate tuning), never reuse the float64 entry."""
+    from repro.serve import ServeClient, ServeConfig
+
+    job64 = {
+        "tensor": {
+            "synthetic": "poisson",
+            "dims": list(dims),
+            "nnz": int(nnz),
+            "seed": 0,
+            "dtype": "float64",
+        },
+        "rank": int(rank),
+        "kernel": "mb",
+        "tune": True,
+    }
+    job32 = dict(job64, tensor=dict(job64["tensor"], dtype="float32"))
+    with ServeClient.start(ServeConfig(port=None)) as client:
+        shas64 = []
+        for _ in range(int(n_repeats)):
+            resp = client.submit(job64)
+            assert resp["ok"], resp
+            shas64.append(resp["sha256"])
+        resp32 = client.submit(job32)
+        stats = client.stats()
+    warm = stats["warm_cache"]
+    return {
+        "n_repeats": int(n_repeats),
+        "unique_sha64": len(set(shas64)),
+        "sha32_differs": resp32["sha256"] != shas64[0],
+        "f32_completed": bool(resp32["ok"]),
+        "warm_hits": int(warm["hits"]),
+        "warm_misses": int(warm["misses"]),
+        "warm_entries": int(warm["entries"]),
+        "completed": int(stats["counters"].get("completed", 0)),
+    }

@@ -690,6 +690,142 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
     return cmp.exit_code(strict_metrics=args.strict_metrics)
 
 
+def cmd_serve_run(args: argparse.Namespace) -> int:
+    """Run the decomposition service in the foreground
+    (``repro serve run``); exits after a client drains it or on Ctrl-C."""
+    import asyncio
+
+    from repro.serve import ServeConfig, ServeServer
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        n_workers=args.workers,
+        n_runners=args.runners,
+        max_batch=args.max_batch,
+        default_deadline_ms=args.deadline_ms,
+        warm_entries=args.warm_entries,
+        warm_ttl_s=args.warm_ttl,
+        warm_admit_after=args.warm_admit_after,
+    )
+
+    async def _serve() -> None:
+        server = ServeServer(config)
+        await server.start()
+        print(
+            f"repro serve: listening on {config.host}:{server.port} "
+            f"(queue={config.queue_limit}, workers={config.n_workers}, "
+            f"runners={config.n_runners})",
+            flush=True,
+        )
+        try:
+            # A drain op from any client flips the state to stopped.
+            while server.state == "serving":
+                await asyncio.sleep(0.2)
+        except asyncio.CancelledError:
+            pass
+        if server.state != "stopped":
+            await server.drain()
+        print("repro serve: drained, exiting", flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_serve_load(args: argparse.Namespace) -> int:
+    """Open-loop load against a running server (``repro serve load``);
+    exits nonzero when the latency SLO or error budget is violated."""
+    import json as json_mod
+
+    from repro.serve import (
+        LoadSpec,
+        SocketClient,
+        default_job_mix,
+        run_open_loop,
+    )
+
+    mix = default_job_mix(
+        nnz=args.nnz, dims=tuple(args.dims), rank=args.rank
+    )
+    spec = LoadSpec(
+        jobs=mix,
+        rate_hz=args.rate,
+        n_requests=args.requests,
+        n_clients=args.clients,
+        deadline_ms=args.deadline_ms,
+        verify=args.verify,
+    )
+
+    def factory() -> SocketClient:
+        return SocketClient(args.host, args.port)
+
+    report = run_open_loop(factory, spec)
+    d = report.to_dict()
+
+    with SocketClient(args.host, args.port) as probe:
+        stats = probe.stats()
+        d["server"] = {
+            "warm_cache": stats.get("warm_cache"),
+            "queue": stats.get("queue"),
+            "counters": stats.get("counters"),
+        }
+        if args.shutdown:
+            drain = probe.drain()
+            d["drain"] = {
+                "drained": bool(drain.get("drained")),
+                "queue_depth": drain.get("queue_depth"),
+                "completed": drain.get("completed"),
+            }
+
+    print(
+        format_table(
+            ["sent", "completed", "errors", "verified", "p50 ms", "p95 ms",
+             "p99 ms", "jobs/s"],
+            [[
+                d["n_sent"],
+                d["n_completed"],
+                d["n_errors"],
+                d["n_verified"],
+                f"{d['latency_ms']['p50']:.2f}",
+                f"{d['latency_ms']['p95']:.2f}",
+                f"{d['latency_ms']['p99']:.2f}",
+                f"{d['throughput_jobs_s']:.1f}",
+            ]],
+            title="open-loop serve load",
+        )
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json_mod.dump(d, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    failures = []
+    if args.slo_p95_ms is not None and d["latency_ms"]["p95"] > args.slo_p95_ms:
+        failures.append(
+            f"p95 {d['latency_ms']['p95']:.2f}ms exceeds SLO {args.slo_p95_ms}ms"
+        )
+    if d["n_errors"] > args.max_errors:
+        failures.append(
+            f"{d['n_errors']} errors exceed budget {args.max_errors} "
+            f"({d['errors_by_code']})"
+        )
+    if args.verify and (
+        d["n_verify_failed"] > 0 or d["n_verified"] != d["n_completed"]
+    ):
+        failures.append(
+            f"bitwise verification failed for {d['n_verify_failed']} job(s)"
+        )
+    if args.shutdown and not d.get("drain", {}).get("drained"):
+        failures.append("graceful drain did not complete")
+    for f in failures:
+        print(f"repro serve load: FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -946,6 +1082,99 @@ def build_parser() -> argparse.ArgumentParser:
         "(defaults to $GITHUB_STEP_SUMMARY when set)",
     )
     b.set_defaults(func=cmd_bench_compare)
+
+    p = sub.add_parser(
+        "serve",
+        help="async batched decomposition service: run / load "
+        "(see docs/serving.md)",
+    )
+    serve_sub = p.add_subparsers(dest="serve_command", required=True)
+
+    s = serve_sub.add_parser(
+        "run", help="start the NDJSON/TCP server in the foreground"
+    )
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument(
+        "--port", type=int, default=7457, help="TCP port (0 = ephemeral)"
+    )
+    s.add_argument(
+        "--queue-limit", type=int, default=64, help="admission queue capacity"
+    )
+    s.add_argument(
+        "--workers", type=int, default=2, help="shared MTTKRP pool threads"
+    )
+    s.add_argument(
+        "--runners", type=int, default=2, help="concurrently running batches"
+    )
+    s.add_argument(
+        "--max-batch", type=int, default=8, help="max jobs coalesced per batch"
+    )
+    s.add_argument(
+        "--deadline-ms",
+        type=float,
+        help="default per-request deadline when a submit names none",
+    )
+    s.add_argument(
+        "--warm-entries", type=int, default=128,
+        help="warm config cache LRU size",
+    )
+    s.add_argument(
+        "--warm-ttl", type=float, help="warm config cache TTL in seconds"
+    )
+    s.add_argument(
+        "--warm-admit-after", type=int, default=1,
+        help="tunings of a signature before its config is cached",
+    )
+    s.set_defaults(func=cmd_serve_run)
+
+    s = serve_sub.add_parser(
+        "load",
+        help="open-loop load generator with latency-SLO gating; "
+        "exits nonzero on violation",
+    )
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=7457)
+    s.add_argument(
+        "--rate", type=float, default=80.0, help="arrival rate, jobs/s"
+    )
+    s.add_argument(
+        "--requests", type=int, default=160, help="total arrivals to schedule"
+    )
+    s.add_argument(
+        "--clients", type=int, default=2, help="concurrent client connections"
+    )
+    s.add_argument(
+        "--nnz", type=int, default=2000, help="nonzeros per synthetic tensor"
+    )
+    s.add_argument(
+        "--dims", type=int, nargs="+", default=[48, 40, 44],
+        help="synthetic tensor mode lengths",
+    )
+    s.add_argument("--rank", type=int, default=8)
+    s.add_argument(
+        "--deadline-ms", type=float, help="per-request deadline to attach"
+    )
+    s.add_argument(
+        "--verify",
+        action="store_true",
+        help="recompute each completed job serially; compare checksums",
+    )
+    s.add_argument(
+        "--slo-p95-ms",
+        type=float,
+        help="fail (exit 1) when open-loop p95 latency exceeds this",
+    )
+    s.add_argument(
+        "--max-errors", type=int, default=0,
+        help="fail when more jobs than this error",
+    )
+    s.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="drain the server after the run; fail unless it drains clean",
+    )
+    s.add_argument("--json", metavar="PATH", help="write the report JSON")
+    s.set_defaults(func=cmd_serve_load)
 
     p = sub.add_parser("scaling", help="distributed strong scaling (Table III)")
     _add_tensor_args(p)

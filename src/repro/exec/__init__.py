@@ -18,12 +18,15 @@ from repro.exec.executor import (
     ThreadTask,
     parallel_mttkrp,
 )
+from repro.exec.pool import CancellationToken, WorkerPool
 
 __all__ = [
     "BACKENDS",
+    "CancellationToken",
     "ExecutionReport",
     "ParallelExecutor",
     "ParallelPlan",
     "ThreadTask",
+    "WorkerPool",
     "parallel_mttkrp",
 ]

@@ -66,6 +66,7 @@ from repro.kernels.base import (
     factor_dtype,
     get_kernel,
 )
+from repro.exec.pool import CancellationToken, WorkerPool
 from repro.obs.tracer import current_tracer
 from repro.perf.parallel import partition_rows
 from repro.tensor.coo import COOTensor
@@ -167,14 +168,22 @@ def _run_task(
     task: ThreadTask,
     factors: Sequence[np.ndarray],
     view: np.ndarray,
+    cancel_token: "CancellationToken | None" = None,
 ) -> float:
     """Execute one worker's sub-plan into its output view; returns the
     worker's wall-clock seconds.
+
+    ``cancel_token`` is checked when the worker picks the task up — a
+    cancelled execution raises :class:`~repro.util.errors.CancelledError`
+    instead of starting the kernel (launched kernels run to completion;
+    see :mod:`repro.exec.pool`).
 
     When a tracer is active the worker's interval is recorded as an
     ``exec.worker`` span on the executing thread, so measured per-worker
     imbalance (:class:`ExecutionReport`) shows up on the trace timeline.
     """
+    if cancel_token is not None:
+        cancel_token.raise_if_cancelled("parallel MTTKRP task")
     tracer = current_tracer()
     if not tracer.enabled:
         t0 = time.perf_counter()
@@ -228,7 +237,13 @@ class ParallelExecutor:
     execution :attr:`last_report` holds the observed per-worker times.
     """
 
-    def __init__(self, n_threads: int = 2, backend: str = "thread") -> None:
+    def __init__(
+        self,
+        n_threads: int = 2,
+        backend: str = "thread",
+        *,
+        pool: "WorkerPool | None" = None,
+    ) -> None:
         n_threads = int(n_threads)
         if n_threads < 1:
             raise ConfigError(f"n_threads must be >= 1, got {n_threads}")
@@ -236,8 +251,17 @@ class ParallelExecutor:
             raise ConfigError(
                 f"unknown backend {backend!r}; available: {BACKENDS}"
             )
+        if pool is not None and backend != "thread":
+            raise ConfigError(
+                f"a shared WorkerPool requires the thread backend, got {backend!r}"
+            )
         self.n_threads = n_threads
         self.backend = backend
+        #: Optional long-lived pool shared across executors (repro.serve);
+        #: when set, :meth:`execute` submits tasks here instead of
+        #: spinning up a fresh ThreadPoolExecutor per call, and never
+        #: shuts it down — lifecycle belongs to the pool's owner.
+        self.pool = pool
         #: Per-worker wall-clock of the most recent :meth:`execute`.
         self.last_report: "ExecutionReport | None" = None
 
@@ -330,11 +354,21 @@ class ParallelExecutor:
         plan: ParallelPlan,
         factors: Sequence[np.ndarray],
         out: "np.ndarray | None" = None,
+        *,
+        cancel_token: "CancellationToken | None" = None,
     ) -> np.ndarray:
         """Run the schedule; returns the ``(I_mode, R)`` result in the
         factors' dtype.  Workers write disjoint row ranges of the one
         output buffer, so the result is identical to serial execution
-        (same sub-plans, same per-range reduction order)."""
+        (same sub-plans, same per-range reduction order).
+
+        ``cancel_token`` (thread/serial backends) is checked before the
+        launch and at each task pickup; a cancelled execution raises
+        :class:`~repro.util.errors.CancelledError` and the partially
+        written output buffer must be discarded by the caller.
+        """
+        if cancel_token is not None:
+            cancel_token.raise_if_cancelled("parallel MTTKRP execution")
         factors, rank = check_factors(factors, plan.shape, plan.mode)
         A = alloc_output(
             out, int(plan.shape[plan.mode]), rank, factor_dtype(factors)
@@ -352,10 +386,18 @@ class ParallelExecutor:
             if self.backend == "process" and len(plan.tasks) > 1:
                 times = self._execute_processes(plan, kern, factors, A)
             elif self.backend == "thread" and len(plan.tasks) > 1:
-                times = self._execute_threads(plan, kern, factors, A)
+                times = self._execute_threads(
+                    plan, kern, factors, A, cancel_token
+                )
             else:
                 times = [
-                    _run_task(kern, task, factors, A[task.start : task.stop])
+                    _run_task(
+                        kern,
+                        task,
+                        factors,
+                        A[task.start : task.stop],
+                        cancel_token,
+                    )
                     for task in plan.tasks
                 ]
         if tracer.enabled:
@@ -392,13 +434,32 @@ class ParallelExecutor:
         kern: Kernel,
         factors: Sequence[np.ndarray],
         A: np.ndarray,
+        cancel_token: "CancellationToken | None" = None,
     ) -> list[float]:
+        if self.pool is not None:
+            futures = [
+                self.pool.submit(
+                    _run_task,
+                    kern,
+                    task,
+                    factors,
+                    A[task.start : task.stop],
+                    cancel_token,
+                )
+                for task in plan.tasks
+            ]
+            return [f.result() for f in futures]
         with ThreadPoolExecutor(
             max_workers=min(self.n_threads, len(plan.tasks))
         ) as pool:
             futures = [
                 pool.submit(
-                    _run_task, kern, task, factors, A[task.start : task.stop]
+                    _run_task,
+                    kern,
+                    task,
+                    factors,
+                    A[task.start : task.stop],
+                    cancel_token,
                 )
                 for task in plan.tasks
             ]

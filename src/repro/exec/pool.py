@@ -1,0 +1,118 @@
+"""Shared worker-pool handle and cooperative cancellation for repro.exec.
+
+``ParallelExecutor`` historically created a fresh thread pool per
+``execute`` call — fine for a benchmark loop, wasteful for a service
+issuing thousands of small MTTKRPs: thread spawn/join overhead is paid
+per request and the OS never reuses warm stacks.  :class:`WorkerPool`
+is a long-lived handle over one ``ThreadPoolExecutor`` that many
+executors (and many concurrent requests) multiplex onto; the pool
+outlives any single execution and is shut down exactly once by its
+owner (the server's drain path, or the ``with`` block in tests).
+
+:class:`CancellationToken` adds cooperative cancellation at task
+granularity: kernels are uninterruptible once launched (NumPy releases
+the GIL inside opaque chunks), so the token is checked when a worker
+*picks up* a task and between per-mode launches — the useful points for
+a serving deadline, where the expensive part is the queue of tasks not
+yet started.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.util.errors import CancelledError, ConfigError
+
+__all__ = ["CancellationToken", "WorkerPool"]
+
+
+class CancellationToken:
+    """A thread-safe cancellation flag shared between a requester and the
+    workers running on its behalf.
+
+    ``cancel()`` is idempotent and returns whether this call flipped the
+    flag — the primitive a server needs to resolve a cancellation racing
+    completion: whichever side transitions the job state first wins, and
+    the token only communicates the request to not-yet-started work.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> bool:
+        """Request cancellation; True when this call was the first."""
+        if self._event.is_set():
+            return False
+        self._event.set()
+        return True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def raise_if_cancelled(self, what: str = "execution") -> None:
+        """Raise :class:`~repro.util.errors.CancelledError` when set."""
+        if self._event.is_set():
+            raise CancelledError(f"{what} cancelled before completion")
+
+
+class WorkerPool:
+    """A shared, long-lived thread pool for parallel MTTKRP execution.
+
+    >>> pool = WorkerPool(n_threads=4)
+    >>> executor = ParallelExecutor(n_threads=4, pool=pool)  # doctest: +SKIP
+    >>> ...many executions...                                # doctest: +SKIP
+    >>> pool.shutdown()
+
+    The pool never shuts down implicitly inside an execution; sizing is
+    fixed at construction so admission control upstream (the serve
+    queue) — not silent pool growth — is what absorbs load spikes.
+    """
+
+    def __init__(self, n_threads: int = 2, *, name: str = "repro-exec") -> None:
+        n_threads = int(n_threads)
+        if n_threads < 1:
+            raise ConfigError(f"n_threads must be >= 1, got {n_threads}")
+        self.n_threads = n_threads
+        self._pool = ThreadPoolExecutor(
+            max_workers=n_threads, thread_name_prefix=name
+        )
+        self._lock = threading.Lock()
+        self._closed = False
+        #: Tasks handed to the pool since construction.
+        self.n_submitted: int = 0
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        """Submit one task; raises ``ConfigError`` after shutdown."""
+        with self._lock:
+            if self._closed:
+                raise ConfigError("WorkerPool is shut down")
+            self.n_submitted += 1
+        return self._pool.submit(fn, *args, **kwargs)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Shut the pool down (idempotent); with ``wait`` the call blocks
+        until in-flight tasks finish — the drain contract."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<WorkerPool {self.n_threads} thread(s), {state}>"

@@ -14,6 +14,7 @@ and are no-ops until a real :class:`Tracer` is activated via
 load and one attribute test per kernel call (see ``docs/observability.md``).
 """
 
+from repro.obs.histogram import LatencyHistogram
 from repro.obs.export import (
     METRICS_SCHEMA_KIND,
     METRICS_SCHEMA_VERSION,
@@ -38,6 +39,7 @@ from repro.obs.tracer import (
 
 __all__ = [
     "COUNTER_UNITS",
+    "LatencyHistogram",
     "METRICS_SCHEMA_KIND",
     "METRICS_SCHEMA_VERSION",
     "MetricPoint",

@@ -1,0 +1,156 @@
+"""Log-bucketed latency histogram with percentile estimates.
+
+A serving layer needs tail latency (p95/p99), but keeping every sample
+of a long-running process is unbounded memory and percentile-of-samples
+is O(n log n) at read time.  :class:`LatencyHistogram` instead keeps a
+fixed array of exponentially spaced buckets — the classic
+HdrHistogram/Prometheus shape — so ``record`` is O(1), memory is a few
+hundred ints regardless of uptime, and any quantile is read in one pass
+over the buckets.  The relative error of a reported percentile is
+bounded by the bucket growth factor (default 1.3 → ≤ 15% mid-bucket
+error), which is ample for SLO gating where thresholds are set with
+2–5× headroom.
+
+Thread safety: ``record`` and the read-side methods take one lock, so a
+histogram can be shared between the asyncio event loop and worker
+threads without torn snapshots.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from repro.util.errors import ConfigError
+
+__all__ = ["LatencyHistogram"]
+
+
+class LatencyHistogram:
+    """Fixed-memory histogram over ``(0, +inf)`` values (seconds, bytes...).
+
+    Bucket ``i`` covers ``[min_value * growth**i, min_value * growth**(i+1))``;
+    values below ``min_value`` land in bucket 0, values beyond the last
+    edge in the overflow bucket.  Exact ``min``/``max``/``sum``/``count``
+    are tracked alongside so means and extremes are not quantized.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_value: float = 1e-5,
+        growth: float = 1.3,
+        n_buckets: int = 96,
+    ) -> None:
+        if min_value <= 0:
+            raise ConfigError(f"min_value must be > 0, got {min_value}")
+        if growth <= 1.0:
+            raise ConfigError(f"growth must be > 1, got {growth}")
+        if n_buckets < 2:
+            raise ConfigError(f"n_buckets must be >= 2, got {n_buckets}")
+        self.min_value = float(min_value)
+        self.growth = float(growth)
+        self.n_buckets = int(n_buckets)
+        self._log_growth = math.log(self.growth)
+        self._counts = [0] * self.n_buckets
+        self._lock = threading.Lock()
+        self.count = 0
+        self.sum = 0.0
+        self.min: "float | None" = None
+        self.max: "float | None" = None
+
+    def _bucket_index(self, value: float) -> int:
+        if value < self.min_value:
+            return 0
+        idx = int(math.log(value / self.min_value) / self._log_growth) + 1
+        return min(idx, self.n_buckets - 1)
+
+    def _bucket_edge(self, idx: int) -> float:
+        """Upper edge of bucket ``idx`` (the value reported for quantiles
+        landing in it — a conservative, never-underestimating choice for
+        SLO checks)."""
+        return self.min_value * self.growth**idx
+
+    def record(self, value: float) -> None:
+        """Add one observation (negative values are clamped to zero-ish
+        bucket 0 rather than raising: callers feed clock deltas, and a
+        backwards step on a bad clock should not kill a server)."""
+        value = float(value)
+        with self._lock:
+            self._counts[self._bucket_index(value)] += 1
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def percentile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 100]; 0.0 when empty.
+
+        Reported as the upper edge of the containing bucket, clamped to
+        the exact observed ``max`` so p100 is never an overestimate.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ConfigError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            target = max(1, math.ceil(self.count * q / 100.0))
+            seen = 0
+            for idx, n in enumerate(self._counts):
+                seen += n
+                if seen >= target:
+                    edge = self._bucket_edge(idx)
+                    assert self.max is not None
+                    return min(edge, self.max)
+            assert self.max is not None  # unreachable: counts sum to count
+            return self.max
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram with identical bucketing into this one."""
+        if (
+            other.min_value != self.min_value
+            or other.growth != self.growth
+            or other.n_buckets != self.n_buckets
+        ):
+            raise ConfigError("cannot merge histograms with different buckets")
+        with other._lock:
+            counts = list(other._counts)
+            o_count, o_sum = other.count, other.sum
+            o_min, o_max = other.min, other.max
+        with self._lock:
+            for i, n in enumerate(counts):
+                self._counts[i] += n
+            self.count += o_count
+            self.sum += o_sum
+            if o_min is not None and (self.min is None or o_min < self.min):
+                self.min = o_min
+            if o_max is not None and (self.max is None or o_max > self.max):
+                self.max = o_max
+
+    def snapshot(self) -> dict:
+        """A JSON-ready summary (the serve stats / bench payload shape)."""
+        with self._lock:
+            count, total = self.count, self.sum
+            lo, hi = self.min, self.max
+        return {
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "min": lo if lo is not None else 0.0,
+            "max": hi if hi is not None else 0.0,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<LatencyHistogram n={self.count} "
+            f"p50={self.percentile(50.0):.6g} p99={self.percentile(99.0):.6g}>"
+        )

@@ -64,6 +64,17 @@ COUNTER_UNITS: dict[str, str] = {
     "tune.evaluations": "candidates",
     "cachesim.accesses": "lines",
     "cachesim.misses": "lines",
+    "serve.accepted": "jobs",
+    "serve.completed": "jobs",
+    "serve.rejected_full": "jobs",
+    "serve.rejected_invalid": "jobs",
+    "serve.cancelled": "jobs",
+    "serve.deadline_expired": "jobs",
+    "serve.batches": "batches",
+    "serve.warm_hits": "hits",
+    "serve.warm_misses": "misses",
+    "serve.slo_violations": "jobs",
+    "serve.queue_depth_peak": "jobs",
 }
 
 

@@ -1,0 +1,70 @@
+"""Long-running decomposition service over the tuned execution stack.
+
+``repro.serve`` composes the pieces the earlier layers built — verified
+parallel plans, the dtype-aware tuning cache, the shared-memory
+executor, ``repro.obs`` tracing — into an asyncio service that accepts
+MTTKRP jobs over a newline-delimited-JSON socket (or in process),
+admission-controls them in a bounded priority queue, coalesces
+same-signature jobs into batches that share tensor build + tuning +
+plan preparation, and executes on one shared worker pool with
+per-request deadlines, cooperative cancellation, and graceful drain.
+
+The design rhymes with the paper's thesis: blocking amortizes memory
+traffic across nonzeros; serving amortizes setup (CSF build, tuning,
+plan verification) across requests.  See ``docs/serving.md``.
+"""
+
+from repro.serve.client import ServeClient, SocketClient
+from repro.serve.job import Job, JobState
+from repro.serve.loadgen import (
+    LoadReport,
+    LoadSpec,
+    default_job_mix,
+    run_open_loop,
+)
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    JobSpec,
+    ProtocolError,
+    TensorRef,
+    decode_frame,
+    encode_frame,
+    factors_for_spec,
+    result_sha256,
+)
+from repro.serve.queue import AdmissionQueue, QueueFullError
+from repro.serve.server import (
+    ServeConfig,
+    ServeHandle,
+    ServeServer,
+    start_in_thread,
+)
+from repro.serve.warmcache import WarmConfigCache
+
+__all__ = [
+    "AdmissionQueue",
+    "ERROR_CODES",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "LoadReport",
+    "LoadSpec",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "QueueFullError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeHandle",
+    "ServeServer",
+    "SocketClient",
+    "TensorRef",
+    "WarmConfigCache",
+    "decode_frame",
+    "default_job_mix",
+    "encode_frame",
+    "factors_for_spec",
+    "result_sha256",
+    "run_open_loop",
+    "start_in_thread",
+]

@@ -1,0 +1,193 @@
+"""Job lifecycle for :mod:`repro.serve`.
+
+A job moves ``QUEUED → RUNNING → COMPLETED`` on the happy path and can
+terminate in ``FAILED``, ``EXPIRED`` (deadline), or ``CANCELLED``.  All
+transitions go through one lock so concurrent actors — the asyncio loop
+handling a ``cancel`` frame, the dispatcher dropping an expired entry,
+the runner thread finishing the execution — resolve races
+deterministically: whichever transition takes the lock first wins, and
+the loser observes a terminal state instead of clobbering it.
+
+Completion is published through a ``concurrent.futures.Future`` so both
+worlds can wait on it: runner threads set it, protocol coroutines
+``await asyncio.wrap_future(...)`` it.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable
+
+from repro.exec import CancellationToken
+from repro.serve.protocol import JobSpec
+
+__all__ = ["Job", "JobState"]
+
+
+class JobState(str, enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    EXPIRED = "expired"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self not in (JobState.QUEUED, JobState.RUNNING)
+
+
+class Job:
+    """One admitted request and its synchronization state."""
+
+    __slots__ = (
+        "job_id",
+        "spec",
+        "priority",
+        "enqueued_at",
+        "deadline_at",
+        "token",
+        "future",
+        "started_at",
+        "finished_at",
+        "_state",
+        "_lock",
+        "_deadline_tripped",
+    )
+
+    def __init__(
+        self,
+        job_id: str,
+        spec: JobSpec,
+        *,
+        priority: int = 0,
+        deadline_s: "float | None" = None,
+    ) -> None:
+        self.job_id = job_id
+        self.spec = spec
+        self.priority = int(priority)
+        self.enqueued_at = time.monotonic()
+        #: Absolute monotonic deadline (None = no deadline).
+        self.deadline_at = (
+            None if deadline_s is None else self.enqueued_at + float(deadline_s)
+        )
+        self.token = CancellationToken()
+        #: Resolves to the terminal response payload (a dict).
+        self.future: Future = Future()
+        self.started_at: "float | None" = None
+        self.finished_at: "float | None" = None
+        self._state = JobState.QUEUED
+        self._lock = threading.Lock()
+        self._deadline_tripped = False
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> JobState:
+        return self._state
+
+    def expired(self, now: "float | None" = None) -> bool:
+        if self.deadline_at is None:
+            return False
+        return (time.monotonic() if now is None else now) > self.deadline_at
+
+    def deadline_remaining(self) -> "float | None":
+        """Seconds until the deadline (None when unbounded)."""
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - time.monotonic()
+
+    # -- transitions ---------------------------------------------------
+    def try_start(self) -> bool:
+        """QUEUED → RUNNING; False when a cancel/expiry already won."""
+        with self._lock:
+            if self._state is not JobState.QUEUED:
+                return False
+            self._state = JobState.RUNNING
+            self.started_at = time.monotonic()
+            return True
+
+    def try_finish(
+        self,
+        state: JobState,
+        payload: dict,
+        *,
+        before_resolve: "Callable[[], None] | None" = None,
+    ) -> bool:
+        """Transition to a terminal state and resolve the future; False
+        when another actor already terminated the job.
+
+        ``before_resolve`` runs after the transition wins but before the
+        future fires — bookkeeping hooked there (stats counters) is
+        guaranteed visible to whoever was awaiting the result.
+        """
+        if not state.terminal:
+            raise ValueError(f"{state} is not terminal")
+        with self._lock:
+            if self._state.terminal:
+                return False
+            self._state = state
+            self.finished_at = time.monotonic()
+        if before_resolve is not None:
+            before_resolve()
+        # Resolve outside the lock; Future.set_result is itself atomic.
+        self.future.set_result(payload)
+        return True
+
+    def try_cancel(
+        self,
+        payload: dict,
+        *,
+        before_resolve: "Callable[[], None] | None" = None,
+    ) -> "tuple[bool, JobState]":
+        """Request cancellation; returns ``(accepted, state_observed)``.
+
+        A QUEUED job terminates right here — state flips to CANCELLED
+        under the lock and ``payload`` resolves its future; the
+        dispatcher's later ``try_start`` sees the terminal state and
+        skips the entry.  A RUNNING job gets a cooperative token cancel,
+        which takes effect only if the execution still has unstarted
+        tasks (kernels are uninterruptible once launched) — completion
+        and cancellation race, and whichever calls ``try_finish`` first
+        wins.  A terminal job is past cancelling: ``accepted`` is False.
+        """
+        with self._lock:
+            state = self._state
+            if state.terminal:
+                return False, state
+            self.token.cancel()
+            if state is JobState.QUEUED:
+                self._state = JobState.CANCELLED
+                self.finished_at = time.monotonic()
+        if state is JobState.QUEUED:
+            if before_resolve is not None:
+                before_resolve()
+            self.future.set_result(payload)
+        return True, state
+
+    def trip_deadline(self) -> None:
+        """Deadline timer callback: cancel cooperatively, remembering the
+        cause so the terminal state reads EXPIRED, not CANCELLED."""
+        with self._lock:
+            if self._state.terminal:
+                return
+            self._deadline_tripped = True
+            self.token.cancel()
+
+    @property
+    def deadline_tripped(self) -> bool:
+        return self._deadline_tripped
+
+    # ------------------------------------------------------------------
+    def queue_wait_s(self) -> float:
+        start = self.started_at if self.started_at is not None else time.monotonic()
+        return max(0.0, start - self.enqueued_at)
+
+    def total_latency_s(self) -> float:
+        end = self.finished_at if self.finished_at is not None else time.monotonic()
+        return max(0.0, end - self.enqueued_at)
+
+    def __repr__(self) -> str:
+        return f"<Job {self.job_id} {self._state.value} prio={self.priority}>"

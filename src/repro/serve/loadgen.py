@@ -1,0 +1,257 @@
+"""Open-loop (fixed-arrival-rate) load generator for :mod:`repro.serve`.
+
+Closed-loop load tests (send, wait, send again) hide overload: when the
+server slows down, the generator slows down with it and the measured
+latency stays flattering.  This generator is **open-loop**: arrival
+times are fixed up front at ``rate_hz`` and every request's latency is
+measured from its *scheduled* arrival instant — so time a request
+spends waiting for a free client slot counts against the server, not
+silently against nobody (the coordinated-omission correction).
+
+``run_open_loop`` drives any client exposing the
+:class:`~repro.serve.client._RequestMixin` surface with ``n_clients``
+worker threads pulling from one shared arrival schedule, and folds the
+results into a :class:`LoadReport` with p50/p95/p99 latency, throughput,
+per-error-code counts, and (optionally) a bitwise verification of every
+completed job against a direct serial kernel execution.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.obs import LatencyHistogram
+from repro.serve.protocol import (
+    JobSpec,
+    factors_for_spec,
+    result_sha256,
+)
+
+__all__ = ["LoadReport", "LoadSpec", "default_job_mix", "run_open_loop"]
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One open-loop run: ``n_requests`` arrivals at ``rate_hz``, cycling
+    through ``jobs`` round-robin (mix dtypes/signatures there)."""
+
+    jobs: "tuple[dict, ...]"
+    rate_hz: float = 50.0
+    n_requests: int = 100
+    n_clients: int = 2
+    deadline_ms: "float | None" = None
+    #: Recompute every completed job serially and compare checksums.
+    verify: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("LoadSpec needs at least one job template")
+        if self.rate_hz <= 0:
+            raise ValueError(f"rate_hz must be > 0, got {self.rate_hz}")
+        if self.n_requests < 1:
+            raise ValueError(f"n_requests must be >= 1, got {self.n_requests}")
+        if self.n_clients < 1:
+            raise ValueError(f"n_clients must be >= 1, got {self.n_clients}")
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one open-loop run."""
+
+    n_sent: int = 0
+    n_completed: int = 0
+    n_errors: int = 0
+    #: Errors by protocol code (queue_full, deadline_expired, ...).
+    errors_by_code: "dict[str, int]" = field(default_factory=dict)
+    #: Completed-job latencies, seconds, measured from scheduled arrival.
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    wall_s: float = 0.0
+    n_verified: int = 0
+    n_verify_failed: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Completed jobs per second of wall clock."""
+        return self.n_completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        return self.latency.percentile(q) * 1e3
+
+    def to_dict(self) -> dict:
+        lat = self.latency.snapshot()
+        return {
+            "n_sent": self.n_sent,
+            "n_completed": self.n_completed,
+            "n_errors": self.n_errors,
+            "errors_by_code": dict(self.errors_by_code),
+            "throughput_jobs_s": self.throughput,
+            "wall_s": self.wall_s,
+            "latency_ms": {
+                k: (v * 1e3 if k != "count" else v) for k, v in lat.items()
+            },
+            "n_verified": self.n_verified,
+            "n_verify_failed": self.n_verify_failed,
+        }
+
+
+def default_job_mix(
+    *, nnz: int = 2_000, dims: "tuple[int, ...]" = (48, 40, 44), rank: int = 8
+) -> "tuple[dict, ...]":
+    """The standard mixed-precision benchmark mix: two signatures
+    (poisson/uniform structure) × two dtypes (f32/f64), small enough for
+    CI yet large enough that tuning and batching matter."""
+    mix = []
+    for seed, (gen, dtype) in enumerate(
+        [
+            ("poisson", "float64"),
+            ("uniform", "float32"),
+            ("poisson", "float32"),
+            ("uniform", "float64"),
+        ]
+    ):
+        mix.append(
+            {
+                "tensor": {
+                    "synthetic": gen,
+                    "dims": list(dims),
+                    "nnz": int(nnz),
+                    "seed": seed % 2,
+                    "dtype": dtype,
+                },
+                "mode": 0,
+                "rank": int(rank),
+                "kernel": "mb",
+                "tune": True,
+                "factors_seed": seed,
+            }
+        )
+    return tuple(mix)
+
+
+class _Verifier:
+    """Memoized direct serial re-execution for bitwise checks.
+
+    Keyed by (job payload identity, applied params): jobs repeat in a
+    load run, so each distinct configuration is recomputed exactly once.
+    """
+
+    def __init__(self) -> None:
+        self._cache: "dict[tuple, str]" = {}
+        self._lock = threading.Lock()
+
+    def expected_sha(self, job_payload: dict, response: dict) -> str:
+        from repro.kernels import get_kernel
+
+        spec = JobSpec.from_payload(job_payload)
+        applied = response.get("applied_params") or {}
+        applied_key = tuple(sorted(
+            (k, tuple(v) if isinstance(v, list) else v)
+            for k, v in applied.items()
+        ))
+        key = (spec.batch_key(), spec.factors_seed, applied_key)
+        with self._lock:
+            hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        tensor = spec.tensor.build()
+        factors = factors_for_spec(
+            tensor.shape, spec.rank, spec.factors_seed, spec.tensor.dtype
+        )
+        params = {
+            k: (tuple(v) if isinstance(v, list) else v)
+            for k, v in applied.items()
+        }
+        direct = get_kernel(spec.kernel).mttkrp(
+            tensor, factors, spec.mode, **params
+        )
+        sha = result_sha256(direct)
+        with self._lock:
+            self._cache[key] = sha
+        return sha
+
+
+def run_open_loop(client_factory, spec: LoadSpec) -> LoadReport:
+    """Drive one open-loop run.
+
+    ``client_factory`` is called once per worker thread and must return
+    an object with ``submit(job, deadline_ms=...) -> response`` (both
+    :class:`~repro.serve.client.ServeClient` and per-thread
+    :class:`~repro.serve.client.SocketClient` instances qualify; pass a
+    factory, not a shared socket, so clients don't serialize on one
+    connection's request lock).
+    """
+    report = LoadReport()
+    lock = threading.Lock()
+    verifier = _Verifier() if spec.verify else None
+    t0 = time.monotonic()
+    # The whole point of open loop: arrival instants are fixed before
+    # the first request is sent and never stretched by slow responses.
+    arrivals = [
+        (t0 + i / spec.rate_hz, spec.jobs[i % len(spec.jobs)])
+        for i in range(spec.n_requests)
+    ]
+    cursor = {"next": 0}
+
+    def worker() -> None:
+        client = client_factory()
+        try:
+            while True:
+                with lock:
+                    i = cursor["next"]
+                    if i >= len(arrivals):
+                        return
+                    cursor["next"] = i + 1
+                at, job = arrivals[i]
+                delay = at - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                resp = client.submit(job, deadline_ms=spec.deadline_ms)
+                done = time.monotonic()
+                ok = bool(resp.get("ok")) and resp.get("state") == "completed"
+                verified = failed_verify = 0
+                if ok and verifier is not None:
+                    expected = verifier.expected_sha(job, resp)
+                    if resp.get("sha256") == expected:
+                        verified = 1
+                    else:
+                        failed_verify = 1
+                with lock:
+                    report.n_sent += 1
+                    if ok:
+                        report.n_completed += 1
+                        # Latency from *scheduled* arrival, not send time.
+                        report.latency.record(max(0.0, done - at))
+                        report.n_verified += verified
+                        report.n_verify_failed += failed_verify
+                    else:
+                        report.n_errors += 1
+                        code = (resp.get("error") or {}).get("code", "unknown")
+                        report.errors_by_code[code] = (
+                            report.errors_by_code.get(code, 0) + 1
+                        )
+        finally:
+            # Close per-worker transports, but never an in-process
+            # ServeClient — closing one would drain the shared server
+            # out from under the other workers.
+            from repro.serve.client import ServeClient
+
+            if not isinstance(client, ServeClient):
+                close = getattr(client, "close", None)
+                if close is not None:
+                    try:
+                        close()
+                    except Exception:
+                        pass
+
+    threads = [
+        threading.Thread(target=worker, name=f"repro-load-{i}", daemon=True)
+        for i in range(spec.n_clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    report.wall_s = time.monotonic() - t0
+    return report

@@ -1,0 +1,440 @@
+"""Wire protocol and job specification for :mod:`repro.serve`.
+
+Frames are newline-delimited JSON (NDJSON): one UTF-8 JSON object per
+line, at most :data:`MAX_FRAME_BYTES` bytes including the terminator.
+The format is deliberately boring — it can be driven from a shell with
+``nc`` and a here-doc — and every request/response pair is correlated by
+the client-chosen ``id`` field so responses may arrive out of submission
+order on a pipelined connection.
+
+Requests
+--------
+``{"op": "ping", "id": ...}``
+    Liveness probe; answers immediately.
+``{"op": "submit", "id": ..., "job": {...}, "deadline_ms": ..., "priority": ..., "job_id": ...}``
+    Enqueue one MTTKRP job (see :class:`JobSpec`); the response is sent
+    when the job completes, fails, expires, or is cancelled.  The
+    optional client-chosen ``job_id`` names the job up front so another
+    connection can ``cancel`` it before the response arrives.
+``{"op": "cancel", "id": ..., "job_id": ...}``
+    Request cancellation of a previously submitted job.
+``{"op": "stats", "id": ...}``
+    Counters, queue depth, warm-cache stats, latency percentiles.
+``{"op": "drain", "id": ...}``
+    Graceful shutdown: stop admitting, finish queued + in-flight jobs,
+    then answer with the drain report.
+
+Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error":
+{"code": ..., "message": ...}}``; :data:`ERROR_CODES` is the closed set
+of codes, and ``queue_full`` rejections carry ``retry_after_ms``.
+
+Tensors are named by *reference*, never shipped densely: a job points at
+a registry dataset, a synthetic-generator recipe, or (for tests) a small
+inline COO payload.  Two jobs with the same reference are guaranteed the
+same tensor, which is what makes signature batching and warm-config
+reuse sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.kernels import KERNELS
+from repro.tensor.coo import COOTensor
+from repro.tensor.datasets import DATASETS
+from repro.tensor.generate import (
+    clustered_tensor,
+    poisson_tensor,
+    power_law_tensor,
+    uniform_random_tensor,
+)
+from repro.util.errors import ServeError
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "JobSpec",
+    "ProtocolError",
+    "TensorRef",
+    "decode_frame",
+    "encode_frame",
+    "error_response",
+    "factors_for_spec",
+    "ok_response",
+    "result_sha256",
+]
+
+#: Default per-frame byte budget (requests name tensors by reference, so
+#: a legitimate frame is a few hundred bytes; inline test tensors may
+#: reach kilobytes — a megabyte line is a protocol violation).
+MAX_FRAME_BYTES = 1 << 20
+
+#: The closed set of machine-readable error codes.
+ERROR_CODES = frozenset(
+    {
+        "malformed",  # not a JSON object
+        "oversized",  # frame exceeded MAX_FRAME_BYTES
+        "unknown_op",  # op not in the table above
+        "invalid_job",  # job spec failed validation
+        "queue_full",  # admission queue at capacity (carries retry_after_ms)
+        "deadline_expired",  # job deadline passed before completion
+        "cancelled",  # job cancelled on request
+        "shutting_down",  # server draining; no new admissions
+        "internal",  # unexpected failure while running the job
+    }
+)
+
+#: Value dtypes the service accepts (the stack's supported precisions).
+_DTYPES = ("float32", "float64")
+
+#: Synthetic generator recipes a job may reference.
+_GENERATORS = {
+    "poisson": poisson_tensor,
+    "uniform": uniform_random_tensor,
+    "clustered": clustered_tensor,
+    "power_law": power_law_tensor,
+}
+
+#: Upper bound on synthetic/inline tensor size — a request is a unit of
+#: serving work, not a batch import.
+_MAX_REQUEST_NNZ = 5_000_000
+
+#: Which tuned-configuration fields each kernel's ``prepare`` accepts.
+TUNABLE_KERNELS: dict[str, tuple[str, ...]] = {
+    "mb": ("block_counts",),
+    "csf-blocked": ("block_counts", "rank_blocking"),
+    "mb+rankb": ("block_counts", "rank_blocking"),
+    "rankb": ("rank_blocking",),
+}
+
+
+class ProtocolError(ServeError):
+    """A request violated the wire protocol or the job-spec schema."""
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        super().__init__(message)
+        self.code = code
+
+
+# ----------------------------------------------------------------------
+# framing
+def encode_frame(obj: dict) -> bytes:
+    """Serialize one frame (compact JSON + newline)."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one frame; raises ``ProtocolError('malformed')``."""
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("malformed", f"frame is not valid JSON: {exc}")
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            "malformed", f"frame must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def ok_response(req_id: object, op: str, **fields: Any) -> dict:
+    resp: dict = {"ok": True, "op": op, "id": req_id}
+    resp.update(fields)
+    return resp
+
+
+def error_response(
+    req_id: object, op: str, code: str, message: str, **fields: Any
+) -> dict:
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown protocol error code {code!r}")
+    resp: dict = {
+        "ok": False,
+        "op": op,
+        "id": req_id,
+        "error": {"code": code, "message": message},
+    }
+    resp.update(fields)
+    return resp
+
+
+# ----------------------------------------------------------------------
+# tensor references
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ProtocolError("invalid_job", message)
+
+
+@dataclass(frozen=True)
+class TensorRef:
+    """A by-reference description of a job's tensor.
+
+    ``kind`` is ``"dataset"`` (Table II registry stand-in), ``"synthetic"``
+    (a generator recipe), or ``"inline"`` (explicit COO, for tests).  Two
+    equal refs build bit-identical tensors, so the ref doubles as the
+    tensor-cache key and a component of the batching key.
+    """
+
+    kind: str
+    dtype: str = "float64"
+    #: dataset: registry name; synthetic: generator name.
+    name: str = ""
+    seed: int = 0
+    #: synthetic only.
+    dims: "tuple[int, ...]" = ()
+    nnz: int = 0
+    #: inline only (tuples keep the ref hashable).
+    shape: "tuple[int, ...]" = ()
+    coords: "tuple[tuple[int, ...], ...]" = ()
+    values: "tuple[float, ...]" = ()
+
+    @classmethod
+    def from_payload(cls, d: dict) -> "TensorRef":
+        _require(isinstance(d, dict), "tensor must be a JSON object")
+        dtype = str(d.get("dtype", "float64"))
+        _require(
+            dtype in _DTYPES, f"tensor dtype must be one of {_DTYPES}, got {dtype!r}"
+        )
+        if "dataset" in d:
+            name = str(d["dataset"])
+            _require(
+                name in DATASETS,
+                f"unknown dataset {name!r}; known: {sorted(DATASETS)}",
+            )
+            return cls(
+                kind="dataset", dtype=dtype, name=name, seed=int(d.get("seed", 0))
+            )
+        if "synthetic" in d:
+            name = str(d["synthetic"])
+            _require(
+                name in _GENERATORS,
+                f"unknown generator {name!r}; known: {sorted(_GENERATORS)}",
+            )
+            dims = d.get("dims")
+            _require(
+                isinstance(dims, (list, tuple)) and len(dims) >= 2,
+                "synthetic tensor needs dims: [I0, I1, ...]",
+            )
+            dims = tuple(int(x) for x in dims)
+            _require(all(x > 0 for x in dims), "dims must be positive")
+            nnz = int(d.get("nnz", 0))
+            _require(
+                0 < nnz <= _MAX_REQUEST_NNZ,
+                f"nnz must be in (0, {_MAX_REQUEST_NNZ}], got {nnz}",
+            )
+            return cls(
+                kind="synthetic",
+                dtype=dtype,
+                name=name,
+                seed=int(d.get("seed", 0)),
+                dims=dims,
+                nnz=nnz,
+            )
+        if "shape" in d:
+            shape = tuple(int(x) for x in d["shape"])
+            _require(
+                len(shape) >= 2 and all(x > 0 for x in shape),
+                "inline shape must be >= 2 positive mode lengths",
+            )
+            coords = d.get("coords")
+            values = d.get("values")
+            _require(
+                isinstance(coords, (list, tuple))
+                and isinstance(values, (list, tuple))
+                and len(coords) == len(values),
+                "inline tensor needs coords and values of equal length",
+            )
+            _require(
+                0 < len(values) <= _MAX_REQUEST_NNZ,
+                f"inline nnz must be in (0, {_MAX_REQUEST_NNZ}]",
+            )
+            try:
+                coords_t = tuple(
+                    tuple(int(i) for i in row) for row in coords
+                )
+                values_t = tuple(float(v) for v in values)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    "invalid_job", f"inline coords/values not numeric: {exc}"
+                )
+            _require(
+                all(len(row) == len(shape) for row in coords_t),
+                "every inline coordinate needs one index per mode",
+            )
+            return cls(
+                kind="inline",
+                dtype=dtype,
+                shape=shape,
+                coords=coords_t,
+                values=values_t,
+            )
+        raise ProtocolError(
+            "invalid_job",
+            "tensor must name one of: dataset, synthetic, shape (inline)",
+        )
+
+    def build(self) -> COOTensor:
+        """Materialize the tensor (deterministic for an equal ref)."""
+        if self.kind == "dataset":
+            t = DATASETS[self.name].build(seed=self.seed)
+        elif self.kind == "synthetic":
+            t = _GENERATORS[self.name](self.dims, self.nnz, seed=self.seed)
+        else:
+            t = COOTensor(
+                self.shape,
+                np.asarray(self.coords, dtype=np.int64),
+                np.asarray(self.values, dtype=np.float64),
+            )
+            t = t.deduplicate()
+        if t.values.dtype != np.dtype(self.dtype):
+            t = COOTensor(
+                t.shape, t.indices, t.values.astype(np.dtype(self.dtype))
+            )
+        return t
+
+    def key(self) -> str:
+        """Stable identity string (tensor-cache + batching key component)."""
+        if self.kind == "inline":
+            h = hashlib.sha256()
+            h.update(repr(self.shape).encode())
+            h.update(np.asarray(self.coords, dtype=np.int64).tobytes())
+            h.update(np.asarray(self.values, dtype=np.float64).tobytes())
+            return f"inline:{h.hexdigest()[:16]}:{self.dtype}"
+        return f"{self.kind}:{self.name}:{self.seed}:{self.dtype}"
+
+    def to_payload(self) -> dict:
+        if self.kind == "dataset":
+            return {"dataset": self.name, "seed": self.seed, "dtype": self.dtype}
+        if self.kind == "synthetic":
+            return {
+                "synthetic": self.name,
+                "dims": list(self.dims),
+                "nnz": self.nnz,
+                "seed": self.seed,
+                "dtype": self.dtype,
+            }
+        return {
+            "shape": list(self.shape),
+            "coords": [list(r) for r in self.coords],
+            "values": list(self.values),
+            "dtype": self.dtype,
+        }
+
+
+# ----------------------------------------------------------------------
+# job specification
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated MTTKRP job: tensor reference + execution request."""
+
+    tensor: TensorRef
+    mode: int = 0
+    rank: int = 8
+    kernel: str = "mb"
+    #: Consult the warm config cache / tuner for blocking parameters.
+    tune: bool = True
+    #: Seed for the deterministic factor matrices (the factor contract is
+    #: :func:`factors_for_spec`, shared by server and verifying clients).
+    factors_seed: int = 0
+    #: Extra literal kernel params (e.g. explicit block_counts when
+    #: ``tune`` is off); values pass through to ``Kernel.prepare``.
+    params: "tuple[tuple[str, Any], ...]" = field(default_factory=tuple)
+
+    @classmethod
+    def from_payload(cls, d: object) -> "JobSpec":
+        _require(isinstance(d, dict), "job must be a JSON object")
+        assert isinstance(d, dict)
+        unknown = set(d) - {
+            "tensor",
+            "mode",
+            "rank",
+            "kernel",
+            "tune",
+            "factors_seed",
+            "params",
+        }
+        _require(not unknown, f"unknown job fields: {sorted(unknown)}")
+        _require("tensor" in d, "job needs a tensor reference")
+        tensor = TensorRef.from_payload(d["tensor"])
+        mode = int(d.get("mode", 0))
+        _require(mode >= 0, f"mode must be >= 0, got {mode}")
+        rank = int(d.get("rank", 8))
+        _require(1 <= rank <= 512, f"rank must be in [1, 512], got {rank}")
+        kernel = str(d.get("kernel", "mb"))
+        _require(
+            kernel in KERNELS,
+            f"unknown kernel {kernel!r}; known: {sorted(KERNELS)}",
+        )
+        tune = bool(d.get("tune", True))
+        if tune:
+            _require(
+                kernel in TUNABLE_KERNELS,
+                f"kernel {kernel!r} takes no tuned blocking parameters; "
+                f"set tune=false or use one of {sorted(TUNABLE_KERNELS)}",
+            )
+        params = d.get("params", {})
+        _require(isinstance(params, dict), "params must be a JSON object")
+        norm: list[tuple[str, Any]] = []
+        for k, v in sorted(params.items()):
+            if isinstance(v, list):
+                v = tuple(v)
+            norm.append((str(k), v))
+        return cls(
+            tensor=tensor,
+            mode=mode,
+            rank=rank,
+            kernel=kernel,
+            tune=tune,
+            factors_seed=int(d.get("factors_seed", 0)),
+            params=tuple(norm),
+        )
+
+    def batch_key(self) -> tuple:
+        """Jobs with equal batch keys share tensor build, tuning, and the
+        prepared parallel plan — only their factor matrices differ."""
+        return (
+            self.tensor.key(),
+            self.mode,
+            self.rank,
+            self.kernel,
+            self.tune,
+            self.params,
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "tensor": self.tensor.to_payload(),
+            "mode": self.mode,
+            "rank": self.rank,
+            "kernel": self.kernel,
+            "tune": self.tune,
+            "factors_seed": self.factors_seed,
+            "params": {k: list(v) if isinstance(v, tuple) else v
+                       for k, v in self.params},
+        }
+
+
+def factors_for_spec(
+    shape: "tuple[int, ...]", rank: int, seed: int, dtype: str
+) -> "list[np.ndarray]":
+    """The factor-matrix contract: both the server and any verifying
+    client derive the dense factors from ``factors_seed`` this way, so a
+    response checksum can be checked against a local re-execution."""
+    rng = np.random.default_rng(int(seed))
+    target = np.dtype(dtype)
+    return [
+        rng.standard_normal((int(n), int(rank))).astype(target)
+        for n in shape
+    ]
+
+
+def result_sha256(array: np.ndarray) -> str:
+    """Checksum of a result's exact bytes (C-order) — the bitwise-identity
+    token carried in submit responses."""
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()

@@ -1,0 +1,149 @@
+"""Bounded admission queue with priority ordering and signature batching.
+
+Admission control is the serve layer's load-shedding point: the queue
+holds at most ``limit`` jobs, and an ``offer`` past capacity raises
+:class:`QueueFullError` — the server turns that into a typed
+``queue_full`` rejection with a ``retry_after_ms`` hint instead of
+letting latency grow without bound (an open-loop arrival process has no
+back-pressure of its own, so the queue must push back explicitly).
+
+``take_batch`` is the dispatcher's side: it blocks for work, picks the
+highest-priority / oldest job, then *coalesces* every other queued job
+with the same :meth:`~repro.serve.protocol.JobSpec.batch_key` into one
+batch (up to ``max_batch``).  Batched jobs share the tensor build, the
+tuning decision, and the prepared parallel plan — the serving analogue
+of blocking: pay the setup once, amortize it over every request that
+matches.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+
+from repro.serve.job import Job, JobState
+from repro.util.errors import ConfigError, ServeError
+
+__all__ = ["AdmissionQueue", "QueueFullError"]
+
+
+class QueueFullError(ServeError):
+    """Admission rejected: the queue is at capacity."""
+
+    def __init__(self, limit: int, retry_after_ms: float) -> None:
+        super().__init__(f"admission queue full ({limit} jobs)")
+        self.limit = limit
+        self.retry_after_ms = float(retry_after_ms)
+
+
+class AdmissionQueue:
+    """Thread-safe bounded priority queue of :class:`Job` entries.
+
+    Ordering: higher ``priority`` first, FIFO within a priority level.
+    Jobs whose deadline lapses while queued are resolved to EXPIRED at
+    pickup time (never silently dropped — their futures must fire).
+    """
+
+    def __init__(self, limit: int = 64) -> None:
+        if int(limit) < 1:
+            raise ConfigError(f"queue limit must be >= 1, got {limit}")
+        self.limit = int(limit)
+        self._entries: "list[Job]" = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._seq = itertools.count()
+        self._order: "dict[str, int]" = {}
+        self._closed = False
+        #: Peak depth observed since construction.
+        self.peak_depth: int = 0
+        #: Jobs rejected at admission because the queue was full.
+        self.n_rejected_full: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _sort_key(self, job: Job):
+        return (-job.priority, self._order[job.job_id])
+
+    # ------------------------------------------------------------------
+    def offer(self, job: Job, *, retry_after_ms: float = 100.0) -> None:
+        """Admit a job or raise :class:`QueueFullError`.
+
+        ``retry_after_ms`` is the hint the rejection carries; the server
+        scales it with observed service time and current depth.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServeError("queue is closed")
+            if len(self._entries) >= self.limit:
+                self.n_rejected_full += 1
+                raise QueueFullError(self.limit, retry_after_ms)
+            self._order[job.job_id] = next(self._seq)
+            self._entries.append(job)
+            if len(self._entries) > self.peak_depth:
+                self.peak_depth = len(self._entries)
+            self._not_empty.notify()
+
+    def take_batch(
+        self, max_batch: int = 8, timeout: "float | None" = 0.5
+    ) -> "tuple[list[Job], list[Job]] | None":
+        """Block for work; returns ``(batch, expired)`` or ``None``.
+
+        ``batch`` is the lead job plus every same-``batch_key`` entry
+        (admission order, at most ``max_batch``); ``expired`` holds jobs
+        whose deadline lapsed in-queue — the caller resolves those.  A
+        ``None`` return means timeout, or closed-and-empty (check
+        :attr:`closed`); jobs already terminated (cancelled while
+        queued) are discarded silently since their futures have fired.
+        """
+        with self._lock:
+            while not self._entries:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            now = time.monotonic()
+            live: "list[Job]" = []
+            expired: "list[Job]" = []
+            for job in self._entries:
+                if job.state is not JobState.QUEUED:
+                    self._order.pop(job.job_id, None)
+                elif job.expired(now):
+                    expired.append(job)
+                    self._order.pop(job.job_id, None)
+                else:
+                    live.append(job)
+            self._entries = live
+            if not live:
+                return ([], expired) if expired else None
+            lead = min(live, key=self._sort_key)
+            key = lead.spec.batch_key()
+            batch: "list[Job]" = []
+            rest: "list[Job]" = []
+            for job in sorted(live, key=self._sort_key):
+                if len(batch) < int(max_batch) and job.spec.batch_key() == key:
+                    batch.append(job)
+                    self._order.pop(job.job_id, None)
+                else:
+                    rest.append(job)
+            self._entries = sorted(rest, key=self._sort_key)
+            return batch, expired
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting offers and wake blocked takers; queued entries
+        stay takeable so a drain can finish them."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def __len__(self) -> int:
+        return self.depth

@@ -1,0 +1,99 @@
+"""Admission-aware warm cache of tuned blocking configurations.
+
+:class:`WarmConfigCache` is the serving policy over
+:class:`repro.tune.TuningCache`'s mechanisms (LRU size bound + TTL):
+
+* **thread safety** — ``Tuner.get_or_tune`` runs on batch-runner
+  threads, so ``get``/``put`` take a re-entrant lock;
+* **admission control** — with ``admit_after > 1``, a signature must be
+  *tuned* that many times before its configuration is cached.  A scan of
+  one-off tensors (a crawler submitting thousands of distinct shapes)
+  then cannot evict the hot working set, at the cost of re-tuning new
+  signatures ``admit_after`` times before they stick — the same
+  scan-resistance argument as 2Q/TinyLFU cache admission;
+* **counters** — hits/misses/denials for the server's stats endpoint.
+
+Because it *is* a ``TuningCache``, the dtype gate in the tuner applies
+unchanged: float32 and float64 signatures never share an entry (their
+keys differ by the ``_b<itemsize>`` suffix, and entries are
+itemsize-checked on hit).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.tune.cache import CacheEntry, TuningCache
+
+__all__ = ["WarmConfigCache"]
+
+
+class WarmConfigCache(TuningCache):
+    """Thread-safe, admission-gated LRU/TTL cache of tuned configs."""
+
+    def __init__(
+        self,
+        *,
+        max_entries: "int | None" = 128,
+        ttl_s: "float | None" = None,
+        admit_after: int = 1,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        super().__init__(max_entries=max_entries, ttl_s=ttl_s, clock=clock)
+        if int(admit_after) < 1:
+            raise ValueError(f"admit_after must be >= 1, got {admit_after}")
+        self.admit_after = int(admit_after)
+        self._rlock = threading.RLock()
+        self._sightings: "dict[tuple, int]" = {}
+        self.n_hits = 0
+        self.n_misses = 0
+        self.n_denied = 0
+
+    def get(
+        self, signature_key: str, rank: int, machine_name: str
+    ) -> "CacheEntry | None":
+        with self._rlock:
+            entry = super().get(signature_key, rank, machine_name)
+            if entry is None:
+                self.n_misses += 1
+            else:
+                self.n_hits += 1
+            return entry
+
+    def put(
+        self,
+        signature_key: str,
+        rank: int,
+        machine_name: str,
+        entry: CacheEntry,
+    ) -> None:
+        with self._rlock:
+            key = self._key(signature_key, rank, machine_name)
+            seen = self._sightings.get(key, 0) + 1
+            if seen < self.admit_after:
+                self._sightings[key] = seen
+                # Bound the sightings ledger too — it must not become the
+                # unbounded map the admission gate exists to prevent.
+                cap = 8 * (self.max_entries or 128)
+                while len(self._sightings) > cap:
+                    self._sightings.pop(next(iter(self._sightings)))
+                self.n_denied += 1
+                return
+            self._sightings.pop(key, None)
+            super().put(signature_key, rank, machine_name, entry)
+
+    def stats(self) -> dict:
+        with self._rlock:
+            return {
+                "entries": len(self),
+                "max_entries": self.max_entries,
+                "ttl_s": self.ttl_s,
+                "admit_after": self.admit_after,
+                "hits": self.n_hits,
+                "misses": self.n_misses,
+                "denied": self.n_denied,
+                "evicted": self.n_evicted,
+                "expired": self.n_expired,
+            }

@@ -16,10 +16,11 @@ package is that framework:
 """
 
 from repro.tune.signature import TensorSignature, key_itemsize
-from repro.tune.cache import TuningCache
+from repro.tune.cache import CacheEntry, TuningCache
 from repro.tune.tuner import TunedConfig, TunedThreads, Tuner
 
 __all__ = [
+    "CacheEntry",
     "TensorSignature",
     "TuningCache",
     "TunedConfig",

@@ -36,3 +36,13 @@ class RegistrationError(ReproError, ValueError):
 class ScheduleError(ReproError, RuntimeError):
     """A parallel schedule is unsafe: concurrent tasks write overlapping
     rows of the output factor (see :mod:`repro.analysis.races`)."""
+
+
+class CancelledError(ReproError, RuntimeError):
+    """An execution was cancelled through a
+    :class:`repro.exec.CancellationToken` before it completed."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """Base class for errors raised by the :mod:`repro.serve` service
+    layer (protocol violations, admission rejections, deadline expiry)."""

@@ -41,10 +41,10 @@ def make_bench(**over):
 
 
 class TestRegistry:
-    def test_all_eighteen_registered(self):
+    def test_all_twenty_registered(self):
         names = [b.name for b in iter_benchmarks()]
-        assert len(names) == 18
-        assert len(set(names)) == 18
+        assert len(names) == 20
+        assert len(set(names)) == 20
         for expected in (
             "fig2_roofline",
             "table1_ppa",
@@ -64,6 +64,8 @@ class TestRegistry:
             "ablation_regblock",
             "tracer_overhead_splatt",
             "cpd_float32",
+            "serve_openloop",
+            "serve_warm_cache",
         ):
             assert expected in names
 

@@ -1,0 +1,132 @@
+"""The log-bucketed latency histogram behind serve SLO metrics."""
+
+import pytest
+
+from repro.obs import LatencyHistogram
+from repro.util import ConfigError
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram(min_value=0)
+        with pytest.raises(ConfigError):
+            LatencyHistogram(growth=1.0)
+        with pytest.raises(ConfigError):
+            LatencyHistogram(n_buckets=1)
+
+    def test_percentile_range(self):
+        h = LatencyHistogram()
+        with pytest.raises(ConfigError):
+            h.percentile(-1)
+        with pytest.raises(ConfigError):
+            h.percentile(101)
+
+
+class TestRecording:
+    def test_empty(self):
+        h = LatencyHistogram()
+        assert h.percentile(50) == 0.0
+        assert h.mean == 0.0
+        snap = h.snapshot()
+        assert snap == {
+            "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_single_value(self):
+        h = LatencyHistogram()
+        h.record(0.25)
+        assert h.count == 1
+        assert h.mean == 0.25
+        # Every quantile of a single observation IS that observation
+        # (the bucket edge is clamped to the exact max).
+        for q in (0, 50, 95, 99, 100):
+            assert h.percentile(q) == 0.25
+
+    def test_percentiles_bounded_by_relative_error(self):
+        h = LatencyHistogram(growth=1.3)
+        values = [0.001 * (1 + i) for i in range(1000)]  # 1ms .. 1s
+        for v in values:
+            h.record(v)
+        values.sort()
+        for q in (50, 90, 95, 99):
+            exact = values[int(len(values) * q / 100) - 1]
+            got = h.percentile(q)
+            # Conservative estimate: never below the exact quantile by
+            # more than a bucket, never above by more than the growth.
+            assert exact / 1.3 <= got <= exact * 1.3
+
+    def test_percentiles_never_exceed_max(self):
+        h = LatencyHistogram()
+        for v in (0.011, 0.012, 0.013):
+            h.record(v)
+        assert h.percentile(100) == 0.013
+        assert h.percentile(99) <= 0.013
+        assert h.min == 0.011 and h.max == 0.013
+
+    def test_tiny_and_huge_values_clamp_to_end_buckets(self):
+        h = LatencyHistogram(min_value=1e-5, n_buckets=8)
+        h.record(1e-12)  # below min_value: bucket 0
+        h.record(1e12)   # beyond the last edge: overflow bucket
+        h.record(-1.0)   # clock went backwards: clamped, not fatal
+        assert h.count == 3
+        # Exact extremes are tracked outside the buckets; the overflow
+        # bucket itself reports its (finite) edge, never more than max.
+        assert h.max == 1e12 and h.min == -1.0
+        assert 0 < h.percentile(100) <= h.max
+
+    def test_mean_is_exact_not_quantized(self):
+        h = LatencyHistogram()
+        for v in (0.1, 0.2, 0.3):
+            h.record(v)
+        assert h.mean == pytest.approx(0.2)
+        assert h.sum == pytest.approx(0.6)
+
+
+class TestMerge:
+    def test_merge_combines_populations(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        for v in (0.01, 0.02):
+            a.record(v)
+        for v in (0.04, 0.08):
+            b.record(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.min == 0.01 and a.max == 0.08
+        assert a.percentile(100) == 0.08
+        assert a.mean == pytest.approx(0.0375)
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a = LatencyHistogram(growth=1.3)
+        b = LatencyHistogram(growth=1.5)
+        with pytest.raises(ConfigError):
+            a.merge(b)
+        with pytest.raises(ConfigError):
+            a.merge(LatencyHistogram(n_buckets=32))
+
+    def test_merge_empty_is_noop(self):
+        a = LatencyHistogram()
+        a.record(0.5)
+        a.merge(LatencyHistogram())
+        assert a.count == 1 and a.max == 0.5
+
+
+class TestThreaded:
+    def test_concurrent_records(self):
+        import threading
+
+        h = LatencyHistogram()
+
+        def pound():
+            for _ in range(500):
+                h.record(0.01)
+
+        threads = [threading.Thread(target=pound) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 2000
+        assert h.snapshot()["count"] == 2000

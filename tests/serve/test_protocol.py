@@ -1,0 +1,225 @@
+"""Wire framing, tensor references, and job-spec validation."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    ERROR_CODES,
+    JobSpec,
+    ProtocolError,
+    TensorRef,
+    decode_frame,
+    encode_frame,
+    factors_for_spec,
+    result_sha256,
+)
+from repro.serve.protocol import error_response, ok_response
+
+INLINE = {
+    "shape": [4, 3, 2],
+    "coords": [[0, 0, 0], [1, 2, 1], [3, 1, 0], [2, 2, 1]],
+    "values": [1.0, -2.5, 3.25, 0.5],
+}
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        obj = {"op": "ping", "id": "x-1", "nested": {"a": [1, 2]}}
+        frame = encode_frame(obj)
+        assert frame.endswith(b"\n")
+        assert decode_frame(frame) == obj
+
+    def test_compact_encoding(self):
+        assert encode_frame({"a": 1}) == b'{"a":1}\n'
+
+    def test_malformed_json(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(b"this is not json\n")
+        assert exc.value.code == "malformed"
+
+    def test_non_object_frame(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(b"[1, 2, 3]\n")
+        assert exc.value.code == "malformed"
+
+    def test_non_utf8_frame(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(b"\xff\xfe{}\n")
+        assert exc.value.code == "malformed"
+
+    def test_response_helpers(self):
+        ok = ok_response("id-1", "ping", state="serving")
+        assert ok["ok"] is True and ok["state"] == "serving"
+        err = error_response("id-2", "submit", "queue_full", "full",
+                             retry_after_ms=12.5)
+        assert err["ok"] is False
+        assert err["error"]["code"] == "queue_full"
+        assert err["retry_after_ms"] == 12.5
+
+    def test_error_codes_are_closed(self):
+        with pytest.raises(ValueError):
+            error_response(None, "x", "no_such_code", "nope")
+        with pytest.raises(ValueError):
+            ProtocolError("no_such_code", "nope")
+        assert "queue_full" in ERROR_CODES and "oversized" in ERROR_CODES
+
+
+class TestTensorRef:
+    def test_synthetic_build_is_deterministic(self):
+        d = {"synthetic": "poisson", "dims": [12, 10, 8], "nnz": 200, "seed": 3}
+        a = TensorRef.from_payload(dict(d)).build()
+        b = TensorRef.from_payload(dict(d)).build()
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.values, b.values)
+        assert a.values.dtype == np.float64
+
+    def test_dtype_is_honored(self):
+        d = {"synthetic": "uniform", "dims": [10, 10], "nnz": 50,
+             "dtype": "float32"}
+        ref = TensorRef.from_payload(d)
+        assert ref.build().values.dtype == np.float32
+
+    def test_dataset_ref(self):
+        ref = TensorRef.from_payload({"dataset": "poisson2", "seed": 1})
+        assert ref.kind == "dataset"
+        assert ref.key() == "dataset:poisson2:1:float64"
+
+    def test_inline_build_and_key(self):
+        ref = TensorRef.from_payload(dict(INLINE))
+        t = ref.build()
+        assert t.shape == (4, 3, 2)
+        assert t.nnz == 4
+        # Equal payloads hash to equal keys; dtype is part of the key.
+        assert ref.key() == TensorRef.from_payload(dict(INLINE)).key()
+        f32 = TensorRef.from_payload({**INLINE, "dtype": "float32"})
+        assert f32.key() != ref.key()
+
+    def test_key_separates_seeds_and_generators(self):
+        base = {"synthetic": "poisson", "dims": [8, 8], "nnz": 30}
+        k0 = TensorRef.from_payload(dict(base)).key()
+        k1 = TensorRef.from_payload({**base, "seed": 1}).key()
+        k2 = TensorRef.from_payload({**base, "synthetic": "uniform"}).key()
+        assert len({k0, k1, k2}) == 3
+
+    def test_payload_roundtrip(self):
+        for payload in (
+            {"synthetic": "poisson", "dims": [6, 5], "nnz": 10, "seed": 2,
+             "dtype": "float32"},
+            {"dataset": "poisson1", "seed": 0, "dtype": "float64"},
+            {**INLINE, "dtype": "float64"},
+        ):
+            ref = TensorRef.from_payload(dict(payload))
+            again = TensorRef.from_payload(ref.to_payload())
+            assert again == ref
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"dataset": "no-such-dataset"},
+            {"synthetic": "no-such-generator", "dims": [4, 4], "nnz": 5},
+            {"synthetic": "poisson", "dims": [4], "nnz": 5},
+            {"synthetic": "poisson", "dims": [4, 0], "nnz": 5},
+            {"synthetic": "poisson", "dims": [4, 4], "nnz": 0},
+            {"synthetic": "poisson", "dims": [4, 4], "nnz": 10_000_000_000},
+            {"synthetic": "poisson", "dims": [4, 4], "nnz": 5,
+             "dtype": "float16"},
+            {"shape": [4, 4], "coords": [[0, 0]], "values": [1.0, 2.0]},
+            {"shape": [4, 4], "coords": [[0, 0, 0]], "values": [1.0]},
+            {"shape": [4, 4], "coords": [["a", "b"]], "values": [1.0]},
+            {},
+        ],
+    )
+    def test_rejections(self, bad):
+        with pytest.raises(ProtocolError) as exc:
+            TensorRef.from_payload(bad)
+        assert exc.value.code == "invalid_job"
+
+
+class TestJobSpec:
+    def _payload(self, **over):
+        d = {"tensor": dict(INLINE), "mode": 0, "rank": 8, "kernel": "mb",
+             "tune": True, "factors_seed": 3}
+        d.update(over)
+        return d
+
+    def test_valid_spec(self):
+        spec = JobSpec.from_payload(self._payload())
+        assert spec.kernel == "mb" and spec.rank == 8 and spec.tune
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError) as exc:
+            JobSpec.from_payload(self._payload(surprise=1))
+        assert "surprise" in str(exc.value)
+
+    def test_tune_requires_tunable_kernel(self):
+        with pytest.raises(ProtocolError):
+            JobSpec.from_payload(self._payload(kernel="splatt", tune=True))
+        # ...but splatt without tuning is a legal job.
+        spec = JobSpec.from_payload(self._payload(kernel="splatt", tune=False))
+        assert not spec.tune
+
+    @pytest.mark.parametrize(
+        "over",
+        [
+            {"rank": 0},
+            {"rank": 513},
+            {"mode": -1},
+            {"kernel": "no-such-kernel"},
+            {"params": [1, 2]},
+            {"tensor": {}},
+        ],
+    )
+    def test_rejections(self, over):
+        with pytest.raises(ProtocolError):
+            JobSpec.from_payload(self._payload(**over))
+
+    def test_missing_tensor(self):
+        with pytest.raises(ProtocolError):
+            JobSpec.from_payload({"rank": 4})
+        with pytest.raises(ProtocolError):
+            JobSpec.from_payload("not an object")
+
+    def test_params_normalized_hashable(self):
+        spec = JobSpec.from_payload(
+            self._payload(tune=False, params={"block_counts": [2, 2, 1]})
+        )
+        assert spec.params == (("block_counts", (2, 2, 1)),)
+        hash(spec)  # frozen + tuples: usable as a dict key
+
+    def test_batch_key_groups_equal_work(self):
+        a = JobSpec.from_payload(self._payload(factors_seed=1))
+        b = JobSpec.from_payload(self._payload(factors_seed=2))
+        # Different factor seeds share a batch (factors differ per job)...
+        assert a.batch_key() == b.batch_key()
+        # ...different rank/dtype/kernel do not.
+        c = JobSpec.from_payload(self._payload(rank=16))
+        d = JobSpec.from_payload(
+            self._payload(tensor={**INLINE, "dtype": "float32"})
+        )
+        assert a.batch_key() != c.batch_key()
+        assert a.batch_key() != d.batch_key()
+
+    def test_payload_roundtrip(self):
+        spec = JobSpec.from_payload(
+            self._payload(tune=False, params={"block_counts": [2, 1, 1]})
+        )
+        assert JobSpec.from_payload(spec.to_payload()) == spec
+
+
+class TestFactorContract:
+    def test_deterministic_and_dtyped(self):
+        a = factors_for_spec((6, 5, 4), 3, seed=9, dtype="float32")
+        b = factors_for_spec((6, 5, 4), 3, seed=9, dtype="float32")
+        assert len(a) == 3
+        for fa, fb in zip(a, b):
+            assert fa.dtype == np.float32
+            np.testing.assert_array_equal(fa, fb)
+        c = factors_for_spec((6, 5, 4), 3, seed=10, dtype="float32")
+        assert not np.array_equal(a[0], c[0])
+
+    def test_result_sha256_is_bytewise(self):
+        x = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert result_sha256(x) == result_sha256(x.copy())
+        assert result_sha256(x) != result_sha256(x.astype(np.float32))
+        # Non-contiguous views hash their C-order bytes.
+        assert result_sha256(x.T) == result_sha256(np.ascontiguousarray(x.T))

@@ -1,0 +1,197 @@
+"""Job state machine and admission queue — deterministic unit tests.
+
+These pin the concurrency semantics the server builds on (cancellation
+racing completion, deadline expiry mid-queue, queue-full rejection)
+without any threads, so every race is exercised as an explicit
+interleaving rather than a timing accident.
+"""
+
+import time
+
+import pytest
+
+from repro.serve import AdmissionQueue, JobSpec, QueueFullError
+from repro.serve.job import Job, JobState
+from repro.util.errors import ConfigError, ServeError
+
+INLINE = {
+    "shape": [4, 3, 2],
+    "coords": [[0, 0, 0], [1, 2, 1], [3, 1, 0]],
+    "values": [1.0, -2.0, 3.0],
+}
+
+
+def make_job(job_id, *, priority=0, deadline_s=None, rank=8):
+    spec = JobSpec.from_payload({"tensor": dict(INLINE), "rank": rank})
+    return Job(job_id, spec, priority=priority, deadline_s=deadline_s)
+
+
+class TestJobStateMachine:
+    def test_happy_path(self):
+        job = make_job("j1")
+        assert job.state is JobState.QUEUED
+        assert job.try_start()
+        assert job.state is JobState.RUNNING
+        assert job.try_finish(JobState.COMPLETED, {"ok": True})
+        assert job.state is JobState.COMPLETED
+        assert job.future.result(timeout=0) == {"ok": True}
+        assert job.total_latency_s() >= 0.0
+
+    def test_finish_requires_terminal_state(self):
+        job = make_job("j1")
+        with pytest.raises(ValueError):
+            job.try_finish(JobState.RUNNING, {})
+
+    def test_cancel_queued_resolves_immediately(self):
+        job = make_job("j1")
+        accepted, observed = job.try_cancel({"state": "cancelled"})
+        assert accepted and observed is JobState.QUEUED
+        assert job.state is JobState.CANCELLED
+        assert job.future.result(timeout=0) == {"state": "cancelled"}
+        # The dispatcher's later pickup must skip the entry.
+        assert not job.try_start()
+
+    def test_cancel_running_is_cooperative(self):
+        job = make_job("j1")
+        assert job.try_start()
+        accepted, observed = job.try_cancel({"state": "cancelled"})
+        assert accepted and observed is JobState.RUNNING
+        # Token set, but the job is NOT terminal: the runner decides.
+        assert job.token.cancelled
+        assert job.state is JobState.RUNNING
+        assert not job.future.done()
+
+    def test_cancel_racing_completion_single_winner(self):
+        # The canonical race: runner finishes while a cancel is in
+        # flight.  Whoever transitions first wins; the loser observes a
+        # terminal state and cannot clobber the payload.
+        job = make_job("j1")
+        job.try_start()
+        assert job.try_finish(JobState.COMPLETED, {"state": "completed"})
+        accepted, observed = job.try_cancel({"state": "cancelled"})
+        assert not accepted and observed is JobState.COMPLETED
+        assert job.future.result(timeout=0) == {"state": "completed"}
+        # And the mirror ordering: cancel-first means finish loses.
+        job2 = make_job("j2")
+        job2.try_cancel({"state": "cancelled"})
+        assert not job2.try_finish(JobState.COMPLETED, {"state": "completed"})
+        assert job2.future.result(timeout=0) == {"state": "cancelled"}
+
+    def test_deadline_trip_distinguishes_expiry_from_cancel(self):
+        job = make_job("j1", deadline_s=30.0)
+        job.try_start()
+        assert not job.deadline_tripped
+        job.trip_deadline()
+        assert job.deadline_tripped and job.token.cancelled
+        # A tripped job that is already terminal is left alone.
+        job.try_finish(JobState.EXPIRED, {"state": "expired"})
+        job.trip_deadline()
+        assert job.state is JobState.EXPIRED
+
+    def test_expired_clock(self):
+        job = make_job("j1", deadline_s=1e-4)
+        time.sleep(0.002)
+        assert job.expired()
+        assert job.deadline_remaining() < 0
+        assert not make_job("j2").expired()
+        assert make_job("j2").deadline_remaining() is None
+
+
+class TestAdmissionQueue:
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ConfigError):
+            AdmissionQueue(0)
+
+    def test_queue_full_rejection(self):
+        q = AdmissionQueue(2)
+        q.offer(make_job("a"))
+        q.offer(make_job("b"))
+        with pytest.raises(QueueFullError) as exc:
+            q.offer(make_job("c"), retry_after_ms=42.0)
+        assert exc.value.limit == 2
+        assert exc.value.retry_after_ms == 42.0
+        assert q.n_rejected_full == 1
+        assert q.peak_depth == 2
+
+    def test_batch_coalesces_same_signature(self):
+        q = AdmissionQueue(16)
+        same = [make_job(f"s{i}") for i in range(3)]
+        other = make_job("o1", rank=16)  # different batch_key
+        q.offer(same[0])
+        q.offer(other)
+        q.offer(same[1])
+        q.offer(same[2])
+        batch, expired = q.take_batch(max_batch=8, timeout=0)
+        assert [j.job_id for j in batch] == ["s0", "s1", "s2"]
+        assert expired == []
+        batch2, _ = q.take_batch(max_batch=8, timeout=0)
+        assert [j.job_id for j in batch2] == ["o1"]
+        assert q.depth == 0
+
+    def test_max_batch_bound(self):
+        q = AdmissionQueue(16)
+        for i in range(5):
+            q.offer(make_job(f"s{i}"))
+        batch, _ = q.take_batch(max_batch=2, timeout=0)
+        assert len(batch) == 2
+        assert q.depth == 3
+
+    def test_priority_orders_lead_selection(self):
+        q = AdmissionQueue(16)
+        q.offer(make_job("low", priority=0))
+        q.offer(make_job("high", priority=5, rank=16))
+        batch, _ = q.take_batch(timeout=0)
+        assert batch[0].job_id == "high"
+
+    def test_deadline_expiry_mid_queue(self):
+        # An expired job is never silently dropped: take_batch returns it
+        # separately so the caller can resolve its future.
+        q = AdmissionQueue(16)
+        doomed = make_job("doomed", deadline_s=1e-4)
+        live = make_job("live")
+        q.offer(doomed)
+        q.offer(live)
+        time.sleep(0.002)
+        batch, expired = q.take_batch(timeout=0)
+        assert [j.job_id for j in expired] == ["doomed"]
+        assert [j.job_id for j in batch] == ["live"]
+
+    def test_only_expired_entries(self):
+        q = AdmissionQueue(16)
+        q.offer(make_job("doomed", deadline_s=1e-4))
+        time.sleep(0.002)
+        got = q.take_batch(timeout=0)
+        assert got is not None
+        batch, expired = got
+        assert batch == [] and [j.job_id for j in expired] == ["doomed"]
+
+    def test_cancelled_entries_discarded_silently(self):
+        # A job cancelled while queued already resolved its future; the
+        # queue just forgets it.
+        q = AdmissionQueue(16)
+        gone = make_job("gone")
+        live = make_job("live")
+        q.offer(gone)
+        q.offer(live)
+        gone.try_cancel({"state": "cancelled"})
+        batch, expired = q.take_batch(timeout=0)
+        assert [j.job_id for j in batch] == ["live"]
+        assert expired == []
+
+    def test_timeout_returns_none(self):
+        q = AdmissionQueue(4)
+        assert q.take_batch(timeout=0.01) is None
+
+    def test_close_stops_offers_but_drains(self):
+        q = AdmissionQueue(4)
+        q.offer(make_job("a"))
+        q.close()
+        assert q.closed
+        with pytest.raises(ServeError):
+            q.offer(make_job("b"))
+        # Queued entries stay takeable so a drain can finish them...
+        batch, _ = q.take_batch(timeout=0)
+        assert [j.job_id for j in batch] == ["a"]
+        # ...then closed-and-empty reads as None without blocking.
+        assert q.take_batch(timeout=30.0) is None
+        assert len(q) == 0

@@ -1,0 +1,143 @@
+"""NDJSON/TCP transport: framing edges and cross-connection behaviour."""
+
+import threading
+
+import pytest
+
+from repro.serve import ServeConfig, SocketClient, start_in_thread
+from repro.util.errors import ServeError
+
+pytestmark = pytest.mark.parallel_exec
+
+SMALL_FRAME = 4096
+
+
+def job_payload(*, dtype="float64", factors_seed=0):
+    return {
+        "tensor": {
+            "synthetic": "uniform",
+            "dims": [20, 18, 16],
+            "nnz": 400,
+            "seed": 0,
+            "dtype": dtype,
+        },
+        "rank": 4,
+        "kernel": "mb",
+        "tune": True,
+        "factors_seed": factors_seed,
+    }
+
+
+@pytest.fixture()
+def handle():
+    h = start_in_thread(
+        ServeConfig(port=0, max_frame_bytes=SMALL_FRAME, n_workers=2)
+    )
+    try:
+        yield h
+    finally:
+        h.drain_and_stop()
+
+
+def connect(handle, **kw):
+    return SocketClient("127.0.0.1", handle.port, **kw)
+
+
+class TestSocketTransport:
+    def test_ping_and_submit(self, handle):
+        with connect(handle) as client:
+            assert client.ping()["ok"]
+            resp = client.submit(job_payload())
+            assert resp["ok"] and resp["state"] == "completed"
+            assert isinstance(resp["sha256"], str) and len(resp["sha256"]) == 64
+
+    def test_malformed_frame(self, handle):
+        with connect(handle) as client:
+            resp = client.send_raw(b"this is not json\n")
+            assert not resp["ok"]
+            assert resp["error"]["code"] == "malformed"
+            # The connection survives a malformed frame.
+            assert client.ping()["ok"]
+
+    def test_oversized_frame_closes_connection(self, handle):
+        with connect(handle) as client:
+            resp = client.send_raw(b"x" * (2 * SMALL_FRAME) + b"\n")
+            assert not resp["ok"]
+            assert resp["error"]["code"] == "oversized"
+            # Oversized is unrecoverable mid-stream: server closed us
+            # (EOF on read, or a pipe error if the send loses the race).
+            with pytest.raises((ServeError, OSError)):
+                client.ping()
+        # ...but the server itself is fine for new connections.
+        with connect(handle) as client:
+            assert client.ping()["ok"]
+
+    def test_pipelined_responses_matched_by_id(self, handle):
+        # Two submits race on one connection; each response carries the
+        # request id so the client pairs them up regardless of order.
+        with connect(handle) as a, connect(handle) as b:
+            out = {}
+
+            def run(name, client, seed):
+                out[name] = client.submit(job_payload(factors_seed=seed))
+
+            t1 = threading.Thread(target=run, args=("a", a, 1))
+            t2 = threading.Thread(target=run, args=("b", b, 2))
+            t1.start(), t2.start()
+            t1.join(60), t2.join(60)
+            assert out["a"]["ok"] and out["b"]["ok"]
+            assert out["a"]["sha256"] != out["b"]["sha256"]
+
+    def test_two_clients_mixed_dtypes(self, handle):
+        results = {}
+
+        def run(name, dtype):
+            with connect(handle) as client:
+                results[name] = client.submit(job_payload(dtype=dtype))
+
+        threads = [
+            threading.Thread(target=run, args=(f"{d}-{i}", d))
+            for i in range(2)
+            for d in ("float32", "float64")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert len(results) == 4
+        for name, resp in results.items():
+            assert resp["ok"], resp
+            assert resp["dtype"] == name.rsplit("-", 1)[0]
+
+    def test_cross_connection_cancel(self, handle):
+        # One connection submits a pre-named job; another cancels it.
+        # Whatever the race outcome, the cancel response must be typed
+        # and the submit response terminal.
+        box = {}
+
+        def submitter():
+            with connect(handle) as c:
+                box["resp"] = c.submit(job_payload(), job_id="xc-1")
+
+        t = threading.Thread(target=submitter)
+        t.start()
+        with connect(handle) as c:
+            cancel = None
+            for _ in range(2000):
+                cancel = c.cancel("xc-1")
+                if cancel["ok"] or not t.is_alive():
+                    break
+        t.join(timeout=60)
+        assert box["resp"]["state"] in ("completed", "cancelled")
+        assert cancel is not None
+
+    def test_drain_over_socket(self, handle):
+        port = handle.port
+        with connect(handle) as client:
+            assert client.submit(job_payload())["ok"]
+            drain = client.drain()
+            assert drain["ok"] and drain["drained"] is True
+            assert drain["queue_depth"] == 0
+        # Listener is closed: fresh connections are refused.
+        with pytest.raises(OSError):
+            SocketClient("127.0.0.1", port)

@@ -165,3 +165,168 @@ class TestDtypeAwareCache:
              "itemsize": 4}
         )
         assert modern.itemsize == 4
+
+
+def _entry(cost=1.0, itemsize=8):
+    return CacheEntry((2, 2, 2), None, cost, "heuristic", itemsize=itemsize)
+
+
+class TestBoundedCache:
+    """The serve-facing bounds: LRU size cap and TTL expiry."""
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ConfigError):
+            TuningCache(max_entries=0)
+        with pytest.raises(ConfigError):
+            TuningCache(ttl_s=0)
+
+    def test_lru_evicts_oldest(self):
+        cache = TuningCache(max_entries=2)
+        cache.put("a", 8, "m", _entry())
+        cache.put("b", 8, "m", _entry())
+        cache.put("c", 8, "m", _entry())
+        assert len(cache) == 2
+        assert cache.n_evicted == 1
+        assert cache.get("a", 8, "m") is None
+        assert cache.get("b", 8, "m") is not None
+
+    def test_get_refreshes_recency(self):
+        cache = TuningCache(max_entries=2)
+        cache.put("a", 8, "m", _entry())
+        cache.put("b", 8, "m", _entry())
+        # Touch "a": "b" becomes the LRU victim.
+        assert cache.get("a", 8, "m") is not None
+        cache.put("c", 8, "m", _entry())
+        assert cache.get("a", 8, "m") is not None
+        assert cache.get("b", 8, "m") is None
+
+    def test_ttl_expiry_with_injected_clock(self):
+        now = {"t": 1000.0}
+
+        def clock():
+            return now["t"]
+
+        cache = TuningCache(ttl_s=10.0, clock=clock)
+        cache.put("a", 8, "m", _entry())
+        stored = cache.get("a", 8, "m")
+        assert stored is not None and stored.created_unix == 1000.0
+        now["t"] = 1009.0
+        assert cache.get("a", 8, "m") is not None
+        now["t"] = 1011.0
+        assert cache.get("a", 8, "m") is None  # aged out: forced re-tune
+        assert cache.n_expired == 1
+        assert len(cache) == 0
+
+    def test_unbounded_put_leaves_entry_unstamped(self):
+        # The PR 5 contract: without a TTL, get returns the entry as
+        # stored (callers compare dataclasses by value).
+        cache = TuningCache()
+        entry = _entry()
+        cache.put("a", 8, "m", entry)
+        assert cache.get("a", 8, "m") == entry
+        assert cache.get("a", 8, "m").created_unix is None
+
+    def test_ttl_survives_save_load(self, tmp_path):
+        now = {"t": 500.0}
+
+        def clock():
+            return now["t"]
+
+        cache = TuningCache(ttl_s=60.0, clock=clock)
+        cache.put("a", 8, "m", _entry())
+        path = tmp_path / "tune.json"
+        cache.save(path)
+        # Ages persist: a reload 100s later reads the entry as expired.
+        now["t"] = 600.0
+        fresh = TuningCache.load(path, ttl_s=60.0, clock=clock)
+        assert fresh.get("a", 8, "m") is None
+        stale_free = TuningCache.load(path)  # unbounded load: still there
+        assert stale_free.get("a", 8, "m") is not None
+
+
+class TestWarmConfigCache:
+    """The serve admission policy over the bounded cache, including the
+    cross-dtype collision contract from the dtype-aware tuner tests."""
+
+    def _warm(self, **kw):
+        from repro.serve import WarmConfigCache
+
+        return WarmConfigCache(**kw)
+
+    def test_counts_hits_and_misses(self):
+        warm = self._warm(max_entries=4)
+        assert warm.get("a", 8, "m") is None
+        warm.put("a", 8, "m", _entry())
+        assert warm.get("a", 8, "m") is not None
+        stats = warm.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["entries"] == 1
+
+    def test_admit_after_gates_one_off_signatures(self):
+        warm = self._warm(max_entries=4, admit_after=3)
+        warm.put("scan", 8, "m", _entry())
+        warm.put("scan", 8, "m", _entry())
+        # Two sightings < admit_after: both denied, nothing cached.
+        assert warm.get("scan", 8, "m") is None
+        assert warm.stats()["denied"] == 2
+        warm.put("scan", 8, "m", _entry())  # third sighting sticks
+        assert warm.get("scan", 8, "m") is not None
+
+    def test_admit_after_validation(self):
+        with pytest.raises(ValueError):
+            self._warm(admit_after=0)
+
+    def test_ttl_eviction_vs_cross_dtype_collisions(self, setup):
+        """TTL expiry of one dtype's entry must not disturb the other
+        dtype's: the signature keys differ by the ``_b<itemsize>``
+        suffix, so the two entries age and evict independently."""
+        tensor, _ = setup
+        t32 = TestDtypeAwareCache._as32(tensor)
+        sig64 = TensorSignature.of(tensor, 0).key()
+        sig32 = TensorSignature.of(t32, 0).key()
+        assert sig64 != sig32
+        now = {"t": 0.0}
+
+        def clock():
+            return now["t"]
+
+        warm = self._warm(max_entries=8, ttl_s=10.0, clock=clock)
+        warm.put(sig64, 8, "m", _entry(itemsize=8))
+        now["t"] = 6.0
+        warm.put(sig32, 8, "m", _entry(itemsize=4))
+        assert warm.stats()["entries"] == 2
+        # f64 entry ages out first; the f32 twin must survive.
+        now["t"] = 11.0
+        assert warm.get(sig64, 8, "m") is None
+        hit32 = warm.get(sig32, 8, "m")
+        assert hit32 is not None and hit32.itemsize == 4
+        assert warm.stats()["expired"] == 1
+
+    def test_lru_eviction_keeps_hot_dtype_entry(self):
+        warm = self._warm(max_entries=2)
+        warm.put("sig_b8", 8, "m", _entry(itemsize=8))
+        warm.put("sig_b4", 8, "m", _entry(itemsize=4))
+        # Keep the f32 entry hot; a third signature evicts the f64 one.
+        assert warm.get("sig_b4", 8, "m") is not None
+        warm.put("other_b8", 8, "m", _entry(itemsize=8))
+        assert warm.get("sig_b4", 8, "m") is not None
+        assert warm.get("sig_b8", 8, "m") is None
+        assert warm.stats()["evicted"] == 1
+
+    def test_tuner_integration_under_admission_gate(self, setup):
+        """With admit_after=2, the first tuned config is denied; the
+        signature re-tunes once more, then hits thereafter — and the
+        float32 twin still never shares the float64 entry."""
+        tensor, machine = setup
+        t32 = TestDtypeAwareCache._as32(tensor)
+        warm = self._warm(max_entries=8, admit_after=2)
+        first = Tuner(tensor, 0, machine, cache=warm).get_or_tune(128)
+        assert not first.from_cache
+        assert warm.stats()["entries"] == 0  # denied: one sighting
+        second = Tuner(tensor, 0, machine, cache=warm).get_or_tune(128)
+        assert not second.from_cache  # re-tuned, now admitted
+        third = Tuner(tensor, 0, machine, cache=warm).get_or_tune(128)
+        assert third.from_cache
+        # The admitted f64 entry is invisible to the f32 run.
+        other = Tuner(t32, 0, machine, cache=warm).get_or_tune(128)
+        assert not other.from_cache

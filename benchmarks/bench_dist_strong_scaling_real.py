@@ -1,0 +1,14 @@
+"""Process-backend distributed strong scaling vs the BKR lower bound.
+
+Thin declaration: the experiment body, parameters, parity/byte checks,
+and rendering all live in the registered benchmark
+``dist_strong_scaling_real`` (see ``repro.bench.registry``); this
+wrapper only hooks it into pytest-benchmark.  Run it standalone with
+``repro bench run --filter dist_strong_scaling_real``.
+"""
+
+from repro.bench.harness import run_for_pytest
+
+
+def test_dist_strong_scaling_real(benchmark):
+    run_for_pytest("dist_strong_scaling_real", benchmark)

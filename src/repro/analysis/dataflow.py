@@ -1,4 +1,4 @@
-"""Interprocedural dtype & effect dataflow analysis (rules DF601-DF611).
+"""Interprocedural dtype & effect dataflow analysis (rules DF601-DF612).
 
 PRs 4-5 made the float32 precision contract, the parallel executor, and
 the tracer first-class, but enforced them only at *runtime*: SZ505
@@ -18,13 +18,25 @@ dtype (the sanctioned state: ``check_factors`` / ``factor_dtype`` /
 ``F64`` mark values pinned to a literal precision; ``MIXED`` is the
 error state two distinct concrete precisions join into; ``UNKNOWN`` is
 top (no claim, never flagged).  On precision-contract paths (files under
-``kernels``/``cpd``/``exec``/``tune``/``machine``, plus every kernel
-method wherever it lives) the pass flags literal ``dtype=np.float64``
-allocations (DF601), dtype-less allocations whose float64 default
-silently widens float32 pipelines (DF602), widening ``.astype`` casts of
-factor-derived values (DF603), and mixed-precision binops (DF604 when
-both sides are locally evident, DF605 when one side arrived through a
-cross-function summary — the interprocedural variant).
+``kernels``/``cpd``/``exec``/``tune``/``machine``/``dist``, plus every
+kernel method wherever it lives) the pass flags literal
+``dtype=np.float64`` allocations (DF601), dtype-less allocations whose
+float64 default silently widens float32 pipelines (DF602), widening
+``.astype`` casts of factor-derived values (DF603), and mixed-precision
+binops (DF604 when both sides are locally evident, DF605 when one side
+arrived through a cross-function summary — the interprocedural variant).
+
+**The VALUE_DTYPE alias (DF612).**  ``VALUE_DTYPE`` is the sanctioned
+float64 *default*, so allocating with it is normally silent — but it is
+still a literal-float64 sink, and the original ``repro.dist`` upcast bug
+hid behind exactly that: factor-derived values flowed into
+``dtype=VALUE_DTYPE`` allocations.  The lattice therefore carries a
+``pinned`` provenance bit on values resolved from the ``VALUE_DTYPE``
+constant, and DF612 fires when (a) a pinned-float64 allocation happens
+while a factor-derived value is live in the function, (b) a pinned
+``.astype``/cast widens a factor-derived value, or (c) a pinned-float64
+value is bound to ``factors``/``factor``.  Derive the dtype with
+``value_dtype_of`` / ``factor_dtype`` instead.
 
 **Write effects (DF606-DF608).**  Worker-task functions (anything passed
 to a pool's ``submit``) and kernel ``prepare``/``execute`` bodies must
@@ -80,7 +92,7 @@ from repro.analysis.hotpath import _dotted_chain, _per_element_index_var
 #: Directories whose files are precision-contract paths for the dtype
 #: rules (DF601-DF605).  Kernel-class methods are in scope regardless.
 DTYPE_SCOPE_DIRS: frozenset = frozenset(
-    {"kernels", "cpd", "exec", "tune", "machine"}
+    {"kernels", "cpd", "exec", "tune", "machine", "dist"}
 )
 
 #: Environment opt-out for the registration-time gate (DF611): set to
@@ -145,19 +157,28 @@ def join_all(values: Iterable[DType]) -> DType:
 @dataclass(frozen=True)
 class Value:
     """A lattice point plus its provenance: ``via_call`` marks values
-    that flowed through a cross-function summary (DF605 vs DF604)."""
+    that flowed through a cross-function summary (DF605 vs DF604);
+    ``pinned`` marks float64 resolved from the ``VALUE_DTYPE`` module
+    constant (the DF612 sink)."""
 
     dtype: DType = DType.UNKNOWN
     via_call: bool = False
+    pinned: bool = False
 
 
 UNKNOWN = Value()
 BOTTOM = Value(DType.BOTTOM)
 FACTOR = Value(DType.FACTOR)
+PINNED_F64 = Value(DType.F64, pinned=True)
 
 
 def join_values(a: Value, b: Value) -> Value:
-    return Value(join(a.dtype, b.dtype), a.via_call or b.via_call)
+    return Value(join(a.dtype, b.dtype), a.via_call or b.via_call, a.pinned or b.pinned)
+
+
+def is_pinned_f64(v: Value) -> bool:
+    """True for float64 values that trace back to ``VALUE_DTYPE``."""
+    return v.dtype is DType.F64 and v.pinned
 
 
 # ---------------------------------------------------------------------
@@ -584,6 +605,10 @@ class _DtypeAnalyzer:
             self.eval(stmt.value)
         # Nested defs/classes, pass, raise, etc.: no dtype flow tracked.
 
+    def _factor_live(self) -> bool:
+        """A factor-derived value is bound somewhere in this function."""
+        return any(v.dtype is DType.FACTOR for v in self.env.values())
+
     def _assign(self, targets: Sequence[ast.expr], value: ast.expr) -> None:
         v = self.eval(value)
         check_factors_call = (
@@ -592,6 +617,16 @@ class _DtypeAnalyzer:
         )
         for t in targets:
             if isinstance(t, ast.Name):
+                if t.id in ("factors", "factor") and is_pinned_f64(v):
+                    self._diag(
+                        "DF612",
+                        value,
+                        f"{t.id!r} is bound to a VALUE_DTYPE-pinned float64 "
+                        "value; a float32 run is silently upcast at this "
+                        "binding",
+                        hint="derive the dtype from the runtime inputs "
+                        "(value_dtype_of(tensor.values) / factor_dtype)",
+                    )
                 self.env[t.id] = v
             elif isinstance(t, (ast.Tuple, ast.List)):
                 for i, elt in enumerate(t.elts):
@@ -611,7 +646,7 @@ class _DtypeAnalyzer:
             return BOTTOM  # python scalars promote weakly
         if isinstance(node, ast.Name):
             if node.id == "VALUE_DTYPE":
-                return Value(DType.F64)
+                return PINNED_F64
             return self.env.get(node.id, UNKNOWN)
         if isinstance(node, ast.Attribute):
             if isinstance(node.value, ast.Name) and node.value.id in ("np", "numpy"):
@@ -642,9 +677,29 @@ class _DtypeAnalyzer:
             if isinstance(node.target, ast.Name):
                 self.env[node.target.id] = v
             return v
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comprehension(node.generators, node.elt)
+        if isinstance(node, ast.DictComp):
+            return self._eval_comprehension(node.generators, node.value)
         if isinstance(node, ast.Compare):
             return BOTTOM
         return UNKNOWN
+
+    def _eval_comprehension(
+        self, generators: Sequence[ast.comprehension], elt: ast.expr
+    ) -> Value:
+        """Bind each generator target to its iterable's point, then the
+        comprehension's point is the element expression's — so
+        ``[np.ascontiguousarray(f, dtype=VALUE_DTYPE) for f in init]``
+        carries the pinned-float64 provenance DF612 needs."""
+        for gen in generators:
+            v = self.eval(gen.iter)
+            for sub in ast.walk(gen.target):
+                if isinstance(sub, ast.Name):
+                    self.env[sub.id] = v
+            for cond in gen.ifs:
+                self.eval(cond)
+        return self.eval(elt)
 
     def _check_binop(self, node: ast.AST, lhs: Value, rhs: Value) -> None:
         if lhs.dtype in CONCRETE and rhs.dtype in CONCRETE and lhs.dtype is not rhs.dtype:
@@ -679,7 +734,19 @@ class _DtypeAnalyzer:
                 return Value(DType.F64, recv.via_call)
             if lit is DType.F32:
                 return Value(DType.F32, recv.via_call)
-            return self.eval(arg) if arg is not None else recv
+            if arg is not None:
+                arg_v = self.eval(arg)
+                if is_pinned_f64(arg_v) and recv.dtype in (DType.FACTOR, DType.F32):
+                    self._diag(
+                        "DF612",
+                        node,
+                        ".astype(VALUE_DTYPE) widens a factor-derived value "
+                        "to the pinned float64 default",
+                        hint="cast to the pipeline's own dtype "
+                        "(.astype(A.dtype) / the factor_dtype result)",
+                    )
+                return arg_v
+            return recv
 
         chain = _dotted_chain(f) if isinstance(f, ast.Attribute) else None
         if chain is not None and chain[0] in ("np", "numpy"):
@@ -765,7 +832,19 @@ class _DtypeAnalyzer:
             return Value(DType.F64)
         if lit is DType.F32:
             return Value(DType.F32)
-        return self.eval(dtype_node)
+        v = self.eval(dtype_node)
+        if is_pinned_f64(v) and self._factor_live():
+            self._diag(
+                "DF612",
+                call,
+                f"{what}(..., dtype=VALUE_DTYPE) pins float64 while "
+                "factor-derived values are live in this function — a "
+                "float32 pipeline is silently upcast here",
+                hint="derive the dtype from the inputs "
+                "(value_dtype_of(tensor.values), factor_dtype(factors), "
+                "A.dtype) rather than the VALUE_DTYPE default",
+            )
+        return v
 
 
 # ---------------------------------------------------------------------

@@ -39,9 +39,7 @@ from repro.analysis.diagnostics import (
     unused_suppression_diagnostics,
 )
 
-#: Directories never scanned (caches, VCS internals, virtualenvs, and
-#: packaging output — ``repro check <repo-root>`` must not lint
-#: site-packages or sdist copies of the tree).
+#: Directories never scanned (caches, VCS internals, virtualenvs).
 _SKIP_DIRS = {
     "__pycache__",
     ".git",
@@ -49,13 +47,30 @@ _SKIP_DIRS = {
     ".pytest_cache",
     ".venv",
     "venv",
-    "build",
-    "dist",
 }
+
+#: Directory names that are *usually* packaging output — but only when
+#: they are not Python packages.  A bare name test here once silently
+#: excluded the whole ``repro/dist`` package from every check run,
+#: which is how the dist float64-upcast bug escaped the dataflow pass.
+_PACKAGING_DIRS = {"build", "dist"}
 
 
 def _skip_part(part: str) -> bool:
     return part in _SKIP_DIRS or part.endswith(".egg-info")
+
+
+def _skip_path(f: "Path") -> bool:
+    """True when any ancestor directory disqualifies ``f``: caches and
+    VCS dirs always; ``build``/``dist`` only when they are packaging
+    output rather than a package (no ``__init__.py``)."""
+    for parent in f.parents:
+        name = parent.name
+        if _skip_part(name):
+            return True
+        if name in _PACKAGING_DIRS and not (parent / "__init__.py").is_file():
+            return True
+    return False
 
 
 def default_paths() -> list[Path]:
@@ -75,7 +90,7 @@ def iter_python_files(paths: Sequence[Path]) -> list[Path]:
             out.add(p)
         elif p.is_dir():
             for f in p.rglob("*.py"):
-                if not any(_skip_part(part) for part in f.parts):
+                if not _skip_path(f):
                     out.add(f)
     return sorted(out)
 

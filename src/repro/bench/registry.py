@@ -476,6 +476,58 @@ register_benchmark(
 
 
 # ----------------------------------------------------------------------
+# Real process-backend strong scaling (lower-bound gated)
+# ----------------------------------------------------------------------
+def _check_dist_real(rows: list, params: Mapping[str, Any]) -> None:
+    counts = list(params.get("rank_counts", (1, 2, 4)))
+    assert [r["ranks"] for r in rows] == counts
+    for r in rows:
+        # The whole point of the process backend: bitwise sim parity and
+        # measured bytes exactly matching the CommLedger accounting.
+        assert r["bitwise_equal"], r
+        assert r["comm_bytes"] == r["measured_bytes"] == r["sim_bytes"], r
+        assert 0.0 < r["attained_fraction"] <= 1.0, r
+        if r["ranks"] == 1:
+            assert r["measured_bytes"] == 0, r
+            assert r["attained_fraction"] == 1.0, r
+        else:
+            assert r["measured_bytes"] >= r["bound_bytes"], r
+
+
+register_benchmark(
+    Benchmark(
+        name="dist_strong_scaling_real",
+        fn=suites.experiment_dist_strong_scaling_real,
+        setup=suites.setup_dist_strong_scaling_real,
+        teardown=suites.teardown_dist_strong_scaling_real,
+        tags=frozenset({"dist", "supplementary"}),
+        description=(
+            "Process-backend strong scaling: bitwise sim parity, measured "
+            "bytes vs the BKR communication lower bound"
+        ),
+        quick={"nnz": 12_000, "rank": 8},
+        check=_check_dist_real,
+        metrics=lambda rows: {
+            **{
+                f"comm_bytes_p{r['ranks']}": float(r["comm_bytes"])
+                for r in rows
+            },
+            **{
+                f"attained_fraction_p{r['ranks']}": r["attained_fraction"]
+                for r in rows
+                if r["ranks"] > 1
+            },
+        },
+        render=lambda rows: render_rows(
+            rows,
+            title="Distributed strong scaling (process backend, measured)",
+        ),
+        artifact="dist_strong_scaling_real",
+    )
+)
+
+
+# ----------------------------------------------------------------------
 # Ablations
 # ----------------------------------------------------------------------
 def _check_dimtree(rows: list, params: Mapping[str, Any]) -> None:

@@ -330,6 +330,119 @@ def cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dist(args: argparse.Namespace) -> int:
+    """Run one distributed MTTKRP on both backends (``repro dist``).
+
+    The sim backend models the ranks in-process; the process backend
+    shards the same decomposition onto real pinned workers exchanging
+    data through shared-memory collectives.  Prints the parity verdict,
+    the byte accounting (modeled ledger vs measured), and the attained
+    fraction of the Ballard/Knight/Rouse communication lower bound;
+    exits nonzero when the backends disagree bitwise or the measured
+    bytes diverge from the ledger.
+    """
+    import json
+
+    import numpy as np
+
+    from repro.dist import (
+        ProcessGrid,
+        SimCluster,
+        attained_fraction,
+        distributed_mttkrp,
+        medium_grain_decompose,
+        mttkrp_comm_lower_bound,
+        network_for_dataset,
+    )
+    from repro.dist.costmodel import infiniband_edr
+    from repro.dist.driver import choose_grid
+    from repro.util.rng import resolve_rng
+
+    tensor = _load_tensor(args)
+    machine = _machine_for(args)
+    network = (
+        network_for_dataset(DATASETS[args.dataset])
+        if args.dataset
+        else infiniband_edr()
+    )
+    n_ranks = args.ranks
+    groups = args.rank_groups
+    if n_ranks % groups:
+        print(f"repro dist: --ranks {n_ranks} not divisible by "
+              f"--rank-groups {groups}", file=sys.stderr)
+        return 2
+    dims = choose_grid(n_ranks // groups, tensor.shape)
+    grid = ProcessGrid(dims, groups)
+    decomp = medium_grain_decompose(tensor, ProcessGrid(dims), seed=args.seed)
+    rng = resolve_rng(args.seed)
+    factors = [
+        np.ascontiguousarray(
+            rng.standard_normal((n, args.rank)), dtype=tensor.values.dtype
+        )
+        for n in tensor.shape
+    ]
+    sim = distributed_mttkrp(
+        decomp, factors, args.mode, machine,
+        SimCluster(grid.n_ranks, network), rank_groups=groups,
+    )
+    proc = distributed_mttkrp(
+        decomp, factors, args.mode, machine,
+        rank_groups=groups, backend="process",
+    )
+    bitwise = bool(np.array_equal(sim.output, proc.output))
+    bytes_ok = (
+        sim.comm_bytes == proc.comm_bytes == proc.measured_comm_bytes
+    )
+    itemsize = factors[0].dtype.itemsize
+    bound = mttkrp_comm_lower_bound(
+        tensor.shape, tensor.nnz, args.rank, grid.n_ranks, itemsize
+    )
+    frac = attained_fraction(
+        tensor.shape, tensor.nnz, args.rank, grid.n_ranks, itemsize,
+        proc.measured_comm_bytes,
+    )
+    report = {
+        "grid": proc.grid_label,
+        "ranks": grid.n_ranks,
+        "mode": args.mode,
+        "dtype": str(tensor.values.dtype),
+        "bitwise_equal": bitwise,
+        "sim_comm_bytes": int(sim.comm_bytes),
+        "ledger_comm_bytes": int(proc.comm_bytes),
+        "measured_comm_bytes": int(proc.measured_comm_bytes),
+        "bound_bytes": round(bound, 1),
+        "attained_fraction": round(frac, 4),
+        "sim_time_s": sim.total_time,
+        "measured_comm_s": float(proc.comm_seconds.max()),
+        "measured_compute_s": float(proc.compute_times.max()),
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+    rows = [
+        ["sim", sim.grid_label, format_seconds(sim.total_time),
+         f"{sim.comm_bytes:.0f}", "modeled"],
+        ["process", proc.grid_label,
+         format_seconds(report["measured_comm_s"]
+                        + report["measured_compute_s"]),
+         f"{proc.measured_comm_bytes:.0f}", "measured"],
+    ]
+    print(format_table(
+        ["backend", "grid", "time", "comm bytes", "kind"],
+        rows,
+        title=f"distributed MTTKRP (mode {args.mode}, rank {args.rank}, "
+              f"{tensor.values.dtype})",
+    ))
+    print(f"bitwise parity: {'OK' if bitwise else 'MISMATCH'}")
+    print(f"byte accounting: {'OK' if bytes_ok else 'MISMATCH'} "
+          f"(sim {report['sim_comm_bytes']}, ledger "
+          f"{report['ledger_comm_bytes']}, measured "
+          f"{report['measured_comm_bytes']})")
+    print(f"BKR lower bound: {bound:.0f} B, attained fraction {frac:.4f}")
+    return 0 if (bitwise and bytes_ok) else 1
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """Run the static-analysis passes (``repro check``).
 
@@ -1183,6 +1296,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--nodes", type=int, nargs="+", default=[1, 2, 4, 8, 16, 32, 64]
     )
     p.set_defaults(func=cmd_scaling)
+
+    p = sub.add_parser(
+        "dist",
+        help="one distributed MTTKRP on both backends: bitwise parity, "
+        "measured vs ledger bytes, BKR lower-bound fraction",
+    )
+    _add_tensor_args(p)
+    p.add_argument("--rank", type=int, default=16)
+    p.add_argument("--ranks", type=int, default=4, help="process count")
+    p.add_argument(
+        "--rank-groups",
+        type=int,
+        default=1,
+        help="4D rank-dimension replication groups (must divide --ranks)",
+    )
+    p.add_argument("--mode", type=int, default=0, choices=(0, 1, 2))
+    p.add_argument("--json", metavar="PATH", help="write the report JSON")
+    p.set_defaults(func=cmd_dist)
 
     p = sub.add_parser(
         "trace",

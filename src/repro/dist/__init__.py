@@ -1,22 +1,35 @@
-"""Simulated distributed substrate — the substitute for the paper's
-64-node POWER8/MPI cluster.
+"""Distributed substrate — the substitute for the paper's 64-node
+POWER8/MPI cluster, with two interchangeable backends.
 
-The package executes the distributed MTTKRP *numerically* (per-rank NumPy
-blocks exchanged through simulated collectives, so results are exact and
-testable against the shared-memory kernels) while an alpha-beta cost
-ledger accounts every byte moved; per-rank compute time comes from the
-machine model.  Table III's shape is governed by communication volume
-versus per-node work, which this reproduces mechanism-for-mechanism
-(DESIGN.md §2).
+``backend="sim"`` executes the distributed MTTKRP *numerically* (per-rank
+NumPy blocks exchanged through simulated collectives, so results are
+exact and testable against the shared-memory kernels) while an
+alpha-beta cost ledger accounts every byte moved; per-rank compute time
+comes from the machine model.  ``backend="process"`` shards the same
+decomposition onto real pinned worker processes exchanging data through
+``multiprocessing.shared_memory`` collectives, with communication time
+*measured* and bytes *counted* — and produces bitwise-identical output,
+so the simulation stays as a cross-check (measured bytes must equal the
+ledger's accounting).  Table III's shape is governed by communication
+volume versus per-node work, which both backends reproduce
+mechanism-for-mechanism (DESIGN.md §2); the Ballard/Knight/Rouse lower
+bound (:mod:`repro.dist.lowerbound`) turns measured volume into a
+gated regression floor.
 
 * :mod:`repro.dist.comm` — :class:`SimCluster`: collectives over per-rank
   buffers with cost accounting.
+* :mod:`repro.dist.shmcomm` — :class:`ShmCluster`: real shared-memory
+  collectives with measured time and counted bytes.
+* :mod:`repro.dist.procbackend` — the SPMD rank program dispatched onto
+  pinned :class:`~repro.exec.pool.WorkerPool` processes.
 * :mod:`repro.dist.costmodel` — the alpha-beta network model.
 * :mod:`repro.dist.grid` — 3D and 4D (rank-extended) process grids.
 * :mod:`repro.dist.mediumgrain` — the medium-grained decomposition of
   Smith & Karypis (random mode permutation + greedy nnz-balanced slabs).
 * :mod:`repro.dist.mttkrp` — the distributed MTTKRP (gather factor rows,
-  local kernel, fold partial outputs).
+  local kernel, fold partial outputs; ``backend=`` front door).
+* :mod:`repro.dist.lowerbound` — MTTKRP communication lower bounds
+  (arXiv:1708.07401) and the attained-fraction metric.
 * :mod:`repro.dist.driver` — strong-scaling experiments (Table III).
 """
 
@@ -38,6 +51,8 @@ from repro.dist.coarsegrain import (
     coarse_grain_decompose,
     coarse_grained_mttkrp,
 )
+from repro.dist.lowerbound import attained_fraction, mttkrp_comm_lower_bound
+from repro.dist.shmcomm import ShmCluster, ShmComm, ShmLayout
 
 __all__ = [
     "NetworkModel",
@@ -59,4 +74,9 @@ __all__ = [
     "CoarseGrainDecomposition",
     "coarse_grain_decompose",
     "coarse_grained_mttkrp",
+    "ShmCluster",
+    "ShmComm",
+    "ShmLayout",
+    "attained_fraction",
+    "mttkrp_comm_lower_bound",
 ]

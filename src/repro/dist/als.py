@@ -30,7 +30,8 @@ from repro.dist.mediumgrain import MediumGrainDecomposition, medium_grain_decomp
 from repro.dist.mttkrp import distributed_mttkrp
 from repro.machine.spec import MachineSpec
 from repro.tensor.coo import COOTensor
-from repro.util.validation import VALUE_DTYPE, check_rank, require
+from repro.util.errors import DistributionError
+from repro.util.validation import check_rank, require, value_dtype_of
 
 
 @dataclass
@@ -41,10 +42,15 @@ class DistALSResult:
     fits: list[float] = field(default_factory=list)
     n_iters: int = 0
     converged: bool = False
-    #: Modeled wall time of the whole run (makespan of the slowest rank).
+    #: Wall time of the whole run (modeled makespan for the sim backend,
+    #: summed measured per-call makespans for the process backend).
     total_time: float = 0.0
-    #: Total bytes moved by collectives across the run.
+    #: Total bytes moved by collectives across the run (ledger formulas).
     comm_bytes: float = 0.0
+    #: Which substrate executed the run.
+    backend: str = "sim"
+    #: Bytes actually copied out of peer segments (process backend only).
+    measured_comm_bytes: "float | None" = None
 
     @property
     def final_fit(self) -> float:
@@ -66,79 +72,130 @@ def distributed_cp_als(
     local_rank_blocking: "RankBlocking | None" = None,
     init: "str | Sequence[np.ndarray]" = "random",
     seed: "int | None" = 0,
+    backend: str = "sim",
 ) -> DistALSResult:
-    """Run CP-ALS with every MTTKRP distributed over the simulated cluster.
+    """Run CP-ALS with every MTTKRP distributed over the cluster.
 
     ``grid`` describes one rank group's 3D layout; ``rank_groups > 1``
     adds the 4D rank dimension.  One medium-grained decomposition is
     computed up front and reused for all modes and iterations (factor
     chunk ownership follows each mode's slabs).
+
+    ``backend="process"`` shards every MTTKRP (and the Gram allreduce)
+    across real worker processes through one shared-memory cluster that
+    lives for the whole run; the factor trajectory is bitwise identical
+    to the sim backend's.
     """
     rank = check_rank(rank)
     require(n_iters >= 1, "n_iters must be >= 1")
+    if backend not in ("sim", "process"):
+        raise DistributionError(
+            f"backend must be 'sim' or 'process', got {backend!r}"
+        )
     full_grid = ProcessGrid(grid.dims, rank_groups)
     cluster = SimCluster(full_grid.n_ranks, network or infiniband_edr())
     decomp: MediumGrainDecomposition = medium_grain_decompose(
         tensor, grid, seed=seed
     )
 
+    # The working dtype follows the tensor's values end-to-end (the
+    # PR-4/5 precision contract): a float32 tensor decomposes in float32,
+    # exactly as shared-memory ``cp_als`` does.
+    dtype = value_dtype_of(tensor.values)
     if isinstance(init, str):
         factors = init_factors(tensor, rank, method=init, seed=seed)
     else:
-        factors = [np.ascontiguousarray(f, dtype=VALUE_DTYPE) for f in init]
+        factors = [np.ascontiguousarray(f, dtype=dtype) for f in init]
     grams = [f.T @ f for f in factors]
-    weights = np.ones(rank, dtype=VALUE_DTYPE)
+    weights = np.ones(rank, dtype=dtype)
     norm_x = float(np.linalg.norm(tensor.values))
+
+    shm = None
+    total_time = 0.0
+    measured_bytes = 0.0
+    ledger_bytes = 0.0
+    if backend == "process":
+        from repro.dist.procbackend import gram_allreduce, required_capacity
+        from repro.dist.shmcomm import ShmCluster
+
+        shm = ShmCluster(
+            full_grid.n_ranks,
+            required_capacity(decomp, rank, rank_groups, np.dtype(dtype).itemsize),
+        )
 
     fits: list[float] = []
     converged = False
     iteration = 0
-    for iteration in range(1, n_iters + 1):
-        for mode in range(3):
-            res = distributed_mttkrp(
-                decomp,
-                factors,
-                mode,
-                machine,
-                cluster,
-                rank_groups=rank_groups,
-                local_block_counts=local_block_counts,
-                local_rank_blocking=local_rank_blocking,
-            )
-            m_mat = res.output
-            v = np.ones((rank, rank), dtype=VALUE_DTYPE)
-            for m, g in enumerate(grams):
-                if m != mode:
-                    v *= g
-            f_new = m_mat @ np.linalg.pinv(v)
-            if iteration == 1:
-                norms = np.maximum(np.abs(f_new).max(axis=0), 1e-12)
-            else:
-                norms = np.linalg.norm(f_new, axis=0)
-                norms = np.where(norms > 1e-12, norms, 1.0)
-            f_new = f_new / norms
-            weights = norms.astype(VALUE_DTYPE)
-            factors[mode] = np.ascontiguousarray(f_new, dtype=VALUE_DTYPE)
-            grams[mode] = factors[mode].T @ factors[mode]
-            # The Gram update is an allreduce of an R x R matrix in the
-            # real implementation; charge it.
-            group = list(range(full_grid.n_ranks))
-            cluster.allreduce(
-                group, [grams[mode] / full_grid.n_ranks] * full_grid.n_ranks
-            )
+    try:
+        for iteration in range(1, n_iters + 1):
+            for mode in range(3):
+                res = distributed_mttkrp(
+                    decomp,
+                    factors,
+                    mode,
+                    machine,
+                    cluster if backend == "sim" else None,
+                    rank_groups=rank_groups,
+                    local_block_counts=local_block_counts,
+                    local_rank_blocking=local_rank_blocking,
+                    backend=backend,
+                    shm=shm,
+                )
+                m_mat = res.output
+                v = np.ones((rank, rank), dtype=dtype)
+                for m, g in enumerate(grams):
+                    if m != mode:
+                        v *= g
+                f_new = m_mat @ np.linalg.pinv(v)
+                if iteration == 1:
+                    norms = np.maximum(np.abs(f_new).max(axis=0), 1e-12)
+                else:
+                    norms = np.linalg.norm(f_new, axis=0)
+                    norms = np.where(norms > 1e-12, norms, 1.0)
+                f_new = f_new / norms
+                weights = norms.astype(dtype)
+                factors[mode] = np.ascontiguousarray(f_new, dtype=dtype)
+                grams[mode] = factors[mode].T @ factors[mode]
+                # The Gram update is an allreduce of an R x R matrix in
+                # the real implementation; charge it (sim) or actually
+                # move it (process).
+                if backend == "sim":
+                    group = list(range(full_grid.n_ranks))
+                    cluster.allreduce(
+                        group,
+                        [grams[mode] / full_grid.n_ranks] * full_grid.n_ranks,
+                    )
+                else:
+                    lb, mb, secs = gram_allreduce(
+                        shm, full_grid, grams[mode] / full_grid.n_ranks
+                    )
+                    ledger_bytes += lb
+                    measured_bytes += mb
+                    total_time += secs
+                    total_time += res.total_time
+                    ledger_bytes += res.comm_bytes
+                    measured_bytes += res.measured_comm_bytes or 0.0
 
-        model = KruskalTensor(weights, factors)
-        fit = model.fit(tensor, norm_x)
-        fits.append(fit)
-        if len(fits) >= 2 and abs(fits[-1] - fits[-2]) < tol:
-            converged = True
-            break
+            model = KruskalTensor(weights, factors)
+            fit = model.fit(tensor, norm_x)
+            fits.append(fit)
+            if len(fits) >= 2 and abs(fits[-1] - fits[-2]) < tol:
+                converged = True
+                break
+    finally:
+        if shm is not None:
+            shm.close()
 
+    if backend == "sim":
+        total_time = cluster.ledger.makespan
+        ledger_bytes = cluster.ledger.total_bytes
     return DistALSResult(
         model=KruskalTensor(weights, factors),
         fits=fits,
         n_iters=iteration,
         converged=converged,
-        total_time=cluster.ledger.makespan,
-        comm_bytes=cluster.ledger.total_bytes,
+        total_time=total_time,
+        comm_bytes=ledger_bytes,
+        backend=backend,
+        measured_comm_bytes=measured_bytes if backend == "process" else None,
     )

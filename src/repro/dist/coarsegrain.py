@@ -28,10 +28,11 @@ from repro.dist.comm import SimCluster
 from repro.dist.costmodel import NetworkModel, infiniband_edr
 from repro.dist.mediumgrain import greedy_slice_partition
 from repro.dist.mttkrp import DistMTTKRPResult
+from repro.kernels.base import factor_dtype
 from repro.machine.spec import MachineSpec
 from repro.perf.model import predict_time, prepare_plan
 from repro.tensor.coo import COOTensor
-from repro.util.validation import VALUE_DTYPE, check_mode, check_rank, require
+from repro.util.validation import check_mode, check_rank, require
 
 
 @dataclass
@@ -96,8 +97,11 @@ def coarse_grained_mttkrp(
     p = decomp.n_procs
     cluster = cluster or SimCluster(p, network or infiniband_edr())
 
-    out = np.zeros((decomp.tensor_shape[mode], rank), dtype=VALUE_DTYPE)
-    compute_times = np.zeros(p)
+    # Output follows the factor dtype (float32 runs stay float32).
+    out = np.zeros((decomp.tensor_shape[mode], rank), dtype=factor_dtype(
+        [f if m != mode else None for m, f in enumerate(factors)]
+    ))
+    compute_times = np.zeros(p)  # repro: noqa[DF602] — wall-clock seconds, not values
     for proc, block in enumerate(decomp.blocks):
         lo, hi = int(decomp.boundaries[proc]), int(decomp.boundaries[proc + 1])
         if block.nnz:

@@ -33,7 +33,7 @@ from repro.machine.spec import MachineSpec
 from repro.perf.model import model_evaluator
 from repro.tensor.coo import COOTensor
 from repro.util.rng import resolve_rng
-from repro.util.validation import VALUE_DTYPE, check_rank, require
+from repro.util.validation import check_rank, require, value_dtype_of
 
 
 def _prime_factors(n: int) -> list[int]:
@@ -161,8 +161,11 @@ def strong_scaling(
     rank = check_rank(rank)
     network = network or infiniband_edr()
     rng = resolve_rng(seed)
+    # Factors inherit the tensor's working dtype (float32 stays float32).
     factors = [
-        np.ascontiguousarray(rng.standard_normal((n, rank)), dtype=VALUE_DTYPE)
+        np.ascontiguousarray(
+            rng.standard_normal((n, rank)), dtype=value_dtype_of(tensor.values)
+        )
         for n in tensor.shape
     ]
 

@@ -189,9 +189,10 @@ def medium_grain_decompose(
                 coords=(a, b, c), bounds=block_bounds(a, b, c), tensor=sub
             )
 
-    # Materialize empty blocks so every process exists.
+    # Materialize empty blocks so every process exists.  Empty values
+    # keep the tensor's dtype so downstream kernels never see a mix.
     empty_idx = np.empty((0, 3), dtype=INDEX_DTYPE)
-    empty_val = np.empty(0)
+    empty_val = np.empty(0, dtype=tensor.values.dtype)
     for a in range(q):
         for b in range(r):
             for c in range(s):

@@ -37,30 +37,43 @@ from repro.analysis.races import verify_fold_covers_conflicts
 from repro.blocking.rank import RankBlocking
 from repro.dist.comm import SimCluster
 from repro.dist.mediumgrain import MediumGrainDecomposition
-from repro.kernels.base import get_kernel
+from repro.kernels.base import factor_dtype, get_kernel
 from repro.machine.spec import MachineSpec
 from repro.perf.model import predict_time, prepare_plan
 from repro.tensor.coo import COOTensor
 from repro.util.errors import DistributionError
-from repro.util.validation import VALUE_DTYPE, check_mode, check_rank
+from repro.util.validation import check_mode, check_rank
 
 
 @dataclass
 class DistMTTKRPResult:
-    """Outcome of one simulated distributed MTTKRP."""
+    """Outcome of one distributed MTTKRP (simulated or real).
+
+    With ``backend="sim"`` the times are modeled (machine model +
+    alpha-beta network) and ``measured_comm_bytes`` is ``None``; with
+    ``backend="process"`` every time is a wall-clock measurement and the
+    measured byte count must equal ``comm_bytes`` (the ledger's formula
+    accounting) — the invariant the test suite gates.
+    """
 
     #: Assembled (I_mode, R) output — exact, for verification.
     output: np.ndarray
-    #: Modeled completion time of the slowest rank (compute + comm).
+    #: Completion time of the slowest rank (compute + comm).
     total_time: float
     #: Sum of all collective costs.
     comm_time: float
-    #: Per-rank modeled local-kernel time.
+    #: Per-rank local-kernel time (modeled for sim, measured for process).
     compute_times: np.ndarray
-    #: Bytes moved by all collectives.
+    #: Bytes moved by all collectives per the ledger's formulas.
     comm_bytes: float
     #: The grid notation used (Table III's "3D grid" / "4D grid" columns).
     grid_label: str
+    #: Which substrate executed the run.
+    backend: str = "sim"
+    #: Bytes actually copied out of peer segments (process backend only).
+    measured_comm_bytes: "float | None" = None
+    #: Per-rank measured seconds inside collectives (process backend only).
+    comm_seconds: "np.ndarray | None" = None
 
     @property
     def max_compute_time(self) -> float:
@@ -93,6 +106,8 @@ def distributed_mttkrp(
     rank_groups: int = 1,
     local_block_counts: "Sequence[int] | None" = None,
     local_rank_blocking: "RankBlocking | None" = None,
+    backend: str = "sim",
+    shm: "object | None" = None,
 ) -> DistMTTKRPResult:
     """Run one distributed mode-``mode`` MTTKRP.
 
@@ -101,7 +116,18 @@ def distributed_mttkrp(
     ``t`` layers, each computing an ``R/t``-column strip (the 4D scheme).
     ``machine`` is the per-process machine model (one socket in the
     paper's setup).
+
+    ``backend="sim"`` (default) simulates the ranks in-process with
+    modeled times; ``backend="process"`` shards the decomposition across
+    real pinned worker processes exchanging data through shared-memory
+    collectives (pass an open :class:`~repro.dist.shmcomm.ShmCluster` as
+    ``shm`` to reuse segments and workers across calls).  Both backends
+    produce bitwise-identical outputs.
     """
+    if backend not in ("sim", "process"):
+        raise DistributionError(
+            f"backend must be 'sim' or 'process', got {backend!r}"
+        )
     grid = decomp.grid
     if grid.rank_groups != rank_groups:
         grid = type(grid)(grid.dims, rank_groups)
@@ -110,11 +136,12 @@ def distributed_mttkrp(
     rank = check_rank(factors[(mode + 1) % 3].shape[1])
     inner_mode = (mode + 1) % 3
     fiber_mode = (mode + 2) % 3
-    cluster = cluster or SimCluster(grid.n_ranks)
-    if cluster.n_ranks < grid.n_ranks:
-        raise DistributionError(
-            f"cluster has {cluster.n_ranks} ranks, grid needs {grid.n_ranks}"
-        )
+    if backend == "sim":
+        cluster = cluster or SimCluster(grid.n_ranks)
+        if cluster.n_ranks < grid.n_ranks:
+            raise DistributionError(
+                f"cluster has {cluster.n_ranks} ranks, grid needs {grid.n_ranks}"
+            )
 
     # Race check before any compute is modeled: processes sharing an
     # output chunk conflict by design (the fold reduce-scatters their
@@ -137,9 +164,27 @@ def distributed_mttkrp(
             + "; ".join(d.message for d in plan_errors[:3])
         )
 
+    if backend == "process":
+        from repro.dist.procbackend import run_process_mttkrp
+
+        fields = run_process_mttkrp(
+            decomp,
+            factors,
+            mode,
+            grid,
+            rank_groups=rank_groups,
+            local_block_counts=local_block_counts,
+            local_rank_blocking=local_rank_blocking,
+            shm=shm,
+        )
+        fields.pop("records", None)
+        return DistMTTKRPResult(backend="process", **fields)
+
     strips = RankBlocking(n_blocks=rank_groups).strips(rank)
-    out = np.zeros((shape[mode], rank), dtype=VALUE_DTYPE)
-    compute_times = np.zeros(grid.n_ranks)
+    # Output follows the factor dtype end-to-end: a float32 decomposition
+    # folds and assembles float32 rows (the PR-4/5 precision contract).
+    out = np.zeros((shape[mode], rank), dtype=factor_dtype(list(factors)))
+    compute_times = np.zeros(grid.n_ranks)  # repro: noqa[DF602] — seconds, not values
 
     q, r, s = grid.dims
     axis_of = [decomp.axis_of_mode(m) for m in range(3)]

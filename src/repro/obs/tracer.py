@@ -64,6 +64,9 @@ COUNTER_UNITS: dict[str, str] = {
     "tune.evaluations": "candidates",
     "cachesim.accesses": "lines",
     "cachesim.misses": "lines",
+    "dist.comm_bytes": "bytes",
+    "dist.collectives": "collectives",
+    "dist.ranks": "ranks",
     "serve.accepted": "jobs",
     "serve.completed": "jobs",
     "serve.rejected_full": "jobs",

@@ -26,28 +26,45 @@ from repro.util.validation import INDEX_DTYPE, VALUE_DTYPE
 
 
 def save_tns(tensor: COOTensor, path: "str | os.PathLike[str]") -> None:
-    """Write a COO tensor as FROSTT ``.tns`` text (1-based coordinates)."""
-    data = np.empty((tensor.nnz, tensor.order + 1), dtype=VALUE_DTYPE)
+    """Write a COO tensor as FROSTT ``.tns`` text (1-based coordinates).
+
+    Besides the ``# shape:`` header the writer records the value dtype as
+    a ``# dtype:`` comment — plain-text ``.tns`` has no binary itemsize,
+    so this is how a float32 tensor survives a save/load round trip.
+    Third-party FROSTT files without the comment load as
+    :data:`VALUE_DTYPE` exactly as before.
+    """
+    # Stage through float64: exact for float32 payloads and for any
+    # realistic coordinate (indices < 2**53).
+    data = np.empty((tensor.nnz, tensor.order + 1), dtype=np.float64)
     data[:, : tensor.order] = tensor.indices + 1
     data[:, tensor.order] = tensor.values
     fmt = ["%d"] * tensor.order + ["%.17g"]
-    header = " ".join(str(s) for s in tensor.shape)
-    np.savetxt(path, data, fmt=fmt, header=header, comments="# shape: ")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# shape: " + " ".join(str(s) for s in tensor.shape) + "\n")
+        fh.write(f"# dtype: {np.dtype(tensor.values.dtype).name}\n")
+        np.savetxt(fh, data, fmt=fmt)
 
 
 def load_tns(
     path: "str | os.PathLike[str] | io.TextIOBase",
     shape: Sequence[int] | None = None,
+    *,
+    dtype: "np.dtype | type | str | None" = None,
 ) -> COOTensor:
     """Read a FROSTT ``.tns`` file into a COO tensor.
 
     The shape is taken from (in priority order): the explicit ``shape``
     argument, a ``# shape: I J K`` comment header (written by
-    :func:`save_tns`), or the per-mode coordinate maxima.  Paths ending
-    in ``.gz`` are transparently decompressed (FROSTT distributes tensors
-    gzipped).
+    :func:`save_tns`), or the per-mode coordinate maxima.  The value
+    dtype likewise: the explicit ``dtype`` argument, a ``# dtype:``
+    header, or :data:`VALUE_DTYPE` — so a float32 tensor written by
+    :func:`save_tns` loads back as float32 instead of being silently
+    upcast.  Paths ending in ``.gz`` are transparently decompressed
+    (FROSTT distributes tensors gzipped).
     """
     header_shape: tuple[int, ...] | None = None
+    header_dtype: np.dtype | None = None
     if hasattr(path, "read"):
         text = path.read()
     elif str(path).endswith(".gz"):
@@ -70,8 +87,19 @@ def load_tns(
                 header_shape = tuple(
                     int(tok) for tok in body.split(":", 1)[1].split()
                 )
+            elif body.lower().startswith("dtype:"):
+                try:
+                    header_dtype = np.dtype(body.split(":", 1)[1].strip())
+                except TypeError as exc:
+                    raise FormatError(f"unreadable # dtype: header: {exc}") from exc
             continue
         rows.append([float(tok) for tok in stripped.split()])
+    if dtype is not None:
+        final_dtype = np.dtype(dtype)
+    elif header_dtype is not None:
+        final_dtype = header_dtype
+    else:
+        final_dtype = np.dtype(VALUE_DTYPE)
     if not rows:
         if shape is None and header_shape is None:
             raise FormatError("empty .tns file and no shape given")
@@ -80,7 +108,7 @@ def load_tns(
         return COOTensor(
             final_shape,
             np.empty((0, order), dtype=INDEX_DTYPE),
-            np.empty(0, dtype=VALUE_DTYPE),
+            np.empty(0, dtype=final_dtype),
             validate=False,
         )
 
@@ -89,10 +117,12 @@ def load_tns(
         raise FormatError(".tns lines need at least one coordinate and a value")
     if any(len(r) != width for r in rows):
         raise FormatError("inconsistent column count across .tns lines")
-    data = np.asarray(rows, dtype=VALUE_DTYPE)
+    # Parse through float64 (exact for text-encoded f32 payloads and all
+    # realistic coordinates), then narrow values to the resolved dtype.
+    data = np.asarray(rows, dtype=np.float64)
     order = width - 1
     indices = data[:, :order].astype(INDEX_DTYPE) - 1
-    values = data[:, order]
+    values = np.ascontiguousarray(data[:, order], dtype=final_dtype)
     if np.any(indices < 0):
         raise FormatError(".tns coordinates must be 1-based positive integers")
 
@@ -115,14 +145,25 @@ def save_npz(tensor: COOTensor, path: "str | os.PathLike[str]") -> None:
     )
 
 
-def load_npz(path: "str | os.PathLike[str]") -> COOTensor:
-    """Read a COO tensor written by :func:`save_npz`."""
+def load_npz(
+    path: "str | os.PathLike[str]",
+    *,
+    dtype: "np.dtype | type | str | None" = None,
+) -> COOTensor:
+    """Read a COO tensor written by :func:`save_npz`.
+
+    The binary format stores the value array verbatim, so the stored
+    dtype is preserved by default; pass ``dtype`` to coerce on load.
+    """
     with np.load(path) as data:
         missing = {"shape", "indices", "values"} - set(data.files)
         if missing:
             raise FormatError(f".npz archive missing arrays: {sorted(missing)}")
+        values = data["values"]
+        if dtype is not None:
+            values = np.ascontiguousarray(values, dtype=np.dtype(dtype))
         return COOTensor(
             tuple(int(s) for s in data["shape"]),
             data["indices"],
-            data["values"],
+            values,
         )

@@ -418,3 +418,71 @@ class TestSuppression:
         )
         result = run_check(paths=[tmp_path], dataflow=True)
         assert _rules(result.diagnostics) == []
+
+
+DIST_FILE = "src/repro/dist/mttkrp.py"
+
+
+class TestDF612ValueDtypeAlias:
+    """VALUE_DTYPE is the sanctioned default *except* where
+    factor-derived values flow in — there it is a float64 sink."""
+
+    def test_dist_dir_in_scope(self):
+        assert is_dtype_scope(DIST_FILE)
+
+    def test_pinned_allocation_with_factors_live_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "from repro.util.validation import VALUE_DTYPE\n"
+            "def distributed_mttkrp(decomp, factors, mode, rank=8):\n"
+            "    out = np.zeros((decomp.shape[mode], rank), dtype=VALUE_DTYPE)\n"
+            "    return out\n"
+        )
+        assert _rules(scan_source(src, DIST_FILE)) == ["DF612"]
+
+    def test_factor_binding_through_comprehension_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "from repro.util.validation import VALUE_DTYPE\n"
+            "def distributed_cp_als(tensor, init):\n"
+            "    factors = [np.ascontiguousarray(f, dtype=VALUE_DTYPE)"
+            " for f in init]\n"
+            "    return factors\n"
+        )
+        assert _rules(scan_source(src, DIST_FILE)) == ["DF612"]
+
+    def test_astype_alias_widening_flagged(self):
+        src = (
+            "from repro.util.validation import VALUE_DTYPE\n"
+            "def fold(factors):\n"
+            "    return factors[0].astype(VALUE_DTYPE)\n"
+        )
+        assert _rules(scan_source(src, DIST_FILE)) == ["DF612"]
+
+    def test_sanctioned_use_without_factors_clean(self):
+        src = (
+            "import numpy as np\n"
+            "from repro.util.validation import VALUE_DTYPE\n"
+            "def empty_ledger(n):\n"
+            "    return np.zeros((n, 1), dtype=VALUE_DTYPE)\n"
+        )
+        assert scan_source(src, DIST_FILE) == []
+
+    def test_derived_dtype_clean(self):
+        src = (
+            "import numpy as np\n"
+            "from repro.util.validation import value_dtype_of\n"
+            "def distributed_mttkrp(decomp, factors, mode, rank=8):\n"
+            "    out = np.zeros((4, rank), dtype=factors[0].dtype)\n"
+            "    return out\n"
+        )
+        assert scan_source(src, DIST_FILE) == []
+
+    def test_silent_outside_scope(self):
+        src = (
+            "import numpy as np\n"
+            "from repro.util.validation import VALUE_DTYPE\n"
+            "def f(factors):\n"
+            "    return np.zeros((3, 4), dtype=VALUE_DTYPE)\n"
+        )
+        assert scan_source(src, OUTSIDE) == []

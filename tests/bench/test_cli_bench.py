@@ -40,6 +40,7 @@ class TestBenchList:
         assert {e["name"] for e in doc} == {
             "table3_distributed",
             "decomposition_comparison",
+            "dist_strong_scaling_real",
         }
 
 

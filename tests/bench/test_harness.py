@@ -41,10 +41,10 @@ def make_bench(**over):
 
 
 class TestRegistry:
-    def test_all_twenty_registered(self):
+    def test_all_twenty_one_registered(self):
         names = [b.name for b in iter_benchmarks()]
-        assert len(names) == 20
-        assert len(set(names)) == 20
+        assert len(names) == 21
+        assert len(set(names)) == 21
         for expected in (
             "fig2_roofline",
             "table1_ppa",
@@ -66,6 +66,7 @@ class TestRegistry:
             "cpd_float32",
             "serve_openloop",
             "serve_warm_cache",
+            "dist_strong_scaling_real",
         ):
             assert expected in names
 
@@ -79,6 +80,7 @@ class TestRegistry:
         assert {b.name for b in dist} == {
             "table3_distributed",
             "decomposition_comparison",
+            "dist_strong_scaling_real",
         }
         assert [b.name for b in iter_benchmarks("fig2")] == ["fig2_roofline"]
         # "ablation" matches the four ablation_* names plus the

@@ -1,0 +1,70 @@
+"""The Ballard/Knight/Rouse MTTKRP communication lower bound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dist import (
+    ProcessGrid,
+    distributed_mttkrp,
+    medium_grain_decompose,
+    attained_fraction,
+    mttkrp_comm_lower_bound,
+)
+from repro.machine import power8_socket
+from repro.tensor import poisson_tensor
+from repro.util.errors import DistributionError
+from repro.util.rng import resolve_rng
+
+
+class TestBound:
+    def test_single_rank_moves_nothing(self):
+        assert mttkrp_comm_lower_bound((50, 50, 50), 10_000, 16, 1, 8) == 0.0
+
+    def test_positive_when_nonzeros_dominate_ownership(self):
+        # Dense-ish cube: far more nonzeros than owned factor rows.
+        bound = mttkrp_comm_lower_bound((40, 40, 40), 400_000, 16, 8, 8)
+        assert bound > 0.0
+
+    def test_zero_when_ownership_covers_the_projection(self):
+        # Hypersparse: each rank's owned factor rows exceed what its few
+        # nonzeros can touch, so the projection bound collapses to zero.
+        assert mttkrp_comm_lower_bound((10_000, 10_000, 10_000), 80, 8, 8, 8) == 0.0
+
+    def test_scales_linearly_with_itemsize(self):
+        b8 = mttkrp_comm_lower_bound((40, 40, 40), 400_000, 16, 8, 8)
+        b4 = mttkrp_comm_lower_bound((40, 40, 40), 400_000, 16, 8, 4)
+        assert b8 == pytest.approx(2 * b4)
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(DistributionError):
+            mttkrp_comm_lower_bound((4, 4, 4), 10, 2, 0, 8)
+
+
+class TestAttainedFraction:
+    def test_in_unit_interval_for_real_decomposition(self):
+        tensor = poisson_tensor((24, 30, 27), 2500, seed=11)
+        grid = ProcessGrid((2, 2, 1))
+        decomp = medium_grain_decompose(tensor, grid, seed=5)
+        rng = resolve_rng(7)
+        factors = [
+            np.ascontiguousarray(rng.standard_normal((n, 6))) for n in tensor.shape
+        ]
+        res = distributed_mttkrp(decomp, factors, 0, power8_socket())
+        frac = attained_fraction(
+            tensor.shape, tensor.nnz, 6, grid.n_ranks, 8, res.comm_bytes
+        )
+        assert 0.0 <= frac <= 1.0
+
+    def test_exact_bound_is_one(self):
+        bound = mttkrp_comm_lower_bound((40, 40, 40), 400_000, 16, 8, 8)
+        assert attained_fraction((40, 40, 40), 400_000, 16, 8, 8, bound) == 1.0
+
+    def test_zero_measured_with_zero_bound(self):
+        assert attained_fraction((50, 50, 50), 10_000, 16, 1, 8, 0.0) == 1.0
+
+    def test_beating_the_bound_is_an_error(self):
+        bound = mttkrp_comm_lower_bound((40, 40, 40), 400_000, 16, 8, 8)
+        with pytest.raises(DistributionError, match="lower bound"):
+            attained_fraction((40, 40, 40), 400_000, 16, 8, 8, bound / 2)

@@ -1,0 +1,187 @@
+"""Shared-memory collectives: numerics, byte accounting, crash cleanup.
+
+Every test asserts against plain NumPy references computed in group
+order — the same summation order :class:`repro.dist.comm.SimCluster`
+uses — because the process backend's whole value is that its results are
+*bitwise* those of the simulation.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.dist.shmcomm import ShmCluster
+from repro.util.errors import DistributionError
+
+pytestmark = pytest.mark.parallel_exec
+
+
+def _leftovers() -> list[str]:
+    try:
+        return [f for f in os.listdir("/dev/shm") if f.startswith("reprodist-")]
+    except FileNotFoundError:  # non-Linux: no /dev/shm to scan
+        return []
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    yield
+    assert _leftovers() == [], "SharedMemory segments leaked by the test"
+
+
+# ----------------------------------------------------------------------
+# SPMD task functions (module level: they are pickled into the workers)
+# ----------------------------------------------------------------------
+def _allgather_task(comm, payload, out_name):
+    got = comm.allgather(payload["group"], payload["mine"])
+    return {"got": got}
+
+
+def _reduce_scatter_task(comm, payload, out_name):
+    chunk = comm.reduce_scatter(payload["group"], payload["mine"])
+    return {"chunk": chunk}
+
+
+def _allreduce_task(comm, payload, out_name):
+    total = comm.allreduce(payload["group"], payload["mine"])
+    return {"total": total}
+
+
+def _crash_task(comm, payload, out_name):
+    if comm.rank == payload["victim"]:
+        raise ValueError("injected failure")
+    comm.allgather(payload["group"], payload["mine"])
+    return {}
+
+
+def _repeat_task(comm, payload, out_name):
+    for _ in range(payload["rounds"]):
+        comm.allgather(payload["group"], payload["mine"])
+        comm.barrier(payload["group"])
+    return {}
+
+
+def _buffers(n, rows, cols, dtype=np.float64, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        np.ascontiguousarray(rng.standard_normal((rows, cols)), dtype=dtype)
+        for _ in range(n)
+    ]
+
+
+class TestCollectives:
+    def test_allgather_delivers_group_order(self):
+        bufs = _buffers(2, 5, 3)
+        group = [0, 1]
+        with ShmCluster(2, 4096) as cluster:
+            results, _ = cluster.run_spmd(
+                _allgather_task,
+                [{"group": group, "mine": bufs[r]} for r in range(2)],
+            )
+        for res in results:
+            for want, got in zip(bufs, res["got"]):
+                np.testing.assert_array_equal(want, got)
+
+    def test_allgather_measured_equals_ledger(self):
+        bufs = _buffers(3, 4, 2)
+        group = [0, 1, 2]
+        with ShmCluster(3, 4096) as cluster:
+            results, _ = cluster.run_spmd(
+                _allgather_task,
+                [{"group": group, "mine": bufs[r]} for r in range(3)],
+            )
+        measured = sum(res["bytes_moved"] for res in results)
+        records = [r for res in results for r in res["records"]]
+        assert len(records) == 1  # the group leader records once
+        assert measured == records[0].ledger_bytes()
+        # (g-1) * sum(nbytes): each rank copies every peer's buffer.
+        assert measured == 2 * sum(b.nbytes for b in bufs)
+
+    def test_reduce_scatter_matches_group_order_sum(self):
+        bufs = _buffers(2, 6, 4, seed=3)
+        group = [0, 1]
+        total = bufs[0].copy()
+        total += bufs[1]
+        with ShmCluster(2, 4096) as cluster:
+            results, _ = cluster.run_spmd(
+                _reduce_scatter_task,
+                [{"group": group, "mine": bufs[r]} for r in range(2)],
+            )
+        bounds = (6 * np.arange(3)) // 2
+        for res in results:
+            lo, hi = int(bounds[res["rank"]]), int(bounds[res["rank"] + 1])
+            np.testing.assert_array_equal(res["chunk"], total[lo:hi])
+        measured = sum(res["bytes_moved"] for res in results)
+        records = [r for res in results for r in res["records"]]
+        assert measured == records[0].ledger_bytes() == bufs[0].nbytes
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_allreduce_matches_sum_everywhere(self, dtype):
+        bufs = _buffers(2, 4, 4, dtype=dtype, seed=5)
+        group = [0, 1]
+        total = bufs[0].copy()
+        total += bufs[1]
+        with ShmCluster(2, 4096) as cluster:
+            results, _ = cluster.run_spmd(
+                _allreduce_task,
+                [{"group": group, "mine": bufs[r]} for r in range(2)],
+            )
+        for res in results:
+            assert res["total"].dtype == np.dtype(dtype)
+            np.testing.assert_array_equal(res["total"], total)
+        # 2 (g-1) nbytes: the simulation's allreduce charge, measured.
+        measured = sum(res["bytes_moved"] for res in results)
+        records = [r for res in results for r in res["records"]]
+        assert measured == records[0].ledger_bytes() == 2 * bufs[0].nbytes
+
+    def test_repeated_collectives_stay_aligned(self):
+        # Regression: the barrier phase tag must never false-positive on
+        # a peer racing ahead into its next barrier.
+        bufs = _buffers(2, 2, 2)
+        group = [0, 1]
+        with ShmCluster(2, 4096) as cluster:
+            results, _ = cluster.run_spmd(
+                _repeat_task,
+                [
+                    {"group": group, "mine": bufs[r], "rounds": 40}
+                    for r in range(2)
+                ],
+            )
+        assert len(results) == 2
+
+
+class TestCrashCleanup:
+    def test_rank_failure_raises_and_unlinks(self):
+        bufs = _buffers(2, 3, 2)
+        group = [0, 1]
+        cluster = ShmCluster(2, 4096)
+        try:
+            with pytest.raises(DistributionError, match="injected failure"):
+                cluster.run_spmd(
+                    _crash_task,
+                    [
+                        {"group": group, "mine": bufs[r], "victim": 1}
+                        for r in range(2)
+                    ],
+                )
+        finally:
+            cluster.close()
+        assert _leftovers() == []
+
+    def test_cluster_usable_shape_errors(self):
+        with pytest.raises(DistributionError):
+            ShmCluster(0, 4096)
+        with ShmCluster(2, 4096) as cluster:
+            with pytest.raises(DistributionError, match="payloads"):
+                cluster.run_spmd(_allgather_task, [{}])
+        with pytest.raises(DistributionError, match="closed"):
+            cluster.run_spmd(_allgather_task, [{}, {}])
+
+    def test_close_is_idempotent(self):
+        cluster = ShmCluster(2, 4096)
+        cluster.close()
+        cluster.close()
+        assert _leftovers() == []

@@ -87,3 +87,68 @@ class TestNpz:
         np.savez(path, shape=np.array([2, 2]))
         with pytest.raises(FormatError, match="missing"):
             load_npz(path)
+
+
+class TestDtypeRoundTrip:
+    """float32 must survive save/load (the PR-4/5 precision contract)."""
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_tns_preserves_dtype(self, tmp_path, dtype):
+        t = uniform_random_tensor((9, 11, 13), 120, seed=31)
+        t = COOTensor(t.shape, t.indices, t.values.astype(dtype), validate=False)
+        path = tmp_path / "t.tns"
+        save_tns(t, path)
+        back = load_tns(path)
+        assert back.values.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(back.values, t.values)
+        np.testing.assert_array_equal(back.indices, t.indices)
+        assert back.shape == t.shape
+
+    def test_tns_dtype_header_written(self, tmp_path):
+        t = uniform_random_tensor((4, 5, 6), 20, seed=32)
+        t = COOTensor(
+            t.shape, t.indices, t.values.astype(np.float32), validate=False
+        )
+        path = tmp_path / "t.tns"
+        save_tns(t, path)
+        assert "# dtype: float32" in path.read_text().splitlines()[1]
+
+    def test_tns_explicit_dtype_wins(self, tmp_path):
+        t = uniform_random_tensor((4, 5, 6), 20, seed=33)
+        t = COOTensor(
+            t.shape, t.indices, t.values.astype(np.float32), validate=False
+        )
+        path = tmp_path / "t.tns"
+        save_tns(t, path)
+        assert load_tns(path, dtype=np.float64).values.dtype == np.float64
+
+    def test_tns_legacy_files_default_to_float64(self):
+        # Third-party FROSTT files carry no dtype header.
+        src = io.StringIO("1 1 1 5.0\n2 2 2 3.5\n")
+        assert load_tns(src).values.dtype == np.float64
+
+    def test_tns_empty_file_honors_dtype(self):
+        t = load_tns(io.StringIO(""), shape=(2, 3), dtype=np.float32)
+        assert t.nnz == 0
+        assert t.values.dtype == np.float32
+
+    def test_tns_bad_dtype_header_rejected(self):
+        src = io.StringIO("# dtype: not-a-dtype\n1 1 5.0\n")
+        with pytest.raises(FormatError, match="dtype"):
+            load_tns(src)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_npz_preserves_dtype(self, tmp_path, dtype):
+        t = uniform_random_tensor((6, 7, 8), 60, seed=34)
+        t = COOTensor(t.shape, t.indices, t.values.astype(dtype), validate=False)
+        path = tmp_path / "t.npz"
+        save_npz(t, path)
+        back = load_npz(path)
+        assert back.values.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(back.values, t.values)
+
+    def test_npz_explicit_dtype_coerces(self, tmp_path):
+        t = uniform_random_tensor((6, 7, 8), 60, seed=35)
+        path = tmp_path / "t.npz"
+        save_npz(t, path)
+        assert load_npz(path, dtype=np.float32).values.dtype == np.float32

@@ -152,6 +152,61 @@ class TestScaling:
         assert "SPLATT" in out and "speedup" in out
 
 
+@pytest.mark.parallel_exec
+class TestDist:
+    def test_parity_report(self, tmp_path, capsys):
+        report_path = tmp_path / "dist.json"
+        assert (
+            main(
+                [
+                    "dist",
+                    "--dataset",
+                    "poisson2",
+                    "--nnz",
+                    "8000",
+                    "--rank",
+                    "4",
+                    "--ranks",
+                    "2",
+                    "--json",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bitwise parity: OK" in out
+        assert "byte accounting: OK" in out
+        import json
+
+        report = json.loads(report_path.read_text())
+        assert report["bitwise_equal"] is True
+        assert (
+            report["sim_comm_bytes"]
+            == report["ledger_comm_bytes"]
+            == report["measured_comm_bytes"]
+        )
+
+    def test_indivisible_rank_groups_rejected(self, capsys):
+        assert (
+            main(
+                [
+                    "dist",
+                    "--dataset",
+                    "poisson1",
+                    "--nnz",
+                    "2000",
+                    "--ranks",
+                    "3",
+                    "--rank-groups",
+                    "2",
+                ]
+            )
+            == 2
+        )
+        assert "divisible" in capsys.readouterr().err
+
+
 class TestReproduce:
     def test_writes_report(self, tmp_path, capsys, monkeypatch):
         """The fast subset of the consolidated report (fig2 + tables I/II

@@ -1,0 +1,117 @@
+"""Pluggable kernel backends and pooled scratch.
+
+``repro.backends`` turns the MTTKRP kernels into a two-sided registry
+(the xformers ``BlockSparseTensor``/``block_factory`` idiom): kernels
+declare a :class:`~repro.backends.registry.KernelContract`, backends
+register execute-compatible override bodies per kernel, and every
+registration is gated by the static dataflow vet (DF613), the execution
+sanitizer (SZ501-SZ506) against the plan's declared write-set, and a
+parity probe against the NumPy reference.
+
+Shipped backends:
+
+``numpy``
+    The reference: the certified kernel ``execute`` bodies themselves
+    (an empty op table — dispatch falls through).
+``numpy-pooled``
+    The reference bodies with all scratch pooled in a
+    :class:`ScratchArena` — bitwise-identical results, O(1) allocations
+    per CP-ALS iteration once warm.  The fused ALS drivers route their
+    sweeps through this backend.
+``numba`` / ``torch``
+    Auto-registered only when the dependency is importable (this repo's
+    container ships neither; a CI leg installs numba and runs the
+    conformance suite against it).
+
+Importing this module installs the dispatch resolver into
+``repro.kernels.base``; until then kernels run reference-only with zero
+dispatch overhead.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.backends.arena import ScratchArena, current_arena, use_arena
+from repro.backends.registry import (
+    KERNEL_CONTRACTS,
+    Backend,
+    KernelContract,
+    _resolve_backend,
+    default_backend,
+    get_backend,
+    list_backends,
+    register_backend,
+    set_default_backend,
+    use_backend,
+    validate_backend_name,
+)
+
+__all__ = [
+    "Backend",
+    "KERNEL_CONTRACTS",
+    "KernelContract",
+    "ScratchArena",
+    "current_arena",
+    "default_backend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "set_default_backend",
+    "use_arena",
+    "use_backend",
+    "validate_backend_name",
+]
+
+
+def _bootstrap() -> None:
+    """Register the shipped backends and install kernel dispatch."""
+    from repro.kernels.base import set_backend_resolver
+
+    # Importing repro.kernels (via base) registers the 8 reference
+    # kernels the contracts refer to.
+    import repro.kernels  # noqa: F401
+
+    register_backend(
+        Backend(
+            name="numpy",
+            ops={},
+            parity="bitwise",
+            description="certified NumPy reference kernel bodies",
+        ),
+        validate=False,
+    )
+
+    from repro.backends.pooled import POOLED_OPS
+
+    register_backend(
+        Backend(
+            name="numpy-pooled",
+            ops=POOLED_OPS,
+            parity="bitwise",
+            description="reference bodies with ScratchArena-pooled "
+            "scratch (bitwise-identical, O(1) allocs/iteration)",
+        )
+    )
+
+    for optional in ("numba_backend", "torch_backend"):
+        try:
+            module = __import__(
+                f"repro.backends.{optional}", fromlist=["build_backend"]
+            )
+            backend = module.build_backend()
+            if backend is not None:
+                register_backend(backend)
+        except Exception as exc:  # pragma: no cover - optional deps
+            # An optional accelerator failing its gate must not poison
+            # `import repro.backends` for the NumPy paths.
+            warnings.warn(
+                f"optional backend {optional!r} not registered: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    set_backend_resolver(_resolve_backend)
+
+
+_bootstrap()

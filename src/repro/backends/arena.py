@@ -1,0 +1,122 @@
+"""Keyed scratch-buffer pool for fused sweeps and pooled kernel bodies.
+
+The paper amortizes blocking *reorganization* across the many MTTKRP
+calls of a CP-ALS run (Sections III-B, V-A); a :class:`ScratchArena`
+applies the same amortization to *scratch memory*.  Every transient the
+vectorized kernels would otherwise reallocate per call — the
+``(chunk x R)`` product expansion, per-fiber accumulators, CSF traversal
+state, per-mode output buffers, Gram/V temporaries — is requested from
+the arena under a stable key and reused on the next request, so a fused
+ALS sweep performs O(1) scratch allocations per iteration after the
+first (asserted by the test suite through :attr:`ScratchArena.allocs`).
+
+Buffers are capacity-pooled: a request smaller than an existing buffer
+reuses a reshaped prefix view, a larger request grows the buffer (one
+allocation, then steady state).  Arenas are *not* thread-safe; the fused
+driver keeps one arena on the calling thread and lets parallel workers
+run the unpooled reference bodies.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ScratchArena", "current_arena", "use_arena"]
+
+
+class ScratchArena:
+    """A pool of named scratch buffers with capacity reuse."""
+
+    def __init__(self) -> None:
+        self._buffers: dict[object, np.ndarray] = {}
+        #: Buffer (re)allocations performed — constant once warm.
+        self.allocs = 0
+        #: Requests served from an existing buffer.
+        self.reuses = 0
+
+    def get(
+        self,
+        key: object,
+        shape: "tuple[int, ...]",
+        dtype: "np.dtype | type",
+        *,
+        zero: bool = False,
+    ) -> np.ndarray:
+        """A ``shape``/``dtype`` scratch view registered under ``key``.
+
+        The view aliases the pooled buffer: two live ``get`` results with
+        the same key alias each other, so call sites use one key per
+        concurrently-live temporary.  ``zero=True`` zero-fills the view
+        (the pooled replacement for ``np.zeros``).
+        """
+        dt = np.dtype(dtype)
+        n = 1
+        for s in shape:
+            n *= int(s)
+        buf = self._buffers.get(key)
+        if buf is None or buf.dtype != dt or buf.size < n:
+            capacity = n if buf is None or buf.dtype != dt else max(n, buf.size)
+            buf = np.empty(max(capacity, 1), dtype=dt)
+            self._buffers[key] = buf
+            self.allocs += 1
+        else:
+            self.reuses += 1
+        view = buf[:n].reshape(shape)
+        if zero:
+            view[...] = 0
+        return view
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the pool."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def stats(self) -> "dict[str, int]":
+        """Counters for the observability layer (``arena.*``)."""
+        return {
+            "allocs": self.allocs,
+            "reuses": self.reuses,
+            "bytes": self.nbytes,
+            "buffers": len(self._buffers),
+        }
+
+    def clear(self) -> None:
+        """Drop all pooled buffers (counters are kept)."""
+        self._buffers.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScratchArena {len(self._buffers)} buffers, "
+            f"{self.nbytes} bytes, allocs={self.allocs}, "
+            f"reuses={self.reuses}>"
+        )
+
+
+class _ArenaStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[ScratchArena] = []
+
+
+_ACTIVE = _ArenaStack()
+
+
+def current_arena() -> "ScratchArena | None":
+    """The innermost active arena on this thread, or ``None``."""
+    stack = _ACTIVE.stack
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def use_arena(arena: ScratchArena) -> Iterator[ScratchArena]:
+    """Make ``arena`` the active pool for pooled kernel bodies on this
+    thread (the fused ALS drivers wrap each run in one of these, so
+    kernel-internal scratch and driver temporaries share a pool)."""
+    _ACTIVE.stack.append(arena)
+    try:
+        yield arena
+    finally:
+        _ACTIVE.stack.pop()

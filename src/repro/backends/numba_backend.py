@@ -1,0 +1,113 @@
+"""``numba``: JIT-compiled MTTKRP bodies, auto-registered when numba is
+importable.
+
+The compiled loops follow the reference kernels' accumulation order
+exactly (per-fiber sequential sums, then per-row sequential fiber
+reduction), but the backend is declared ``parity="approx"``: LLVM is
+free to contract multiply-adds differently across numba versions, so
+the conformance contract is ``allclose`` at the factor dtype rather
+than bit equality.
+
+This module never imports numba at module scope in the uncompiled
+branch — :func:`build_backend` returns ``None`` when the dependency is
+missing, and ``repro.backends`` simply skips registration (the
+container this repo targets does not ship numba; CI exercises one leg
+with it installed).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.kernels.base import (
+    alloc_output,
+    check_factors,
+    factor_dtype,
+)
+
+__all__ = ["build_backend"]
+
+
+def _compile_ops():
+    import numba  # noqa: F401  (availability gate)
+    from numba import njit
+
+    @njit(cache=True)
+    def _coo_body(i, j, k, vals, B, C, A):  # pragma: no cover - jitted
+        nnz = i.shape[0]
+        rank = B.shape[1]
+        for t in range(nnz):
+            row = i[t]
+            v = vals[t]
+            for r in range(rank):
+                A[row, r] += v * B[j[t], r] * C[k[t], r]
+
+    @njit(cache=True)
+    def _splatt_body(
+        fiber_ptr, jidx, fiber_kidx, fiber_rows, vals, B, C, A
+    ):  # pragma: no cover - jitted
+        n_fibers = fiber_rows.shape[0]
+        rank = B.shape[1]
+        s = np.empty(rank, dtype=A.dtype)
+        for f in range(n_fibers):
+            for r in range(rank):
+                s[r] = 0.0
+            for t in range(fiber_ptr[f], fiber_ptr[f + 1]):
+                v = vals[t]
+                jrow = jidx[t]
+                for r in range(rank):
+                    s[r] += v * B[jrow, r]
+            row = fiber_rows[f]
+            krow = fiber_kidx[f]
+            for r in range(rank):
+                A[row, r] += s[r] * C[krow, r]
+
+    def op_coo(kernel, plan, factors, out=None):
+        factors, rank = check_factors(factors, plan.shape, plan.mode)
+        B = factors[plan.inner_mode]
+        C = factors[plan.fiber_mode]
+        A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
+        if plan.vals.shape[0]:
+            vals = plan.vals.astype(A.dtype, copy=False)
+            _coo_body(
+                plan.i, plan.j, plan.k, vals,
+                np.asarray(B), np.asarray(C), np.asarray(A),
+            )
+        return A
+
+    def op_splatt(kernel, plan, factors, out=None):
+        factors, rank = check_factors(factors, plan.shape, plan.mode)
+        B = factors[plan.inner_mode]
+        C = factors[plan.fiber_mode]
+        A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
+        splatt = plan.splatt
+        if splatt.n_fibers:
+            vals = splatt.vals.astype(A.dtype, copy=False)
+            _splatt_body(
+                splatt.fiber_ptr, splatt.jidx, splatt.fiber_kidx,
+                plan.fiber_rows, vals,
+                np.asarray(B), np.asarray(C), np.asarray(A),
+            )
+        return A
+
+    return {"coo": op_coo, "splatt": op_splatt}
+
+
+def build_backend():
+    """The numba :class:`~repro.backends.registry.Backend`, or ``None``
+    when numba is not installed."""
+    try:
+        ops = _compile_ops()
+    except ImportError:
+        return None
+    from repro.backends.registry import Backend
+
+    return Backend(
+        name="numba",
+        ops=ops,
+        parity="approx",
+        description="njit-compiled COO/SPLATT bodies (reference fallback "
+        "for the remaining kernels)",
+    )

@@ -1,0 +1,367 @@
+"""``numpy-pooled``: the NumPy reference bodies with arena-pooled scratch.
+
+Each op here mirrors a reference kernel body *operation for operation* —
+same operand order, same chunking, same reduction tree — but sources
+every transient from a :class:`~repro.backends.arena.ScratchArena`
+instead of allocating: gathers land in pooled buffers via ``np.take``,
+products via ``np.multiply(..., out=)``, segment sums via
+``np.add.reduceat(..., out=)``.  Results are bitwise-identical to the
+reference (the conformance suite gates this), which is what lets the
+fused ALS drivers route their sweeps through this backend while
+guaranteeing unchanged trajectories.
+
+The active arena is the innermost :func:`~repro.backends.arena.use_arena`
+context (how a fused sweep shares CSF traversal state and chunk scratch
+across its per-mode launches); outside any context each thread keeps a
+private long-lived arena, so plain ``backend="numpy-pooled"`` calls
+still reuse scratch across CP-ALS iterations.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+import numpy as np
+
+from repro.backends.arena import ScratchArena, current_arena
+from repro.kernels.base import (
+    alloc_output,
+    check_factors,
+    factor_dtype,
+)
+
+__all__ = [
+    "POOLED_OPS",
+    "pooled_csf_into",
+    "pooled_splatt_into",
+]
+
+
+class _ThreadArena(threading.local):
+    def __init__(self) -> None:
+        self.arena = ScratchArena()
+
+
+_FALLBACK = _ThreadArena()
+
+
+def _arena() -> ScratchArena:
+    active = current_arena()
+    return active if active is not None else _FALLBACK.arena
+
+
+def _cast_vals(
+    arena: ScratchArena, key: object, vals: np.ndarray, dtype: np.dtype
+) -> np.ndarray:
+    """The value chunk at the output dtype: a view when it already
+    matches (the reference's ``astype(copy=False)`` fast path), a pooled
+    cast otherwise."""
+    if vals.dtype == dtype:
+        return vals
+    cast = arena.get(key, vals.shape, dtype)
+    cast[...] = vals
+    return cast
+
+
+def _accumulate_rows(
+    arena: ScratchArena,
+    key_prefix: tuple,
+    A: np.ndarray,
+    rows: np.ndarray,
+    partial: np.ndarray,
+) -> None:
+    """``A[rows] += partial`` without the fancy-indexing temporaries
+    (``rows`` holds distinct indices, as produced by the segment starts
+    of a row-sorted reduction)."""
+    tmp = arena.get((*key_prefix, "rowtmp"), partial.shape, A.dtype)
+    np.take(A, rows, axis=0, out=tmp)
+    tmp += partial
+    A[rows] = tmp
+
+
+def pooled_splatt_into(
+    arena: ScratchArena,
+    kp: str,
+    splatt,
+    fiber_rows: np.ndarray,
+    B: np.ndarray,
+    C: np.ndarray,
+    A: np.ndarray,
+    scratch_elems: int,
+) -> None:
+    """Arena-pooled twin of
+    :func:`repro.kernels.splatt_mttkrp.execute_splatt_into`."""
+    n_fibers = splatt.n_fibers
+    if n_fibers == 0:
+        return
+    rank = B.shape[1]
+    fiber_ptr = splatt.fiber_ptr
+    target_nnz = max(1, scratch_elems // max(rank, 1))
+
+    f0 = 0
+    while f0 < n_fibers:
+        f1 = int(
+            np.searchsorted(fiber_ptr, fiber_ptr[f0] + target_nnz, side="right") - 1
+        )
+        f1 = min(max(f1, f0 + 1), n_fibers)
+        lo, hi = int(fiber_ptr[f0]), int(fiber_ptr[f1])
+
+        vals = _cast_vals(arena, (kp, "vals"), splatt.vals[lo:hi], A.dtype)
+        prod = arena.get((kp, "prod"), (hi - lo, rank), A.dtype)
+        np.take(B, splatt.jidx[lo:hi], axis=0, out=prod)
+        np.multiply(vals[:, None], prod, out=prod)
+        fiber_acc = arena.get((kp, "fiber_acc"), (f1 - f0, rank), A.dtype)
+        np.add.reduceat(prod, fiber_ptr[f0:f1] - lo, axis=0, out=fiber_acc)
+
+        cg = arena.get((kp, "cgather"), (f1 - f0, rank), A.dtype)
+        np.take(C, splatt.fiber_kidx[f0:f1], axis=0, out=cg)
+        fiber_acc *= cg
+        rows = fiber_rows[f0:f1]
+        boundaries = np.flatnonzero(np.diff(rows)) + 1
+        starts = np.concatenate(([0], boundaries))
+        red = arena.get((kp, "rowred"), (starts.shape[0], rank), A.dtype)
+        np.add.reduceat(fiber_acc, starts, axis=0, out=red)
+        _accumulate_rows(arena, (kp,), A, rows[starts], red)
+
+        f0 = f1
+
+
+def pooled_csf_into(
+    arena: ScratchArena,
+    kp: str,
+    csf,
+    factors: Sequence[np.ndarray],
+    A: np.ndarray,
+    scratch_elems: int,
+) -> None:
+    """Arena-pooled twin of
+    :func:`repro.kernels.csf_mttkrp.execute_csf_into`.
+
+    The per-level accumulators and gathers are keyed by tree level, so
+    one arena carries the whole traversal state of a fused sweep across
+    its per-mode launches.
+    """
+    if csf.nnz == 0:
+        return
+    rank = A.shape[1]
+
+    last = csf.levels[-1]
+    fptr = last.fptr
+    leaf_fids = csf.leaf_fids
+    leaf_factor = factors[csf.mode_order[-1]]
+    target_nnz = max(1, scratch_elems // max(rank, 1))
+    n_nodes = last.n_nodes
+    acc = arena.get((kp, "acc", len(csf.levels) - 1), (n_nodes, rank), A.dtype)
+    f0 = 0
+    while f0 < n_nodes:
+        f1 = int(
+            np.searchsorted(fptr, fptr[f0] + target_nnz, side="right") - 1
+        )
+        f1 = min(max(f1, f0 + 1), n_nodes)
+        lo, hi = int(fptr[f0]), int(fptr[f1])
+        vchunk = _cast_vals(arena, (kp, "vals"), csf.vals[lo:hi], A.dtype)
+        prod = arena.get((kp, "prod"), (hi - lo, rank), A.dtype)
+        np.take(leaf_factor, leaf_fids[lo:hi], axis=0, out=prod)
+        np.multiply(vchunk[:, None], prod, out=prod)
+        np.add.reduceat(prod, fptr[f0:f1] - lo, axis=0, out=acc[f0:f1])
+        f0 = f1
+
+    for lvl_idx in range(len(csf.levels) - 1, 0, -1):
+        lvl = csf.levels[lvl_idx]
+        g = arena.get((kp, "gather", lvl_idx), acc.shape, A.dtype)
+        np.take(factors[csf.mode_order[lvl_idx]], lvl.fids, axis=0, out=g)
+        np.multiply(acc, g, out=g)
+        parent = csf.levels[lvl_idx - 1]
+        up = arena.get(
+            (kp, "acc", lvl_idx - 1),
+            (parent.fptr.shape[0] - 1, rank),
+            A.dtype,
+        )
+        np.add.reduceat(g, parent.fptr[:-1], axis=0, out=up)
+        acc = up
+
+    _accumulate_rows(arena, (kp,), A, csf.levels[0].fids, acc)
+
+
+# ----------------------------------------------------------------------
+# Per-kernel execute overrides (same signature as Kernel.execute bodies).
+# ----------------------------------------------------------------------
+def op_coo(kernel, plan, factors, out=None):
+    factors, rank = check_factors(factors, plan.shape, plan.mode)
+    B = factors[plan.inner_mode]
+    C = factors[plan.fiber_mode]
+    A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
+    nnz = plan.vals.shape[0]
+    if nnz == 0:
+        return A
+    arena = _arena()
+    chunk = max(1, kernel.scratch_elems // max(rank, 1))
+    for lo in range(0, nnz, chunk):
+        hi = min(lo + chunk, nnz)
+        i = plan.i[lo:hi]
+        vals = _cast_vals(arena, ("coo", "vals"), plan.vals[lo:hi], A.dtype)
+        contrib = arena.get(("coo", "contrib"), (hi - lo, rank), A.dtype)
+        np.take(B, plan.j[lo:hi], axis=0, out=contrib)
+        np.multiply(vals[:, None], contrib, out=contrib)
+        cg = arena.get(("coo", "cgather"), (hi - lo, rank), A.dtype)
+        np.take(C, plan.k[lo:hi], axis=0, out=cg)
+        contrib *= cg
+        boundaries = np.flatnonzero(np.diff(i)) + 1
+        starts = np.concatenate(([0], boundaries))
+        partial = arena.get(("coo", "partial"), (starts.shape[0], rank), A.dtype)
+        np.add.reduceat(contrib, starts, axis=0, out=partial)
+        _accumulate_rows(arena, ("coo",), A, i[starts], partial)
+    return A
+
+
+def op_splatt(kernel, plan, factors, out=None):
+    factors, rank = check_factors(factors, plan.shape, plan.mode)
+    B = factors[plan.inner_mode]
+    C = factors[plan.fiber_mode]
+    A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
+    pooled_splatt_into(
+        _arena(), "splatt", plan.splatt, plan.fiber_rows, B, C, A,
+        kernel.scratch_elems,
+    )
+    return A
+
+
+def op_csf(kernel, plan, factors, out=None):
+    factors, rank = check_factors(factors, plan.shape, plan.mode)
+    A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
+    pooled_csf_into(_arena(), "csf", plan.csf, factors, A, kernel.scratch_elems)
+    return A
+
+
+def op_mb(kernel, plan, factors, out=None):
+    factors, rank = check_factors(factors, plan.shape, plan.mode)
+    B = factors[plan.inner_mode]
+    C = factors[plan.fiber_mode]
+    A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
+    arena = _arena()
+    for block, fiber_rows in zip(plan.blocked.blocks, plan.fiber_rows):
+        out_lo, out_hi = block.bounds[plan.mode]
+        in_lo, in_hi = block.bounds[plan.inner_mode]
+        fb_lo, fb_hi = block.bounds[plan.fiber_mode]
+        pooled_splatt_into(
+            arena,
+            "mb",
+            block.splatt,
+            fiber_rows,
+            B[in_lo:in_hi],
+            C[fb_lo:fb_hi],
+            A[out_lo:out_hi],
+            kernel.scratch_elems,
+        )
+    return A
+
+
+def _strip_copy(
+    arena: ScratchArena, key: object, src: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """A pooled contiguous copy of columns ``[lo, hi)`` (the reference's
+    ``np.ascontiguousarray(X[:, lo:hi])`` re-stacked strip)."""
+    strip = arena.get(key, (src.shape[0], hi - lo), src.dtype)
+    strip[...] = src[:, lo:hi]
+    return strip
+
+
+def op_rankb(kernel, plan, factors, out=None):
+    factors, rank = check_factors(factors, plan.shape, plan.mode)
+    B = factors[plan.inner_mode]
+    C = factors[plan.fiber_mode]
+    A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
+    arena = _arena()
+    splatt = plan.base.splatt
+    for lo, hi in plan.rank_blocking.strips(rank):
+        B_s = _strip_copy(arena, ("rankb", "B_s"), B, lo, hi)
+        C_s = _strip_copy(arena, ("rankb", "C_s"), C, lo, hi)
+        A_s = arena.get(("rankb", "A_s"), (A.shape[0], hi - lo), A.dtype, zero=True)
+        pooled_splatt_into(
+            arena, "rankb", splatt, plan.base.fiber_rows, B_s, C_s, A_s,
+            kernel.scratch_elems,
+        )
+        A[:, lo:hi] = A_s
+    return A
+
+
+def op_combined(kernel, plan, factors, out=None):
+    factors, rank = check_factors(factors, plan.shape, plan.mode)
+    B = factors[plan.inner_mode]
+    C = factors[plan.fiber_mode]
+    A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
+    arena = _arena()
+    mb = plan.mb_plan
+    for lo, hi in plan.rank_blocking.strips(rank):
+        B_s = _strip_copy(arena, ("mb+rankb", "B_s"), B, lo, hi)
+        C_s = _strip_copy(arena, ("mb+rankb", "C_s"), C, lo, hi)
+        A_s = arena.get(
+            ("mb+rankb", "A_s"), (A.shape[0], hi - lo), A.dtype, zero=True
+        )
+        for block, fiber_rows in zip(mb.blocked.blocks, mb.fiber_rows):
+            out_lo, out_hi = block.bounds[plan.mode]
+            in_lo, in_hi = block.bounds[plan.inner_mode]
+            fb_lo, fb_hi = block.bounds[plan.fiber_mode]
+            pooled_splatt_into(
+                arena,
+                "mb+rankb",
+                block.splatt,
+                fiber_rows,
+                B_s[in_lo:in_hi],
+                C_s[fb_lo:fb_hi],
+                A_s[out_lo:out_hi],
+                kernel.scratch_elems,
+            )
+        A[:, lo:hi] = A_s
+    return A
+
+
+def op_csf_blocked(kernel, plan, factors, out=None):
+    factors, rank = check_factors(factors, plan.shape, plan.mode)
+    A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
+    arena = _arena()
+    strips = (
+        plan.rank_blocking.strips(rank)
+        if plan.rank_blocking is not None
+        else [(0, rank)]
+    )
+    order = len(plan.shape)
+    for lo, hi in strips:
+        for block, csf in plan.blocks:
+            local_factors: list["np.ndarray | None"] = [None] * order
+            for m in range(order):
+                if m == plan.mode:
+                    continue
+                blo, bhi = block.bounds[m]
+                lf = arena.get(
+                    ("csf-blocked", "lf", m), (bhi - blo, hi - lo), A.dtype
+                )
+                lf[...] = factors[m][blo:bhi, lo:hi]
+                local_factors[m] = lf
+            out_lo, out_hi = block.bounds[plan.mode]
+            pooled_csf_into(
+                arena,
+                "csf-blocked",
+                csf,
+                local_factors,
+                A[out_lo:out_hi, lo:hi],
+                kernel.scratch_elems,
+            )
+    return A
+
+
+#: Kernel-name -> pooled execute override.  ``csf-any`` intentionally has
+#: no entry: its up/down traversal allocates level-dependent repeats that
+#: the arena cannot pool without reordering operations, so it falls back
+#: to the reference body (dispatch falls through when a backend lacks an
+#: op for the requested kernel).
+POOLED_OPS = {
+    "coo": op_coo,
+    "splatt": op_splatt,
+    "csf": op_csf,
+    "csf-blocked": op_csf_blocked,
+    "mb": op_mb,
+    "rankb": op_rankb,
+    "mb+rankb": op_combined,
+}

@@ -1,0 +1,302 @@
+"""The kernel-backend registry.
+
+Kernels declare a *contract* (:class:`KernelContract`: plan type,
+write-set discipline, dtype rules); a :class:`Backend` registers
+execute-compatible override bodies per kernel name.  Registration is a
+gate, not a lookup-table insert — in the style of the kernel registry's
+DF611/CT gates, every declared op is
+
+1. statically vetted by the dataflow analyzer (rule DF613 — same dtype /
+   tracer / effect scrutiny kernel methods get),
+2. run under the execution sanitizer (rules SZ501-SZ506) against the
+   plan's declared write-set on a probe tensor, and
+3. checked for parity against the NumPy reference on the same probe —
+   bitwise for ``parity="bitwise"`` backends, ``allclose`` for
+   ``parity="approx"`` ones —
+
+for both float32 and float64 factors.  A backend whose op writes output
+rows outside ``plan.write_set()`` is rejected with
+:class:`~repro.util.errors.RegistrationError` carrying the SZ501
+diagnostics (the seeded-mutant test in ``tests/backends`` locks this
+behaviour down).
+
+Dispatch is installed into ``repro.kernels.base`` when this module is
+imported: the ``_traced_execute`` wrapper consults
+:func:`_resolve_backend` with the plan's ``backend`` attribute (falling
+back to the session default set via :func:`use_backend` /
+:func:`set_default_backend`), so certified kernel ``execute`` bodies
+stay untouched and the cost certifier's CT701-CT709 proofs remain valid.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+import numpy as np
+
+from repro.util.errors import ConfigError, RegistrationError
+
+__all__ = [
+    "Backend",
+    "KERNEL_CONTRACTS",
+    "KernelContract",
+    "default_backend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "set_default_backend",
+    "use_backend",
+    "validate_backend_name",
+]
+
+
+@dataclass(frozen=True)
+class KernelContract:
+    """What a kernel guarantees and demands of any backend implementing
+    it: the plan type an op receives, the write discipline the sanitizer
+    enforces, and the factor dtypes the op must honour end-to-end."""
+
+    kernel: str
+    plan_type: str
+    #: Output rows an op may write — always the plan's own declaration,
+    #: checked observationally at registration (SZ501).
+    writes: str = "plan.write_set()"
+    dtypes: tuple[str, ...] = ("float32", "float64")
+
+
+#: Contracts for the shipped kernels, keyed by registry name.
+KERNEL_CONTRACTS: dict[str, KernelContract] = {
+    "coo": KernelContract("coo", "COOPlan"),
+    "splatt": KernelContract("splatt", "SplattPlan"),
+    "csf": KernelContract("csf", "CSFPlan"),
+    "csf-any": KernelContract("csf-any", "CSFAnyPlan"),
+    "csf-blocked": KernelContract("csf-blocked", "BlockedCSFPlan"),
+    "mb": KernelContract("mb", "MBPlan"),
+    "rankb": KernelContract("rankb", "RankBPlan"),
+    "mb+rankb": KernelContract("mb+rankb", "CombinedPlan"),
+}
+
+#: Prepare parameters the probe plans use per kernel (mirrors the
+#: calibration map: blocked kernels need a grid to be meaningfully
+#: exercised).
+_PROBE_PARAMS: dict[str, dict] = {
+    "coo": {},
+    "splatt": {},
+    "csf": {},
+    "csf-any": {"mode_order": (0, 1, 2)},
+    "mb": {"block_counts": (2, 2, 2)},
+    "rankb": {"n_rank_blocks": 2},
+    "mb+rankb": {"block_counts": (2, 2, 2), "n_rank_blocks": 2},
+    "csf-blocked": {"block_counts": (2, 2, 2), "n_rank_blocks": 2},
+}
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A named set of kernel-execute overrides.
+
+    ``ops`` maps kernel registry names to callables with the kernel
+    ``execute`` body signature ``(kernel, plan, factors, out=None)``;
+    kernels without an entry fall back to the NumPy reference body.
+    ``parity`` declares the numerical contract the conformance suite
+    holds the backend to: ``"bitwise"`` (results identical to the
+    reference bit for bit) or ``"approx"`` (``np.allclose`` at the
+    factor dtype's resolution — e.g. JIT/accelerator backends that
+    cannot pin NumPy's exact reduction order).
+    """
+
+    name: str
+    ops: Mapping[str, Callable] = field(default_factory=dict)
+    parity: str = "bitwise"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise RegistrationError("backend name must be a non-empty string")
+        if self.parity not in ("bitwise", "approx"):
+            raise RegistrationError(
+                f"backend {self.name!r}: parity must be 'bitwise' or "
+                f"'approx', got {self.parity!r}"
+            )
+
+
+_BACKENDS: dict[str, Backend] = {}
+#: Session default stack; ``use_backend`` pushes, the base entry is the
+#: NumPy reference (or whatever ``set_default_backend`` replaced it with).
+_DEFAULT_STACK: list[str] = ["numpy"]
+
+
+def validate_backend_name(name: str) -> str:
+    """Return ``name`` if it names a registered backend, else raise
+    :class:`ConfigError` (kernels call this on ``prepare(backend=...)``)."""
+    if name not in _BACKENDS:
+        raise ConfigError(
+            f"unknown backend {name!r}; registered: {sorted(_BACKENDS)}"
+        )
+    return name
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a registered backend by name."""
+    return _BACKENDS[validate_backend_name(name)]
+
+
+def list_backends() -> "list[Backend]":
+    """All registered backends, sorted by name."""
+    return [_BACKENDS[n] for n in sorted(_BACKENDS)]
+
+
+def default_backend() -> str:
+    """The backend a plan without an explicit ``backend=`` dispatches to."""
+    return _DEFAULT_STACK[-1]
+
+
+def set_default_backend(name: str) -> None:
+    """Replace the session-default backend (process-wide)."""
+    _DEFAULT_STACK[-1] = validate_backend_name(name)
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Scope the session default to ``name`` (how ``repro bench run
+    --backend`` compares backends on the same benchmark records)."""
+    _DEFAULT_STACK.append(validate_backend_name(name))
+    try:
+        yield name
+    finally:
+        _DEFAULT_STACK.pop()
+
+
+def _resolve_backend(kernel_name: str, plan_backend: "str | None"):
+    """The dispatch hook installed into ``repro.kernels.base``: map a
+    kernel call to a backend override, or ``None`` for the reference
+    path (unknown names and kernels without an op fall through — plans
+    validated their ``backend=`` at prepare time)."""
+    name = plan_backend if plan_backend is not None else _DEFAULT_STACK[-1]
+    if name == "numpy":
+        return None
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        return None
+    fn = backend.ops.get(kernel_name)
+    if fn is None:
+        return None
+    return name, fn
+
+
+# ----------------------------------------------------------------------
+# Registration-time validation
+# ----------------------------------------------------------------------
+def _probe_tensor():
+    """A small deterministic probe whose output write-set has gaps (some
+    rows own no nonzeros), so SZ501 can actually catch an op writing
+    outside the declaration.  The factor dtype — not the tensor values —
+    drives each kernel's precision contract, so one probe serves both
+    float32 and float64 validation."""
+    from repro.tensor import uniform_random_tensor
+
+    return uniform_random_tensor((48, 10, 8), 150, seed=20260808)
+
+
+def _validate_op(backend: Backend, kernel_name: str) -> None:
+    from repro.analysis.diagnostics import Severity
+    from repro.analysis.sanitize import sanitized_execute
+    from repro.kernels.base import get_kernel
+
+    kern = get_kernel(kernel_name)
+    params = _PROBE_PARAMS.get(kernel_name, {})
+    tensor = _probe_tensor()
+    for dtype in (np.float64, np.float32):
+        rng = np.random.default_rng(7)
+        factors = [
+            rng.standard_normal((n, 6)).astype(dtype) for n in tensor.shape
+        ]
+        plan = kern.prepare(tensor, 0, **params)
+
+        # Reference result first (plan dispatches to the default path).
+        ref = kern.execute(plan, factors)
+
+        plan.backend = backend.name
+        # SZ501-SZ506 with the backend op dispatched in place of the
+        # reference body.  Traffic accounting (gather counts) is skipped:
+        # pooled/compiled ops gather through np.take/native loops the
+        # guard instrumentation cannot observe; the write-set and
+        # shape/dtype rules are what the contract demands.
+        report = sanitized_execute(kern, plan, factors, check_traffic=False)
+        errors = [
+            d for d in report.diagnostics if d.severity is Severity.ERROR
+        ]
+        if errors:
+            listing = "\n  ".join(d.format() for d in errors)
+            raise RegistrationError(
+                f"backend {backend.name!r} op for kernel {kernel_name!r} "
+                f"failed the execution sanitizer on {np.dtype(dtype).name} "
+                f"factors:\n  {listing}"
+            )
+
+        got = kern.execute(plan, factors)
+        if got.dtype != ref.dtype:
+            raise RegistrationError(
+                f"backend {backend.name!r} op for kernel {kernel_name!r} "
+                f"broke the dtype contract: reference {ref.dtype}, "
+                f"backend {got.dtype}"
+            )
+        if backend.parity == "bitwise":
+            ok = bool(np.array_equal(got, ref))
+        else:
+            ok = bool(np.allclose(got, ref, rtol=1e-4, atol=1e-6))
+        if not ok:
+            raise RegistrationError(
+                f"backend {backend.name!r} op for kernel {kernel_name!r} "
+                f"failed {backend.parity} parity with the NumPy reference "
+                f"on {np.dtype(dtype).name} factors"
+            )
+
+
+def register_backend(
+    backend: Backend, *, replace: bool = False, validate: bool = True
+) -> Backend:
+    """Add a backend to the registry, gating on the contract checks.
+
+    Re-registering the same instance is a no-op; a different backend
+    claiming a taken name needs ``replace=True``.  ``validate=False``
+    skips the behavioural probe (the DF613 static vet still runs) — for
+    tests that deliberately construct broken backends.
+    """
+    existing = _BACKENDS.get(backend.name)
+    if existing is not None and existing is not backend and not replace:
+        raise RegistrationError(
+            f"backend name {backend.name!r} is already registered; "
+            "pass replace=True to override"
+        )
+    unknown = sorted(set(backend.ops) - set(KERNEL_CONTRACTS))
+    if unknown:
+        raise RegistrationError(
+            f"backend {backend.name!r} declares ops for unknown kernel(s) "
+            f"{unknown}; contracts exist for {sorted(KERNEL_CONTRACTS)}"
+        )
+
+    # DF613: backend op bodies get the kernel-method static vetting.
+    from repro.analysis.dataflow import enforce_backend_dataflow
+
+    for kernel_name, fn in backend.ops.items():
+        enforce_backend_dataflow(
+            fn, label=f"{backend.name}:{kernel_name}"
+        )
+
+    # Provisional insert so the probe's dispatch resolves, rolled back
+    # on any validation failure.
+    _BACKENDS[backend.name] = backend
+    if validate:
+        try:
+            for kernel_name in backend.ops:
+                _validate_op(backend, kernel_name)
+        except Exception:
+            if existing is not None:
+                _BACKENDS[backend.name] = existing
+            else:
+                del _BACKENDS[backend.name]
+            raise
+    return backend

@@ -1,0 +1,67 @@
+"""``torch``: PyTorch MTTKRP bodies, auto-registered when torch is
+importable.
+
+The COO op computes the per-nonzero Hadamard contributions as one fused
+tensor expression and scatters with ``index_add_`` — torch's reduction
+order is not NumPy's, so the backend declares ``parity="approx"``.
+Tensors stay on CPU: the point of this backend in this repo is the
+registry/conformance machinery, not GPU offload (the container ships no
+torch; CI may exercise it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import (
+    alloc_output,
+    check_factors,
+    factor_dtype,
+)
+
+__all__ = ["build_backend"]
+
+
+def _build_ops():
+    import torch
+
+    def op_coo(kernel, plan, factors, out=None):
+        factors, rank = check_factors(factors, plan.shape, plan.mode)
+        B = factors[plan.inner_mode]
+        C = factors[plan.fiber_mode]
+        A = alloc_output(out, plan.shape[plan.mode], rank, factor_dtype(factors))
+        if plan.vals.shape[0] == 0:
+            return A
+        vals = plan.vals.astype(A.dtype, copy=False)
+        tb = torch.from_numpy(np.asarray(B))
+        tc = torch.from_numpy(np.asarray(C))
+        tv = torch.from_numpy(np.asarray(vals))
+        ti = torch.from_numpy(np.asarray(plan.i))
+        contrib = tv.unsqueeze(1) * tb[torch.from_numpy(np.asarray(plan.j))]
+        contrib *= tc[torch.from_numpy(np.asarray(plan.k))]
+        acc = torch.zeros(
+            (A.shape[0], rank), dtype=contrib.dtype
+        )
+        acc.index_add_(0, ti, contrib)
+        A += acc.numpy()
+        return A
+
+    return {"coo": op_coo}
+
+
+def build_backend():
+    """The torch :class:`~repro.backends.registry.Backend`, or ``None``
+    when torch is not installed."""
+    try:
+        ops = _build_ops()
+    except ImportError:
+        return None
+    from repro.backends.registry import Backend
+
+    return Backend(
+        name="torch",
+        ops=ops,
+        parity="approx",
+        description="CPU torch COO body via index_add_ (reference "
+        "fallback for the remaining kernels)",
+    )

@@ -50,6 +50,7 @@ KNOWN_TAGS = frozenset(
         "supplementary",
         "parallel",
         "serve",
+        "backend",
     }
 )
 

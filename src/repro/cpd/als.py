@@ -68,6 +68,7 @@ def cp_als(
     seed: "int | None | np.random.Generator" = 0,
     n_threads: int = 1,
     backend: str = "thread",
+    fused: bool = False,
 ) -> ALSResult:
     """Compute a rank-``rank`` CP decomposition of a sparse tensor.
 
@@ -87,6 +88,12 @@ def cp_als(
         to the serial path).
     backend: executor backend (``thread``, ``process``, ``serial``) for
         ``n_threads > 1``.
+    fused: pool all sweep scratch — per-mode MTTKRP outputs, factor and
+        Gram buffers, the Hadamard ``V``, and (serial runs) the kernels'
+        internal chunk scratch via the ``numpy-pooled`` backend — in one
+        :class:`~repro.backends.ScratchArena`, so each iteration performs
+        O(1) allocations once warm.  Factors, weights, and fits are
+        bitwise-identical to the unfused path.
     """
     rank = check_rank(rank)
     require(n_iters >= 1, "n_iters must be >= 1")
@@ -105,35 +112,120 @@ def cp_als(
         factors = init_factors(tensor, rank, method=init, seed=seed)
     else:
         factors = [np.ascontiguousarray(f, dtype=dtype) for f in init]
-        if len(factors) != tensor.order:
-            raise ConfigError("need one initial factor per mode")
+        check_init_factors(factors, tensor.shape, rank)
 
     executor = None
-    if n_threads > 1:
-        from repro.exec import ParallelExecutor
+    try:
+        if n_threads > 1:
+            from repro.exec import ParallelExecutor
 
-        executor = ParallelExecutor(n_threads=n_threads, backend=backend)
-        plans: "list[Plan] | list" = [
-            executor.prepare(tensor, mode, kernel, **kernel_params)
-            for mode in range(tensor.order)
-        ]
-    else:
-        # One plan per mode, reused across iterations.  The any-mode CSF
-        # kernel shares a single tree across all modes (its whole point).
-        from repro.kernels.csf_any import CSFAnyKernel
-
-        if isinstance(kernel, CSFAnyKernel):
-            base = kernel.prepare(tensor, 0, **kernel_params)
-            plans = [
-                CSFAnyKernel.plan_for_mode(base, mode)
+            executor = ParallelExecutor(n_threads=n_threads, backend=backend)
+            plans: "list[Plan] | list" = [
+                executor.prepare(tensor, mode, kernel, **kernel_params)
                 for mode in range(tensor.order)
             ]
         else:
-            plans = [
-                kernel.prepare(tensor, mode, **kernel_params)
-                for mode in range(tensor.order)
-            ]
-    grams = [f.T @ f for f in factors]
+            # One plan per mode, reused across iterations.  The any-mode
+            # CSF kernel shares a single tree across all modes (its whole
+            # point).
+            from repro.kernels.csf_any import CSFAnyKernel
+
+            if isinstance(kernel, CSFAnyKernel):
+                base = kernel.prepare(tensor, 0, **kernel_params)
+                plans = [
+                    CSFAnyKernel.plan_for_mode(base, mode)
+                    for mode in range(tensor.order)
+                ]
+            else:
+                plans = [
+                    kernel.prepare(tensor, mode, **kernel_params)
+                    for mode in range(tensor.order)
+                ]
+        return _als_sweeps(
+            tensor, rank, factors, plans, kernel, executor,
+            n_iters=n_iters, tol=tol, dtype=dtype, fused=fused,
+        )
+    finally:
+        # cp_als owns this executor; without the close, each call with
+        # n_threads > 1 leaked a live worker pool.
+        if executor is not None:
+            executor.close()
+
+
+def check_init_factors(
+    factors: "Sequence[np.ndarray]",
+    shape: "tuple[int, ...]",
+    rank: int,
+) -> None:
+    """Validate explicit initial factors: one per mode, each exactly
+    ``(shape[m], rank)`` — naming the offending mode instead of failing
+    deep inside the first MTTKRP."""
+    if len(factors) != len(shape):
+        raise ConfigError(
+            f"need one initial factor per mode: got {len(factors)} for a "
+            f"{len(shape)}-mode tensor"
+        )
+    for m, f in enumerate(factors):
+        if f.ndim != 2 or f.shape != (shape[m], rank):
+            raise ConfigError(
+                f"initial factor for mode {m} must have shape "
+                f"({shape[m]}, {rank}), got {tuple(f.shape)}"
+            )
+
+
+def _als_sweeps(
+    tensor: COOTensor,
+    rank: int,
+    factors: "list[np.ndarray]",
+    plans: list,
+    kernel: Kernel,
+    executor,
+    *,
+    n_iters: int,
+    tol: float,
+    dtype: np.dtype,
+    fused: bool,
+) -> ALSResult:
+    """The shared ALS iteration loop.
+
+    With ``fused=True`` every sweep temporary lives in one
+    :class:`~repro.backends.ScratchArena`: the per-mode MTTKRP output,
+    the factor and Gram buffers, and the Hadamard ``V`` are pooled views
+    written in place (``np.matmul(..., out=)`` and in-place divides
+    produce the same bits as their allocating forms), and serial plans
+    without an explicit backend are routed through ``numpy-pooled`` so
+    kernel-internal chunk scratch and CSF traversal state join the same
+    pool, shared across the three per-mode launches of each sweep.  The
+    trajectory — factors, weights, fits — is bitwise-identical to the
+    unfused path.
+    """
+    order = tensor.order
+    arena = None
+    if fused:
+        # Importing repro.backends registers numpy-pooled and installs
+        # kernel dispatch; plans that already name a backend keep it.
+        from repro.backends import ScratchArena, use_arena
+
+        arena = ScratchArena()
+        if executor is None:
+            for plan in plans:
+                if plan.backend is None:
+                    plan.backend = "numpy-pooled"
+        # Factors and Grams move into pooled buffers updated in place.
+        for m in range(order):
+            f_buf = arena.get(("als", "f", m), factors[m].shape, dtype)
+            f_buf[...] = factors[m]
+            factors[m] = f_buf
+        grams = [
+            np.matmul(
+                factors[m].T,
+                factors[m],
+                out=arena.get(("als", "gram", m), (rank, rank), dtype),
+            )
+            for m in range(order)
+        ]
+    else:
+        grams = [f.T @ f for f in factors]
     norm_x = float(np.linalg.norm(tensor.values))
     weights = np.ones(rank, dtype=dtype)
 
@@ -141,40 +233,71 @@ def cp_als(
     fits: list[float] = []
     converged = False
     iteration = 0
-    for iteration in range(1, n_iters + 1):
-        with tracer.span("als.iteration", iteration=iteration):
-            for mode in range(tensor.order):
-                if executor is not None:
-                    m_mat = executor.execute(plans[mode], factors)
-                else:
-                    m_mat = kernel.execute(plans[mode], factors)
-                v = np.ones((rank, rank), dtype=dtype)
-                for m, g in enumerate(grams):
-                    if m != mode:
-                        v *= g
-                f_new = m_mat @ np.linalg.pinv(v)
-                # Column normalization: 2-norm after the first iteration,
-                # max-norm on the first (standard CP-ALS practice, keeps
-                # early weights from collapsing).
-                if iteration == 1:
-                    norms = np.maximum(np.abs(f_new).max(axis=0), 1e-12)
-                else:
-                    norms = np.linalg.norm(f_new, axis=0)
-                    norms = np.where(norms > 1e-12, norms, 1.0)
-                f_new = f_new / norms
-                weights = norms.astype(dtype, copy=False)
-                factors[mode] = np.ascontiguousarray(f_new, dtype=dtype)
-                grams[mode] = factors[mode].T @ factors[mode]
+    from contextlib import nullcontext
 
-            model = KruskalTensor(weights, factors)
-            fit = model.fit(tensor, norm_x)
-        fits.append(fit)
-        if tracer.enabled:
-            tracer.metric("als.fit", fit, step=iteration)
-        if len(fits) >= 2 and abs(fits[-1] - fits[-2]) < tol:
-            converged = True
-            break
+    with use_arena(arena) if arena is not None else nullcontext():
+        for iteration in range(1, n_iters + 1):
+            with tracer.span("als.iteration", iteration=iteration):
+                for mode in range(order):
+                    out = (
+                        arena.get(
+                            ("als", "m", mode),
+                            (int(tensor.shape[mode]), rank),
+                            dtype,
+                        )
+                        if arena is not None
+                        else None
+                    )
+                    if executor is not None:
+                        m_mat = executor.execute(plans[mode], factors, out=out)
+                    else:
+                        m_mat = kernel.execute(plans[mode], factors, out=out)
+                    if arena is not None:
+                        v = arena.get(("als", "v"), (rank, rank), dtype)
+                        v.fill(1)
+                    else:
+                        v = np.ones((rank, rank), dtype=dtype)
+                    for m, g in enumerate(grams):
+                        if m != mode:
+                            v *= g
+                    pinv_v = np.linalg.pinv(v)
+                    if arena is not None:
+                        f_new = np.matmul(m_mat, pinv_v, out=factors[mode])
+                    else:
+                        f_new = m_mat @ pinv_v
+                    # Column normalization: 2-norm after the first
+                    # iteration, max-norm on the first (standard CP-ALS
+                    # practice, keeps early weights from collapsing).
+                    if iteration == 1:
+                        norms = np.maximum(np.abs(f_new).max(axis=0), 1e-12)
+                    else:
+                        norms = np.linalg.norm(f_new, axis=0)
+                        norms = np.where(norms > 1e-12, norms, 1.0)
+                    if arena is not None:
+                        f_new /= norms
+                        weights = norms.astype(dtype, copy=False)
+                        grams[mode] = np.matmul(
+                            f_new.T, f_new, out=grams[mode]
+                        )
+                    else:
+                        f_new = f_new / norms
+                        weights = norms.astype(dtype, copy=False)
+                        factors[mode] = np.ascontiguousarray(f_new, dtype=dtype)
+                        grams[mode] = factors[mode].T @ factors[mode]
 
+                model = KruskalTensor(weights, factors)
+                fit = model.fit(tensor, norm_x)
+            fits.append(fit)
+            if tracer.enabled:
+                tracer.metric("als.fit", fit, step=iteration)
+            if len(fits) >= 2 and abs(fits[-1] - fits[-2]) < tol:
+                converged = True
+                break
+
+    if arena is not None and tracer.enabled:
+        tracer.count("arena.allocs", arena.allocs)
+        tracer.count("arena.reuses", arena.reuses)
+        tracer.count("arena.bytes", arena.nbytes)
     return ALSResult(
         model=KruskalTensor(weights, factors),
         fits=fits,

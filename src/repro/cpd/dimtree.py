@@ -28,13 +28,23 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.cpd.als import ALSResult
+from repro.cpd.als import ALSResult, check_init_factors
 from repro.cpd.init import init_factors
 from repro.cpd.ktensor import KruskalTensor
 from repro.obs.tracer import current_tracer
 from repro.tensor.coo import COOTensor
 from repro.util.errors import ConfigError
 from repro.util.validation import INDEX_DTYPE, check_rank, require, value_dtype_of
+
+
+def _segments(keys: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Start offsets and key value of each run in a sorted key vector."""
+    if keys.shape[0] == 0:
+        empty = np.empty(0, dtype=INDEX_DTYPE)
+        return empty, empty
+    boundaries = np.flatnonzero(np.diff(keys)) + 1
+    starts = np.concatenate(([0], boundaries))
+    return starts, keys[starts]
 
 
 class DimTreePlan:
@@ -79,6 +89,15 @@ class DimTreePlan:
         #: Nonzero order for the mode-2 update (grouped by k).
         self.by_k = np.argsort(self.k_of_nnz, kind="stable")
 
+        # Segment structure of the three updates is fixed by the sparsity
+        # pattern, so the starts/rows of each grouped reduction are
+        # computed once here instead of per sweep.
+        self._i_starts, self._i_rows = _segments(self.pair_i)
+        self._j_sorted_i = self.pair_i[self.by_j]
+        self._j_starts, self._j_rows = _segments(self.pair_j[self.by_j])
+        self._k_sorted_pair = self.pair_of_nnz[self.by_k]
+        self._k_starts, self._k_rows = _segments(self.k_of_nnz[self.by_k])
+
     @property
     def n_pairs(self) -> int:
         """Distinct (i, j) pairs — the memo's row count."""
@@ -100,56 +119,131 @@ class DimTreePlan:
         return 2.0 * rank * self.nnz + 7.0 * rank * self.n_pairs + 2.0 * rank * self.nnz
 
     # ------------------------------------------------------------------
-    def contract_mode2(self, c_factor: np.ndarray) -> np.ndarray:
-        """The memo: ``Y[p, :] = sum_{t in p} x_t * C[k_t, :]``."""
-        if self.nnz == 0:
-            return np.zeros((0, c_factor.shape[1]), dtype=c_factor.dtype)
-        vals = self.vals.astype(c_factor.dtype, copy=False)
-        prod = vals[:, None] * c_factor[self.k_of_nnz]
-        return np.add.reduceat(prod, self.pair_ptr[:-1], axis=0)
+    # With ``arena=None`` each method is the plain allocating form; with
+    # an arena every transient (gathers, products, the memo, the output)
+    # is a pooled buffer written through ``out=`` — the same operand
+    # order, so results stay bitwise-identical (the fused-ALS contract).
+    def _vals_as(self, arena, dtype: np.dtype) -> np.ndarray:
+        vals = self.vals
+        if vals.dtype == dtype:
+            return vals
+        if arena is None:
+            return vals.astype(dtype)
+        cast = arena.get(("dimtree", "vals"), vals.shape, dtype)
+        cast[...] = vals
+        return cast
 
-    def mttkrp_mode0(self, memo: np.ndarray, b_factor: np.ndarray) -> np.ndarray:
+    def contract_mode2(self, c_factor: np.ndarray, *, arena=None) -> np.ndarray:
+        """The memo: ``Y[p, :] = sum_{t in p} x_t * C[k_t, :]``."""
+        rank = c_factor.shape[1]
+        if self.nnz == 0:
+            return np.zeros((0, rank), dtype=c_factor.dtype)
+        vals = self._vals_as(arena, c_factor.dtype)
+        if arena is None:
+            prod = vals[:, None] * c_factor[self.k_of_nnz]
+            return np.add.reduceat(prod, self.pair_ptr[:-1], axis=0)
+        prod = arena.get(("dimtree", "prod"), (self.nnz, rank), c_factor.dtype)
+        np.take(c_factor, self.k_of_nnz, axis=0, out=prod)
+        np.multiply(vals[:, None], prod, out=prod)
+        memo = arena.get(
+            ("dimtree", "memo"), (self.n_pairs, rank), c_factor.dtype
+        )
+        np.add.reduceat(prod, self.pair_ptr[:-1], axis=0, out=memo)
+        return memo
+
+    def mttkrp_mode0(
+        self, memo: np.ndarray, b_factor: np.ndarray, *, arena=None
+    ) -> np.ndarray:
         """``A[i] = sum_j Y[ij] * B[j]`` via the i-grouped pair order."""
-        out = np.zeros((self.shape[0], memo.shape[1]), dtype=memo.dtype)
+        shape = (self.shape[0], memo.shape[1])
+        if arena is None:
+            out = np.zeros(shape, dtype=memo.dtype)
+            if self.n_pairs == 0:
+                return out
+            contrib = memo * b_factor[self.pair_j]
+            out[self._i_rows] = np.add.reduceat(contrib, self._i_starts, axis=0)
+            return out
+        out = arena.get(("dimtree", "out", 0), shape, memo.dtype, zero=True)
         if self.n_pairs == 0:
             return out
-        contrib = memo * b_factor[self.pair_j]
-        i = self.pair_i
-        boundaries = np.flatnonzero(np.diff(i)) + 1
-        starts = np.concatenate(([0], boundaries))
-        out[i[starts]] = np.add.reduceat(contrib, starts, axis=0)
+        contrib = arena.get(("dimtree", "contrib0"), memo.shape, memo.dtype)
+        np.take(b_factor, self.pair_j, axis=0, out=contrib)
+        np.multiply(memo, contrib, out=contrib)
+        red = arena.get(
+            ("dimtree", "red0"),
+            (self._i_starts.shape[0], memo.shape[1]),
+            memo.dtype,
+        )
+        np.add.reduceat(contrib, self._i_starts, axis=0, out=red)
+        out[self._i_rows] = red
         return out
 
-    def mttkrp_mode1(self, memo: np.ndarray, a_factor: np.ndarray) -> np.ndarray:
+    def mttkrp_mode1(
+        self, memo: np.ndarray, a_factor: np.ndarray, *, arena=None
+    ) -> np.ndarray:
         """``B[j] = sum_i Y[ij] * A[i]`` via the j-sorted pair order."""
-        out = np.zeros((self.shape[1], memo.shape[1]), dtype=memo.dtype)
+        shape = (self.shape[1], memo.shape[1])
+        if arena is None:
+            out = np.zeros(shape, dtype=memo.dtype)
+            if self.n_pairs == 0:
+                return out
+            contrib = memo[self.by_j] * a_factor[self._j_sorted_i]
+            out[self._j_rows] = np.add.reduceat(contrib, self._j_starts, axis=0)
+            return out
+        out = arena.get(("dimtree", "out", 1), shape, memo.dtype, zero=True)
         if self.n_pairs == 0:
             return out
-        order = self.by_j
-        contrib = memo[order] * a_factor[self.pair_i[order]]
-        j = self.pair_j[order]
-        boundaries = np.flatnonzero(np.diff(j)) + 1
-        starts = np.concatenate(([0], boundaries))
-        out[j[starts]] = np.add.reduceat(contrib, starts, axis=0)
+        contrib = arena.get(("dimtree", "contrib1"), memo.shape, memo.dtype)
+        np.take(memo, self.by_j, axis=0, out=contrib)
+        g = arena.get(("dimtree", "gather1"), memo.shape, memo.dtype)
+        np.take(a_factor, self._j_sorted_i, axis=0, out=g)
+        np.multiply(contrib, g, out=contrib)
+        red = arena.get(
+            ("dimtree", "red1"),
+            (self._j_starts.shape[0], memo.shape[1]),
+            memo.dtype,
+        )
+        np.add.reduceat(contrib, self._j_starts, axis=0, out=red)
+        out[self._j_rows] = red
         return out
 
     def mttkrp_mode2(
-        self, a_factor: np.ndarray, b_factor: np.ndarray
+        self, a_factor: np.ndarray, b_factor: np.ndarray, *, arena=None
     ) -> np.ndarray:
         """``C[k] = sum_t x_t * (A[i_t] * B[j_t])``, reusing the pair
         products ``W[p] = A[i_p] * B[j_p]``."""
         rank = a_factor.shape[1]
-        out = np.zeros((self.shape[2], rank), dtype=a_factor.dtype)
+        shape = (self.shape[2], rank)
+        if arena is None:
+            out = np.zeros(shape, dtype=a_factor.dtype)
+            if self.nnz == 0:
+                return out
+            w = a_factor[self.pair_i] * b_factor[self.pair_j]
+            vals = self._vals_as(None, a_factor.dtype)
+            contrib = vals[self.by_k, None] * w[self._k_sorted_pair]
+            out[self._k_rows] = np.add.reduceat(contrib, self._k_starts, axis=0)
+            return out
+        out = arena.get(("dimtree", "out", 2), shape, a_factor.dtype, zero=True)
         if self.nnz == 0:
             return out
-        w = a_factor[self.pair_i] * b_factor[self.pair_j]
-        order = self.by_k
-        vals = self.vals.astype(a_factor.dtype, copy=False)
-        contrib = vals[order, None] * w[self.pair_of_nnz[order]]
-        k = self.k_of_nnz[order]
-        boundaries = np.flatnonzero(np.diff(k)) + 1
-        starts = np.concatenate(([0], boundaries))
-        out[k[starts]] = np.add.reduceat(contrib, starts, axis=0)
+        w = arena.get(("dimtree", "w"), (self.n_pairs, rank), a_factor.dtype)
+        np.take(a_factor, self.pair_i, axis=0, out=w)
+        g = arena.get(("dimtree", "gather2"), w.shape, a_factor.dtype)
+        np.take(b_factor, self.pair_j, axis=0, out=g)
+        np.multiply(w, g, out=w)
+        vals = self._vals_as(arena, a_factor.dtype)
+        contrib = arena.get(
+            ("dimtree", "contrib2"), (self.nnz, rank), a_factor.dtype
+        )
+        np.take(w, self._k_sorted_pair, axis=0, out=contrib)
+        vk = arena.get(("dimtree", "vals_k"), (self.nnz,), a_factor.dtype)
+        np.take(vals, self.by_k, out=vk)
+        np.multiply(vk[:, None], contrib, out=contrib)
+        red = arena.get(
+            ("dimtree", "red2"), (self._k_starts.shape[0], rank), a_factor.dtype
+        )
+        np.add.reduceat(contrib, self._k_starts, axis=0, out=red)
+        out[self._k_rows] = red
         return out
 
 
@@ -161,11 +255,16 @@ def cp_als_dimtree(
     tol: float = 1e-5,
     init: "str | Sequence[np.ndarray]" = "random",
     seed: "int | None | np.random.Generator" = 0,
+    fused: bool = False,
 ) -> ALSResult:
     """CP-ALS with dimension-tree memoization (3-mode tensors).
 
     Produces exactly the trajectory of :func:`repro.cpd.als.cp_als` with
     the default kernel, at fewer flops per sweep when pairs are reused.
+    ``fused=True`` pools the memo, contraction scratch, per-mode outputs,
+    and factor/Gram buffers in one
+    :class:`~repro.backends.ScratchArena` — bitwise-identical trajectory,
+    O(1) allocations per sweep once warm.
     """
     rank = check_rank(rank)
     require(n_iters >= 1, "n_iters must be >= 1")
@@ -177,10 +276,27 @@ def cp_als_dimtree(
         factors = init_factors(tensor, rank, method=init, seed=seed)
     else:
         factors = [np.ascontiguousarray(f, dtype=dtype) for f in init]
-        if len(factors) != 3:
-            raise ConfigError("need three initial factors")
+        check_init_factors(factors, tensor.shape, rank)
 
-    grams = [f.T @ f for f in factors]
+    arena = None
+    if fused:
+        from repro.backends import ScratchArena
+
+        arena = ScratchArena()
+        for m in range(3):
+            f_buf = arena.get(("dimtree", "f", m), factors[m].shape, dtype)
+            f_buf[...] = factors[m]
+            factors[m] = f_buf
+        grams = [
+            np.matmul(
+                factors[m].T,
+                factors[m],
+                out=arena.get(("dimtree", "gram", m), (rank, rank), dtype),
+            )
+            for m in range(3)
+        ]
+    else:
+        grams = [f.T @ f for f in factors]
     norm_x = float(np.linalg.norm(tensor.values))
     weights = np.ones(rank, dtype=dtype)
 
@@ -193,32 +309,47 @@ def cp_als_dimtree(
             # One contraction with C serves both the mode-0 and mode-1
             # updates (recomputed after the mode-2 update changes C next
             # sweep).
-            memo = plan.contract_mode2(factors[2])
+            memo = plan.contract_mode2(factors[2], arena=arena)
             for mode in range(3):
                 with tracer.span(
                     "mttkrp", kernel="dimtree", mode=mode, nnz=plan.nnz,
                     n_pairs=plan.n_pairs,
                 ):
                     if mode == 0:
-                        m_mat = plan.mttkrp_mode0(memo, factors[1])
+                        m_mat = plan.mttkrp_mode0(memo, factors[1], arena=arena)
                     elif mode == 1:
-                        m_mat = plan.mttkrp_mode1(memo, factors[0])
+                        m_mat = plan.mttkrp_mode1(memo, factors[0], arena=arena)
                     else:
-                        m_mat = plan.mttkrp_mode2(factors[0], factors[1])
-                v = np.ones((rank, rank), dtype=dtype)
+                        m_mat = plan.mttkrp_mode2(
+                            factors[0], factors[1], arena=arena
+                        )
+                if arena is not None:
+                    v = arena.get(("dimtree", "v"), (rank, rank), dtype)
+                    v.fill(1)
+                else:
+                    v = np.ones((rank, rank), dtype=dtype)
                 for m, g in enumerate(grams):
                     if m != mode:
                         v *= g
-                f_new = m_mat @ np.linalg.pinv(v)
+                pinv_v = np.linalg.pinv(v)
+                if arena is not None:
+                    f_new = np.matmul(m_mat, pinv_v, out=factors[mode])
+                else:
+                    f_new = m_mat @ pinv_v
                 if iteration == 1:
                     norms = np.maximum(np.abs(f_new).max(axis=0), 1e-12)
                 else:
                     norms = np.linalg.norm(f_new, axis=0)
                     norms = np.where(norms > 1e-12, norms, 1.0)
-                f_new = f_new / norms
-                weights = norms.astype(dtype, copy=False)
-                factors[mode] = np.ascontiguousarray(f_new, dtype=dtype)
-                grams[mode] = factors[mode].T @ factors[mode]
+                if arena is not None:
+                    f_new /= norms
+                    weights = norms.astype(dtype, copy=False)
+                    grams[mode] = np.matmul(f_new.T, f_new, out=grams[mode])
+                else:
+                    f_new = f_new / norms
+                    weights = norms.astype(dtype, copy=False)
+                    factors[mode] = np.ascontiguousarray(f_new, dtype=dtype)
+                    grams[mode] = factors[mode].T @ factors[mode]
 
             model = KruskalTensor(weights, factors)
             fit = model.fit(tensor, norm_x)
@@ -229,6 +360,10 @@ def cp_als_dimtree(
             converged = True
             break
 
+    if arena is not None and tracer.enabled:
+        tracer.count("arena.allocs", arena.allocs)
+        tracer.count("arena.reuses", arena.reuses)
+        tracer.count("arena.bytes", arena.nbytes)
     return ALSResult(
         model=KruskalTensor(weights, factors),
         fits=fits,

@@ -1,0 +1,104 @@
+"""Batched MTTKRP: many small launches fused into one.
+
+Decomposition services and blocked sweeps often face fleets of *small*
+MTTKRPs — per-tenant tensors, per-window slices — where per-launch
+overhead (plan lookup, tracer span, Python dispatch) rivals the math.
+:func:`batched_mttkrp` stacks the items block-diagonally: mode-``m``
+indices of item ``b`` are offset by the summed mode-``m`` extents of the
+items before it, the factor matrices are stacked the same way, and ONE
+kernel launch computes every item's result, sliced back out afterwards.
+
+Because the items' fibers and output rows are disjoint in the stacked
+tensor, each item's rows are computed from exactly its own nonzeros; in
+the single-chunk regime (stacked nonzeros within one kernel scratch
+chunk — the small-tensor case this exists for) the per-item reduction
+order matches the standalone launch and results are bitwise-identical.
+Items large enough to straddle chunk boundaries may split differently
+than they would alone, which can reorder intra-fiber partial sums; the
+results then agree to ``allclose`` at the factor dtype.  The same
+caveat applies to shape-dependent layout heuristics (the CSF kernels'
+default ``mode_order`` sorts by mode length, and the stacked shape can
+sort differently than an item's own): pin the layout explicitly
+(e.g. ``mode_order=(0, 1, 2)``) to keep the batch bitwise-equal to the
+standalone launches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.kernels.base import Kernel, get_kernel
+from repro.tensor.coo import COOTensor
+from repro.util.errors import ConfigError
+from repro.util.validation import check_mode
+
+__all__ = ["batched_mttkrp"]
+
+
+def batched_mttkrp(
+    tensors: Sequence[COOTensor],
+    factors_list: "Sequence[Sequence[np.ndarray]]",
+    mode: int,
+    kernel: "str | Kernel" = "splatt",
+    **params: object,
+) -> "list[np.ndarray]":
+    """Run one MTTKRP per ``(tensor, factors)`` item in a single launch.
+
+    All items must share the tensor order, the factor rank, and the
+    factor dtype.  ``params`` go to the stacked ``prepare`` (including
+    ``backend=``).  Returns one ``(shape[mode], R)`` array per item.
+    """
+    if len(tensors) == 0:
+        raise ConfigError("batched_mttkrp needs at least one tensor")
+    if len(factors_list) != len(tensors):
+        raise ConfigError(
+            f"got {len(tensors)} tensors but {len(factors_list)} factor sets"
+        )
+    kern = get_kernel(kernel) if isinstance(kernel, str) else kernel
+    order = tensors[0].order
+    mode = check_mode(mode, order)
+    for b, t in enumerate(tensors):
+        if t.order != order:
+            raise ConfigError(
+                f"batch item {b} has order {t.order}, expected {order}"
+            )
+        if len(factors_list[b]) != order:
+            raise ConfigError(
+                f"batch item {b} has {len(factors_list[b])} factors for an "
+                f"order-{order} tensor"
+            )
+
+    # Per-mode row offsets of each item in the stacked tensor.
+    offsets = np.zeros((len(tensors) + 1, order), dtype=np.int64)
+    for b, t in enumerate(tensors):
+        offsets[b + 1] = offsets[b] + np.asarray(t.shape, dtype=np.int64)
+    stacked_shape = tuple(int(s) for s in offsets[-1])
+
+    indices = np.concatenate(
+        [t.indices + offsets[b][None, :] for b, t in enumerate(tensors)],
+        axis=0,
+    )
+    values = np.concatenate([t.values for t in tensors])
+    stacked = COOTensor(stacked_shape, indices, values, validate=False)
+
+    stacked_factors: "list[np.ndarray | None]" = []
+    for m in range(order):
+        if m == mode:
+            stacked_factors.append(None)
+            continue
+        parts = [np.asarray(fs[m]) for fs in factors_list]
+        ranks = {p.shape[1] for p in parts if p.ndim == 2}
+        if len(ranks) > 1:
+            raise ConfigError(
+                f"batch items disagree on rank for mode {m}: {sorted(ranks)}"
+            )
+        stacked_factors.append(np.concatenate(parts, axis=0))
+
+    plan = kern.prepare(stacked, mode, **params)
+    out = kern.execute(plan, stacked_factors)
+    return [
+        out[int(offsets[b][mode]) : int(offsets[b + 1][mode])].copy()
+        for b in range(len(tensors))
+    ]

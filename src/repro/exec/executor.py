@@ -47,7 +47,7 @@ observable.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -264,6 +264,49 @@ class ParallelExecutor:
         self.pool = pool
         #: Per-worker wall-clock of the most recent :meth:`execute`.
         self.last_report: "ExecutionReport | None" = None
+        # Lazily-created pools this executor owns (and must shut down):
+        # a WorkerPool for the thread backend, a ProcessPoolExecutor for
+        # the process backend.  Reused across execute() calls so a CP-ALS
+        # run pays worker startup once, not once per MTTKRP.
+        self._owned_pool: "WorkerPool | None" = None
+        self._owned_process_pool: "ProcessPoolExecutor | None" = None
+
+    # -- lifecycle ----------------------------------------------------
+    def close(self) -> None:
+        """Shut down pools this executor created.  Idempotent; a shared
+        ``pool=`` passed at construction is left running (its lifecycle
+        belongs to the caller).  Closed executors can still execute —
+        the owned pool is simply re-created on demand."""
+        if self._owned_pool is not None:
+            self._owned_pool.shutdown(wait=True)
+            self._owned_pool = None
+        if self._owned_process_pool is not None:
+            self._owned_process_pool.shutdown(wait=True)
+            self._owned_process_pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _thread_pool(self) -> WorkerPool:
+        """The pool thread-backend executions run on: the shared pool if
+        one was injected, else an owned pool created on first use."""
+        if self.pool is not None:
+            return self.pool
+        if self._owned_pool is None or self._owned_pool.closed:
+            self._owned_pool = WorkerPool(
+                n_threads=self.n_threads, name="repro-exec-owned"
+            )
+        return self._owned_pool
+
+    def _process_pool(self) -> ProcessPoolExecutor:
+        if self._owned_process_pool is None:
+            self._owned_process_pool = ProcessPoolExecutor(
+                max_workers=self.n_threads
+            )
+        return self._owned_process_pool
 
     # -- schedule construction ----------------------------------------
     def prepare(
@@ -436,34 +479,19 @@ class ParallelExecutor:
         A: np.ndarray,
         cancel_token: "CancellationToken | None" = None,
     ) -> list[float]:
-        if self.pool is not None:
-            futures = [
-                self.pool.submit(
-                    _run_task,
-                    kern,
-                    task,
-                    factors,
-                    A[task.start : task.stop],
-                    cancel_token,
-                )
-                for task in plan.tasks
-            ]
-            return [f.result() for f in futures]
-        with ThreadPoolExecutor(
-            max_workers=min(self.n_threads, len(plan.tasks))
-        ) as pool:
-            futures = [
-                pool.submit(
-                    _run_task,
-                    kern,
-                    task,
-                    factors,
-                    A[task.start : task.stop],
-                    cancel_token,
-                )
-                for task in plan.tasks
-            ]
-            return [f.result() for f in futures]
+        pool = self._thread_pool()
+        futures = [
+            pool.submit(
+                _run_task,
+                kern,
+                task,
+                factors,
+                A[task.start : task.stop],
+                cancel_token,
+            )
+            for task in plan.tasks
+        ]
+        return [f.result() for f in futures]
 
     def _execute_processes(
         self,
@@ -479,22 +507,20 @@ class ParallelExecutor:
             shared = np.ndarray(A.shape, dtype=A.dtype, buffer=shm.buf)
             shared[...] = 0.0
             payload = [f if f is None else np.asarray(f) for f in factors]
-            with ProcessPoolExecutor(
-                max_workers=min(self.n_threads, len(plan.tasks))
-            ) as pool:
-                futures = [
-                    pool.submit(
-                        _process_worker,
-                        shm.name,
-                        A.shape,
-                        A.dtype.str,
-                        plan.kernel_name,
-                        task,
-                        payload,
-                    )
-                    for task in plan.tasks
-                ]
-                times = [f.result() for f in futures]
+            pool = self._process_pool()
+            futures = [
+                pool.submit(
+                    _process_worker,
+                    shm.name,
+                    A.shape,
+                    A.dtype.str,
+                    plan.kernel_name,
+                    task,
+                    payload,
+                )
+                for task in plan.tasks
+            ]
+            times = [f.result() for f in futures]
             A[...] = shared
         finally:
             shm.close()
@@ -513,7 +539,9 @@ def parallel_mttkrp(
     out: "np.ndarray | None" = None,
     **params: object,
 ) -> np.ndarray:
-    """One-shot convenience: prepare a parallel schedule and execute it."""
-    executor = ParallelExecutor(n_threads=n_threads, backend=backend)
-    pplan = executor.prepare(tensor, mode, kernel, **params)
-    return executor.execute(pplan, factors, out=out)
+    """One-shot convenience: prepare a parallel schedule and execute it.
+    The executor (and any workers it spins up) is torn down before
+    returning."""
+    with ParallelExecutor(n_threads=n_threads, backend=backend) as executor:
+        pplan = executor.prepare(tensor, mode, kernel, **params)
+        return executor.execute(pplan, factors, out=out)

@@ -23,10 +23,12 @@ from repro.kernels.base import (
     Kernel,
     Plan,
     alloc_output,
+    check_backend_param,
     check_factors,
     factor_dtype,
     intervals_from_rows,
     register_kernel,
+    reject_unknown_params,
 )
 from repro.kernels.splatt_mttkrp import execute_splatt_into, row_of_fiber
 from repro.tensor.coo import COOTensor
@@ -99,10 +101,16 @@ class MultiDimBlockedKernel(Kernel):
         grid: "BlockGrid | None" = None,
         block_counts: "Sequence[int] | None" = None,
         inner_mode: "int | None" = None,
+        backend: "str | None" = None,
         **params: object,
     ) -> MBPlan:
+        reject_unknown_params(
+            self.name, params, known=("grid", "block_counts", "inner_mode")
+        )
         grid = resolve_grid(tensor, grid, block_counts)
-        return MBPlan(partition_coo(tensor, grid, mode, inner_mode))
+        plan = MBPlan(partition_coo(tensor, grid, mode, inner_mode))
+        plan.backend = check_backend_param(backend)
+        return plan
 
     def execute(
         self,

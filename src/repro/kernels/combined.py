@@ -21,9 +21,11 @@ from repro.kernels.base import (
     Kernel,
     Plan,
     alloc_output,
+    check_backend_param,
     check_factors,
     factor_dtype,
     register_kernel,
+    reject_unknown_params,
 )
 from repro.kernels.blocked import MBPlan, resolve_grid
 from repro.kernels.rankblocked import resolve_rank_blocking
@@ -72,14 +74,29 @@ class CombinedBlockedKernel(Kernel):
         rank_blocking: "RankBlocking | None" = None,
         n_rank_blocks: "int | None" = None,
         block_cols: "int | None" = None,
+        backend: "str | None" = None,
         **params: object,
     ) -> CombinedPlan:
+        reject_unknown_params(
+            self.name,
+            params,
+            known=(
+                "grid",
+                "block_counts",
+                "inner_mode",
+                "rank_blocking",
+                "n_rank_blocks",
+                "block_cols",
+            ),
+        )
         grid = resolve_grid(tensor, grid, block_counts)
         mb_plan = MBPlan(partition_coo(tensor, grid, mode, inner_mode))
-        return CombinedPlan(
+        plan = CombinedPlan(
             mb_plan,
             resolve_rank_blocking(rank_blocking, n_rank_blocks, block_cols),
         )
+        plan.backend = check_backend_param(backend)
+        return plan
 
     def execute(
         self,

@@ -24,10 +24,12 @@ from repro.kernels.base import (
     Kernel,
     Plan,
     alloc_output,
+    check_backend_param,
     check_factors,
     factor_dtype,
     intervals_from_rows,
     register_kernel,
+    reject_unknown_params,
 )
 from repro.tensor.coo import COOTensor
 from repro.util.validation import check_mode
@@ -89,8 +91,17 @@ class COOKernel(Kernel):
     def __init__(self, scratch_elems: int = DEFAULT_SCRATCH_ELEMS) -> None:
         self.scratch_elems = int(scratch_elems)
 
-    def prepare(self, tensor: COOTensor, mode: int, **params: object) -> COOPlan:
-        return COOPlan(tensor, mode)
+    def prepare(
+        self,
+        tensor: COOTensor,
+        mode: int,
+        backend: "str | None" = None,
+        **params: object,
+    ) -> COOPlan:
+        reject_unknown_params(self.name, params)
+        plan = COOPlan(tensor, mode)
+        plan.backend = check_backend_param(backend)
+        return plan
 
     def execute(
         self,

@@ -35,9 +35,11 @@ from repro.kernels.base import (
     Kernel,
     Plan,
     alloc_output,
+    check_backend_param,
     check_factors,
     factor_dtype,
     register_kernel,
+    reject_unknown_params,
 )
 from repro.tensor.coo import COOTensor
 from repro.tensor.csf import CSFTensor
@@ -111,6 +113,7 @@ class CSFAnyKernel(Kernel):
         tensor: COOTensor,
         mode: int,
         mode_order: "Sequence[int] | None" = None,
+        backend: "str | None" = None,
         **params: object,
     ) -> CSFAnyPlan:
         """Build (or reuse) one CSF; ``mode`` may sit at any level.
@@ -121,6 +124,7 @@ class CSFAnyKernel(Kernel):
         ``mode_order`` for each mode to share the tree across plans via
         :meth:`plan_for_mode`.
         """
+        reject_unknown_params(self.name, params, known=("mode_order",))
         order = tensor.order
         mode = mode % order
         if mode_order is None:
@@ -128,7 +132,9 @@ class CSFAnyKernel(Kernel):
                 sorted(range(order), key=lambda m: tensor.shape[m])
             )
         csf = CSFTensor.from_coo(tensor, tuple(int(m) for m in mode_order))
-        return CSFAnyPlan(csf, mode)
+        plan = CSFAnyPlan(csf, mode)
+        plan.backend = check_backend_param(backend)
+        return plan
 
     @staticmethod
     def plan_for_mode(base: CSFAnyPlan, mode: int) -> CSFAnyPlan:

@@ -24,10 +24,12 @@ from repro.kernels.base import (
     Kernel,
     Plan,
     alloc_output,
+    check_backend_param,
     check_factors,
     factor_dtype,
     intervals_from_rows,
     register_kernel,
+    reject_unknown_params,
 )
 from repro.kernels.blocked import resolve_grid
 from repro.kernels.csf_mttkrp import execute_csf_into
@@ -112,8 +114,20 @@ class BlockedCSFKernel(Kernel):
         mode_order: "Sequence[int] | None" = None,
         rank_blocking: "RankBlocking | None" = None,
         n_rank_blocks: "int | None" = None,
+        backend: "str | None" = None,
         **params: object,
     ) -> BlockedCSFPlan:
+        reject_unknown_params(
+            self.name,
+            params,
+            known=(
+                "grid",
+                "block_counts",
+                "mode_order",
+                "rank_blocking",
+                "n_rank_blocks",
+            ),
+        )
         order = tensor.order
         if order < 3:
             raise ConfigError("the blocked CSF kernel expects order >= 3")
@@ -142,9 +156,11 @@ class BlockedCSFKernel(Kernel):
             (block, CSFTensor.from_coo(block.tensor, mode_order))
             for block in partition_coo_nd(tensor, grid)
         ]
-        return BlockedCSFPlan(
+        plan = BlockedCSFPlan(
             tensor.shape, mode, mode_order, blocks, rank_blocking
         )
+        plan.backend = check_backend_param(backend)
+        return plan
 
     def execute(
         self,

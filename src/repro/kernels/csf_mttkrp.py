@@ -24,10 +24,12 @@ from repro.kernels.base import (
     Kernel,
     Plan,
     alloc_output,
+    check_backend_param,
     check_factors,
     factor_dtype,
     intervals_from_rows,
     register_kernel,
+    reject_unknown_params,
 )
 from repro.tensor.coo import COOTensor
 from repro.tensor.csf import CSFTensor
@@ -90,6 +92,7 @@ class CSFKernel(Kernel):
         tensor: COOTensor,
         mode: int,
         mode_order: "Sequence[int] | None" = None,
+        backend: "str | None" = None,
         **params: object,
     ) -> CSFPlan:
         """Build the CSF tree with ``mode`` at the root.
@@ -98,6 +101,7 @@ class CSFKernel(Kernel):
         must be ``mode``); the default orders the remaining modes by
         increasing length, SPLATT's heuristic for maximizing compression.
         """
+        reject_unknown_params(self.name, params, known=("mode_order",))
         order = tensor.order
         mode = mode % order
         if mode_order is None:
@@ -112,7 +116,9 @@ class CSFKernel(Kernel):
                 raise ValueError(
                     f"mode_order {mode_order} must start with the output mode {mode}"
                 )
-        return CSFPlan(CSFTensor.from_coo(tensor, mode_order))
+        plan = CSFPlan(CSFTensor.from_coo(tensor, mode_order))
+        plan.backend = check_backend_param(backend)
+        return plan
 
     def execute(
         self,

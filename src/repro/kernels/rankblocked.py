@@ -22,9 +22,11 @@ from repro.kernels.base import (
     Kernel,
     Plan,
     alloc_output,
+    check_backend_param,
     check_factors,
     factor_dtype,
     register_kernel,
+    reject_unknown_params,
 )
 from repro.kernels.splatt_mttkrp import SplattPlan, execute_splatt_into
 from repro.tensor.coo import COOTensor
@@ -91,14 +93,22 @@ class RankBlockedKernel(Kernel):
         rank_blocking: "RankBlocking | None" = None,
         n_rank_blocks: "int | None" = None,
         block_cols: "int | None" = None,
+        backend: "str | None" = None,
         **params: object,
     ) -> RankBPlan:
         from repro.kernels.splatt_mttkrp import SplattKernel
 
+        reject_unknown_params(
+            self.name,
+            params,
+            known=("rank_blocking", "n_rank_blocks", "block_cols"),
+        )
         base = SplattKernel(self.scratch_elems).prepare(tensor, mode)
-        return RankBPlan(
+        plan = RankBPlan(
             base, resolve_rank_blocking(rank_blocking, n_rank_blocks, block_cols)
         )
+        plan.backend = check_backend_param(backend)
+        return plan
 
     def execute(
         self,

@@ -1,0 +1,121 @@
+"""Unit tests for the keyed scratch-buffer pool (ScratchArena)."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.backends import ScratchArena, current_arena, use_arena
+
+
+class TestScratchArenaGet:
+    def test_first_get_allocates(self) -> None:
+        arena = ScratchArena()
+        buf = arena.get("a", (4, 3), np.float64)
+        assert buf.shape == (4, 3)
+        assert buf.dtype == np.float64
+        assert arena.allocs == 1
+        assert arena.reuses == 0
+
+    def test_same_key_reuses_storage(self) -> None:
+        arena = ScratchArena()
+        first = arena.get("a", (4, 3), np.float64)
+        second = arena.get("a", (4, 3), np.float64)
+        assert arena.allocs == 1
+        assert arena.reuses == 1
+        assert np.shares_memory(first, second)
+
+    def test_smaller_request_reuses_prefix(self) -> None:
+        arena = ScratchArena()
+        big = arena.get("a", (10, 4), np.float64)
+        small = arena.get("a", (3, 4), np.float64)
+        assert arena.allocs == 1
+        assert small.shape == (3, 4)
+        assert np.shares_memory(big, small)
+
+    def test_larger_request_grows_once(self) -> None:
+        arena = ScratchArena()
+        arena.get("a", (4,), np.float64)
+        arena.get("a", (16,), np.float64)
+        assert arena.allocs == 2
+        # Steady state at the high-water mark: both sizes now reuse.
+        arena.get("a", (4,), np.float64)
+        arena.get("a", (16,), np.float64)
+        assert arena.allocs == 2
+        assert arena.reuses == 2
+
+    def test_dtype_change_reallocates(self) -> None:
+        arena = ScratchArena()
+        arena.get("a", (8,), np.float64)
+        f32 = arena.get("a", (8,), np.float32)
+        assert f32.dtype == np.float32
+        assert arena.allocs == 2
+
+    def test_distinct_keys_do_not_alias(self) -> None:
+        arena = ScratchArena()
+        a = arena.get("a", (4,), np.float64)
+        b = arena.get("b", (4,), np.float64)
+        assert not np.shares_memory(a, b)
+
+    def test_zero_fills_the_view(self) -> None:
+        arena = ScratchArena()
+        buf = arena.get("a", (5,), np.float64)
+        buf[:] = 7.0
+        zeroed = arena.get("a", (5,), np.float64, zero=True)
+        assert np.all(zeroed == 0.0)
+
+    def test_zero_size_request(self) -> None:
+        arena = ScratchArena()
+        buf = arena.get("a", (0, 4), np.float64)
+        assert buf.shape == (0, 4)
+
+    def test_stats_and_nbytes(self) -> None:
+        arena = ScratchArena()
+        arena.get("a", (4,), np.float64)
+        arena.get("a", (4,), np.float64)
+        stats = arena.stats()
+        assert stats["allocs"] == 1
+        assert stats["reuses"] == 1
+        assert stats["buffers"] == 1
+        assert stats["bytes"] == arena.nbytes == 4 * 8
+
+    def test_clear_drops_buffers_keeps_counters(self) -> None:
+        arena = ScratchArena()
+        arena.get("a", (4,), np.float64)
+        arena.clear()
+        assert arena.nbytes == 0
+        assert arena.allocs == 1
+        arena.get("a", (4,), np.float64)
+        assert arena.allocs == 2
+
+
+class TestArenaContext:
+    def test_no_active_arena_by_default(self) -> None:
+        assert current_arena() is None
+
+    def test_use_arena_nests(self) -> None:
+        outer, inner = ScratchArena(), ScratchArena()
+        with use_arena(outer):
+            assert current_arena() is outer
+            with use_arena(inner):
+                assert current_arena() is inner
+            assert current_arena() is outer
+        assert current_arena() is None
+
+    def test_use_arena_restores_on_exception(self) -> None:
+        arena = ScratchArena()
+        with pytest.raises(RuntimeError):
+            with use_arena(arena):
+                raise RuntimeError("boom")
+        assert current_arena() is None
+
+    def test_active_arena_is_thread_local(self) -> None:
+        arena = ScratchArena()
+        seen: list[object] = []
+        with use_arena(arena):
+            worker = threading.Thread(target=lambda: seen.append(current_arena()))
+            worker.start()
+            worker.join()
+        assert seen == [None]

@@ -1,0 +1,133 @@
+"""Shared backend-conformance suite.
+
+Every registered non-reference backend is held to the same contract on
+every kernel it overrides (and trivially on the kernels it falls through
+on): serial and parallel execution across float32/float64 factors must
+match the reference path — bitwise for ``parity='bitwise'`` backends
+(numpy-pooled always; more when optional dependencies are importable),
+``allclose`` for ``parity='approx'`` ones (numba/torch, whose compiled
+reductions may re-associate) — and every overridden op must come through
+the execution sanitizer clean against ``plan.write_set()``.
+
+The suite parametrizes over whatever the registry holds at collection
+time, so the numba CI leg runs the same tests against the numba backend
+with zero extra code here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend, list_backends, use_backend
+from repro.kernels import get_kernel
+
+#: Per-kernel prepare parameters; layout-heuristic kernels are pinned so
+#: serial/parallel sub-plans agree on traversal order.
+KERNEL_PARAMS: dict[str, dict[str, object]] = {
+    "coo": {},
+    "splatt": {},
+    "csf": {},
+    "csf-any": {"mode_order": (0, 1, 2)},
+    "mb": {"block_counts": (2, 2, 2)},
+    "rankb": {"n_rank_blocks": 2},
+    "mb+rankb": {"block_counts": (2, 2, 2), "n_rank_blocks": 2},
+    "csf-blocked": {"block_counts": (2, 2, 2), "n_rank_blocks": 2},
+}
+
+NON_REFERENCE_BACKENDS = sorted(
+    b.name for b in list_backends() if b.name != "numpy"
+)
+
+
+def _assert_parity(backend_name: str, ref: np.ndarray, got: np.ndarray) -> None:
+    assert got.dtype == ref.dtype
+    if get_backend(backend_name).parity == "bitwise":
+        np.testing.assert_array_equal(got, ref)
+    else:
+        np.testing.assert_allclose(got, ref, rtol=1e-4, atol=1e-6)
+
+
+def _factors(shape, rank, dtype, seed=3):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((n, rank)).astype(dtype) for n in shape]
+
+
+@pytest.mark.parametrize("backend_name", NON_REFERENCE_BACKENDS)
+@pytest.mark.parametrize("dtype", [np.float64, np.float32], ids=["f64", "f32"])
+@pytest.mark.parametrize("kernel_name", sorted(KERNEL_PARAMS))
+def test_serial_conformance(kernel_name, dtype, backend_name, small_tensor):
+    kern = get_kernel(kernel_name)
+    params = KERNEL_PARAMS[kernel_name]
+    factors = _factors(small_tensor.shape, 8, dtype)
+    for mode in range(small_tensor.order):
+        inputs = [f if m != mode else None for m, f in enumerate(factors)]
+        ref = kern.execute(kern.prepare(small_tensor, mode, **params), inputs)
+        plan = kern.prepare(
+            small_tensor, mode, backend=backend_name, **params
+        )
+        got = kern.execute(plan, inputs)
+        _assert_parity(backend_name, ref, got)
+
+
+@pytest.mark.parallel_exec
+@pytest.mark.parametrize("backend_name", NON_REFERENCE_BACKENDS)
+@pytest.mark.parametrize("dtype", [np.float64, np.float32], ids=["f64", "f32"])
+@pytest.mark.parametrize("kernel_name", sorted(KERNEL_PARAMS))
+def test_parallel_conformance(kernel_name, dtype, backend_name, small_tensor):
+    """Worker sub-plans inherit the session default backend; the fanned-out
+    execution must agree with the reference parallel path."""
+    kern = get_kernel(kernel_name)
+    params = KERNEL_PARAMS[kernel_name]
+    factors = _factors(small_tensor.shape, 8, dtype)
+    ref = kern.execute_parallel(
+        small_tensor, [None, factors[1], factors[2]], 0,
+        n_threads=2, **params,
+    )
+    with use_backend(backend_name):
+        got = kern.execute_parallel(
+            small_tensor, [None, factors[1], factors[2]], 0,
+            n_threads=2, **params,
+        )
+    _assert_parity(backend_name, ref, got)
+
+
+@pytest.mark.parametrize("backend_name", NON_REFERENCE_BACKENDS)
+def test_overridden_ops_pass_sanitizer(backend_name, small_tensor):
+    """Every op a backend ships must come through SZ501-SZ506 clean when
+    dispatched on a fresh plan (the registration gate, re-asserted on a
+    different tensor)."""
+    from repro.analysis.diagnostics import Severity
+    from repro.analysis.sanitize import sanitized_execute
+
+    backend = get_backend(backend_name)
+    assert backend.ops, f"{backend_name} overrides no kernels"
+    for kernel_name in sorted(backend.ops):
+        kern = get_kernel(kernel_name)
+        params = KERNEL_PARAMS[kernel_name]
+        factors = _factors(small_tensor.shape, 6, np.float64)
+        plan = kern.prepare(
+            small_tensor, 0, backend=backend_name, **params
+        )
+        report = sanitized_execute(
+            kern, plan, [None, factors[1], factors[2]], check_traffic=False
+        )
+        errors = [
+            d for d in report.diagnostics if d.severity is Severity.ERROR
+        ]
+        assert errors == [], [d.format() for d in errors]
+
+
+def test_numpy_pooled_overrides_all_but_csf_any():
+    """csf-any's layout heuristic is shape-dependent; it intentionally
+    falls through to the reference body."""
+    pooled = get_backend("numpy-pooled")
+    assert set(pooled.ops) == set(KERNEL_PARAMS) - {"csf-any"}
+
+
+@pytest.mark.skipif(
+    not any(b.name == "numba" for b in list_backends()),
+    reason="numba not importable (CI-only backend)",
+)
+def test_numba_backend_registered_with_approx_parity():
+    assert get_backend("numba").parity == "approx"

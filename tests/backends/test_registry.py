@@ -1,0 +1,190 @@
+"""Registry and registration-gate tests for repro.backends.
+
+The registration path is the contract surface: unknown kernels, static
+dataflow violations (DF613), sanitizer violations (SZ501 through the
+seeded mutant), dtype drift, and parity failures must all reject the
+backend and leave the registry exactly as it was.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    KERNEL_CONTRACTS,
+    Backend,
+    default_backend,
+    get_backend,
+    list_backends,
+    register_backend,
+    use_backend,
+    validate_backend_name,
+)
+from repro.kernels import get_kernel
+from repro.util.errors import ConfigError, RegistrationError
+
+
+def _reference(kernel_name: str):
+    """The unwrapped reference execute body of a registered kernel (the
+    dispatch wrapper preserves it via functools.wraps)."""
+    kern = get_kernel(kernel_name)
+    return type(kern).execute.__wrapped__
+
+
+class TestRegistryBasics:
+    def test_shipped_backends_present(self) -> None:
+        names = [b.name for b in list_backends()]
+        assert "numpy" in names
+        assert "numpy-pooled" in names
+
+    def test_contracts_cover_all_registered_kernels(self) -> None:
+        from repro.kernels import KERNELS
+
+        assert set(KERNEL_CONTRACTS) == set(KERNELS)
+
+    def test_contract_declares_write_set(self) -> None:
+        for contract in KERNEL_CONTRACTS.values():
+            assert contract.writes == "plan.write_set()"
+
+    def test_validate_backend_name_rejects_unknown(self) -> None:
+        with pytest.raises(ConfigError, match="unknown backend"):
+            validate_backend_name("definitely-not-registered")
+
+    def test_get_backend_roundtrip(self) -> None:
+        assert get_backend("numpy-pooled").name == "numpy-pooled"
+
+    def test_default_backend_and_use_backend(self) -> None:
+        assert default_backend() == "numpy"
+        with use_backend("numpy-pooled"):
+            assert default_backend() == "numpy-pooled"
+            with use_backend("numpy"):
+                assert default_backend() == "numpy"
+        assert default_backend() == "numpy"
+
+    def test_use_backend_rejects_unknown(self) -> None:
+        with pytest.raises(ConfigError):
+            with use_backend("nope"):
+                pass  # pragma: no cover
+
+    def test_backend_dataclass_validation(self) -> None:
+        with pytest.raises(RegistrationError):
+            Backend(name="", ops={})
+        with pytest.raises(RegistrationError):
+            Backend(name="x", ops={}, parity="exact-ish")
+
+
+class TestRegistrationGates:
+    def test_unknown_kernel_rejected(self) -> None:
+        backend = Backend(name="t-unknown", ops={"not-a-kernel": lambda: None})
+        with pytest.raises(RegistrationError, match="unknown kernel"):
+            register_backend(backend)
+        assert not any(b.name == "t-unknown" for b in list_backends())
+
+    def test_duplicate_name_needs_replace(self) -> None:
+        backend = Backend(name="numpy", ops={}, parity="bitwise")
+        with pytest.raises(RegistrationError, match="already registered"):
+            register_backend(backend, validate=False)
+
+    def test_same_instance_reregistration_is_noop(self) -> None:
+        backend = get_backend("numpy-pooled")
+        assert register_backend(backend) is backend
+
+    def test_seeded_mutant_rejected_through_sz501(self) -> None:
+        """A backend op that delegates to the reference body, then writes
+        one output row outside ``plan.write_set()``, must be caught by the
+        sanitizer's write-set containment rule at registration time."""
+        ref = _reference("coo")
+
+        def mutant_coo(self, plan, factors, out=None):  # type: ignore[no-untyped-def]
+            result = ref(self, plan, factors, out=out)
+            covered = np.zeros(plan.shape[plan.mode], dtype=bool)
+            for lo, hi in plan.write_set():
+                covered[lo:hi] = True
+            gap = int(np.flatnonzero(~covered)[0])
+            result[gap, 0] = 1.0
+            return result
+
+        with pytest.raises(RegistrationError, match="SZ501"):
+            register_backend(
+                Backend(name="t-mutant", ops={"coo": mutant_coo})
+            )
+        assert not any(b.name == "t-mutant" for b in list_backends())
+
+    def test_parity_violation_rejected(self) -> None:
+        ref = _reference("coo")
+
+        def skewed_coo(self, plan, factors, out=None):  # type: ignore[no-untyped-def]
+            result = ref(self, plan, factors, out=out)
+            rows = np.unique(plan.i)
+            result[rows] *= 1.5  # stays inside the write-set, wrong values
+            return result
+
+        with pytest.raises(RegistrationError, match="parity"):
+            register_backend(
+                Backend(name="t-skewed", ops={"coo": skewed_coo})
+            )
+        assert not any(b.name == "t-skewed" for b in list_backends())
+
+    def test_dtype_violation_rejected(self) -> None:
+        ref = _reference("coo")
+
+        def upcast_coo(self, plan, factors, out=None):  # type: ignore[no-untyped-def]
+            result = ref(self, plan, factors, out=out)
+            return result.astype(np.float64)
+
+        with pytest.raises(RegistrationError, match="dtype|parity"):
+            register_backend(
+                Backend(name="t-upcast", ops={"coo": upcast_coo})
+            )
+        assert not any(b.name == "t-upcast" for b in list_backends())
+
+    def test_rollback_restores_replaced_backend(self) -> None:
+        """A failed replace=True registration must restore the previous
+        backend under that name, not leave a hole."""
+        original = get_backend("numpy-pooled")
+
+        def broken(self, plan, factors, out=None):  # type: ignore[no-untyped-def]
+            raise RuntimeError("broken op")
+
+        with pytest.raises(Exception):
+            register_backend(
+                Backend(name="numpy-pooled", ops={"coo": broken}),
+                replace=True,
+            )
+        assert get_backend("numpy-pooled") is original
+
+
+class TestDispatch:
+    def test_prepare_rejects_unknown_backend(self) -> None:
+        from repro.tensor import poisson_tensor
+
+        tensor = poisson_tensor((10, 8, 6), 100, seed=0)
+        kern = get_kernel("coo")
+        with pytest.raises(ConfigError, match="unknown backend"):
+            kern.prepare(tensor, 0, backend="no-such-backend")
+
+    def test_plan_records_backend(self) -> None:
+        from repro.tensor import poisson_tensor
+
+        tensor = poisson_tensor((10, 8, 6), 100, seed=0)
+        kern = get_kernel("coo")
+        assert kern.prepare(tensor, 0).backend is None
+        plan = kern.prepare(tensor, 0, backend="numpy-pooled")
+        assert plan.backend == "numpy-pooled"
+
+    def test_dispatch_counter_emitted(self) -> None:
+        from repro.obs import Tracer, use_tracer
+        from repro.tensor import poisson_tensor
+
+        tensor = poisson_tensor((10, 8, 6), 100, seed=0)
+        kern = get_kernel("splatt")
+        rng = np.random.default_rng(0)
+        factors = [rng.standard_normal((n, 4)) for n in tensor.shape]
+        plan = kern.prepare(tensor, 0, backend="numpy-pooled")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            kern.execute(plan, [None, factors[1], factors[2]])
+        assert tracer.counters.get("backend.numpy-pooled.calls") == 1
+        spans = tracer.spans_named("mttkrp")
+        assert spans and spans[0].meta["backend"] == "numpy-pooled"

@@ -1,0 +1,218 @@
+"""Fused ALS sweeps: pooled scratch must change nothing but allocation
+counts.  Plus the batched many-small-MTTKRPs launch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cpd import batched_mttkrp, cp_als, cp_als_dimtree
+from repro.kernels import get_kernel
+from repro.obs import Tracer, use_tracer
+from repro.tensor import poisson_tensor
+from repro.tensor.coo import COOTensor
+from repro.util.errors import ConfigError
+
+KERNEL_PARAMS: dict[str, dict[str, object]] = {
+    "coo": {},
+    "splatt": {},
+    "csf": {},
+    "csf-any": {},
+    "mb": {"block_counts": (2, 2, 2)},
+    "rankb": {"n_rank_blocks": 2},
+    "mb+rankb": {"block_counts": (2, 2, 2), "n_rank_blocks": 2},
+    "csf-blocked": {"block_counts": (2, 2, 2), "n_rank_blocks": 2},
+}
+
+
+def _tensor(dtype=np.float64, nnz=1200, seed=11):
+    t = poisson_tensor((14, 19, 16), nnz, seed=seed)
+    if np.dtype(dtype) == np.float64:
+        return t
+    return COOTensor(t.shape, t.indices, t.values.astype(dtype))
+
+
+def _assert_identical_runs(ref, fused):
+    assert ref.fits == fused.fits
+    assert ref.n_iters == fused.n_iters
+    np.testing.assert_array_equal(ref.model.weights, fused.model.weights)
+    for a, b in zip(ref.model.factors, fused.model.factors):
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFusedBitwiseIdentity:
+    @pytest.mark.parametrize(
+        "dtype", [np.float64, np.float32], ids=["f64", "f32"]
+    )
+    @pytest.mark.parametrize("kernel", sorted(KERNEL_PARAMS))
+    def test_serial_fused_matches_unfused(self, kernel, dtype):
+        tensor = _tensor(dtype)
+        kwargs = dict(
+            rank=6, n_iters=4, seed=0, kernel=kernel,
+            kernel_params=KERNEL_PARAMS[kernel],
+        )
+        ref = cp_als(tensor, **kwargs)
+        fused = cp_als(tensor, fused=True, **kwargs)
+        _assert_identical_runs(ref, fused)
+        assert fused.model.factors[0].dtype == np.dtype(dtype)
+
+    @pytest.mark.parallel_exec
+    @pytest.mark.parametrize(
+        "dtype", [np.float64, np.float32], ids=["f64", "f32"]
+    )
+    @pytest.mark.parametrize("kernel", ["splatt", "mb"])
+    def test_parallel_fused_matches_unfused(self, kernel, dtype):
+        tensor = _tensor(dtype)
+        kwargs = dict(
+            rank=6, n_iters=3, seed=0, kernel=kernel,
+            kernel_params=KERNEL_PARAMS[kernel], n_threads=2,
+        )
+        ref = cp_als(tensor, **kwargs)
+        fused = cp_als(tensor, fused=True, **kwargs)
+        _assert_identical_runs(ref, fused)
+
+    def test_fused_respects_explicit_backend(self):
+        """A caller-selected backend wins over the fused default routing."""
+        tensor = _tensor()
+        ref = cp_als(tensor, rank=5, n_iters=3, seed=0)
+        fused = cp_als(
+            tensor, rank=5, n_iters=3, seed=0, fused=True,
+            kernel_params={"backend": "numpy"},
+        )
+        _assert_identical_runs(ref, fused)
+
+    @pytest.mark.parametrize(
+        "dtype", [np.float64, np.float32], ids=["f64", "f32"]
+    )
+    def test_dimtree_fused_matches_unfused(self, dtype):
+        tensor = _tensor(dtype)
+        ref = cp_als_dimtree(tensor, rank=6, n_iters=4, seed=0)
+        fused = cp_als_dimtree(tensor, rank=6, n_iters=4, seed=0, fused=True)
+        _assert_identical_runs(ref, fused)
+
+    def test_dimtree_fused_tracks_plain_cp_als(self):
+        """Same tolerance the unfused dimtree driver is held to against
+        cp_als (the memoized contraction order re-associates sums)."""
+        tensor = _tensor()
+        ref = cp_als(tensor, rank=6, n_iters=4, seed=0)
+        fused = cp_als_dimtree(tensor, rank=6, n_iters=4, seed=0, fused=True)
+        np.testing.assert_allclose(fused.fits, ref.fits, rtol=1e-9)
+
+
+class TestScratchAmortization:
+    @staticmethod
+    def _arena_counters(n_iters: int, driver, **kwargs) -> dict[str, float]:
+        tracer = Tracer()
+        with use_tracer(tracer):
+            driver(_tensor(), rank=6, n_iters=n_iters, tol=0.0,
+                   seed=0, fused=True, **kwargs)
+        return tracer.counters
+
+    @pytest.mark.parametrize(
+        "driver,kwargs",
+        [(cp_als, {"kernel": "splatt"}), (cp_als_dimtree, {})],
+        ids=["cp_als", "cp_als_dimtree"],
+    )
+    def test_allocs_do_not_scale_with_iterations(self, driver, kwargs):
+        """The O(1)-allocs-per-iteration contract: the arena warms a fixed
+        buffer set, so tripling the sweep count must not change allocs
+        while reuses grow."""
+        short = self._arena_counters(3, driver, **kwargs)
+        long = self._arena_counters(9, driver, **kwargs)
+        assert short["arena.allocs"] > 0
+        assert long["arena.allocs"] == short["arena.allocs"]
+        assert long["arena.reuses"] > short["arena.reuses"]
+        assert long["arena.bytes"] == short["arena.bytes"]
+
+    def test_unfused_emits_no_arena_counters(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            cp_als(_tensor(), rank=4, n_iters=2, seed=0)
+        assert "arena.allocs" not in tracer.counters
+
+
+class TestBatchedMTTKRP:
+    @staticmethod
+    def _items(n=3, rank=5, dtype=np.float64, seed=5):
+        rng = np.random.default_rng(seed)
+        tensors, factors_list = [], []
+        shapes = [(9, 7, 8), (6, 11, 5), (8, 8, 8)][:n]
+        for i, shape in enumerate(shapes):
+            t = _tensor(dtype, nnz=150 + 40 * i, seed=seed + i)
+            t = COOTensor(
+                shape, t.indices % np.array(shape, dtype=t.indices.dtype),
+                t.values, validate=False,
+            )
+            tensors.append(t)
+            factors_list.append(
+                [rng.standard_normal((s, rank)).astype(dtype) for s in shape]
+            )
+        return tensors, factors_list
+
+    @pytest.mark.parametrize(
+        "dtype", [np.float64, np.float32], ids=["f64", "f32"]
+    )
+    @pytest.mark.parametrize("kernel", ["coo", "splatt"])
+    def test_bitwise_vs_standalone(self, kernel, dtype):
+        tensors, factors_list = self._items(dtype=dtype)
+        kern = get_kernel(kernel)
+        for mode in range(3):
+            batched = batched_mttkrp(tensors, factors_list, mode, kernel)
+            for t, fs, got in zip(tensors, factors_list, batched):
+                inputs = [f if m != mode else None for m, f in enumerate(fs)]
+                ref = kern.execute(kern.prepare(t, mode), inputs)
+                np.testing.assert_array_equal(got, ref)
+                assert got.dtype == np.dtype(dtype)
+
+    def test_csf_bitwise_with_pinned_mode_order(self):
+        """The CSF layout heuristic is shape-dependent; pinning mode_order
+        keeps the stacked launch bitwise-equal to the standalone ones."""
+        tensors, factors_list = self._items()
+        kern = get_kernel("csf")
+        batched = batched_mttkrp(
+            tensors, factors_list, 0, "csf", mode_order=(0, 1, 2)
+        )
+        for t, fs, got in zip(tensors, factors_list, batched):
+            ref = kern.execute(
+                kern.prepare(t, 0, mode_order=(0, 1, 2)),
+                [None, fs[1], fs[2]],
+            )
+            np.testing.assert_array_equal(got, ref)
+
+    def test_default_layout_allclose(self):
+        tensors, factors_list = self._items()
+        kern = get_kernel("csf")
+        batched = batched_mttkrp(tensors, factors_list, 0, "csf")
+        for t, fs, got in zip(tensors, factors_list, batched):
+            ref = kern.execute(kern.prepare(t, 0), [None, fs[1], fs[2]])
+            np.testing.assert_allclose(got, ref, rtol=1e-10, atol=1e-12)
+
+    def test_single_item_batch(self):
+        tensors, factors_list = self._items(n=1)
+        (got,) = batched_mttkrp(tensors, factors_list, 1, "splatt")
+        kern = get_kernel("splatt")
+        ref = kern.execute(
+            kern.prepare(tensors[0], 1),
+            [factors_list[0][0], None, factors_list[0][2]],
+        )
+        np.testing.assert_array_equal(got, ref)
+
+    def test_validation_errors(self):
+        tensors, factors_list = self._items()
+        with pytest.raises(ConfigError, match="at least one"):
+            batched_mttkrp([], [], 0)
+        with pytest.raises(ConfigError, match="factor sets"):
+            batched_mttkrp(tensors, factors_list[:2], 0)
+        with pytest.raises(ConfigError, match="order"):
+            bad = COOTensor(
+                (4, 5), np.zeros((1, 2), dtype=np.int64), np.ones(1)
+            )
+            batched_mttkrp(
+                [tensors[0], bad], [factors_list[0], factors_list[1]], 0
+            )
+        skewed = [f.copy() for f in factors_list[1]]
+        skewed[1] = np.ascontiguousarray(skewed[1][:, :3])
+        with pytest.raises(ConfigError, match="rank"):
+            batched_mttkrp(
+                [tensors[0], tensors[1]], [factors_list[0], skewed], 0
+            )

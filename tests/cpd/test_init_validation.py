@@ -1,0 +1,80 @@
+"""Explicit-init validation: cp_als/cp_als_dimtree must reject malformed
+initial factors up front, naming the offending mode — not fail with an
+opaque broadcast error deep inside the first MTTKRP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cpd import check_init_factors, cp_als, cp_als_dimtree
+from repro.tensor import poisson_tensor
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return poisson_tensor((12, 15, 10), 600, seed=21)
+
+
+def _good_init(shape, rank, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((s, rank)) for s in shape]
+
+
+class TestCheckInitFactors:
+    def test_accepts_conforming_factors(self, tensor):
+        check_init_factors(_good_init(tensor.shape, 5), tensor.shape, 5)
+
+    def test_wrong_count(self, tensor):
+        init = _good_init(tensor.shape, 5)[:2]
+        with pytest.raises(ConfigError, match="one initial factor per mode"):
+            check_init_factors(init, tensor.shape, 5)
+
+    @pytest.mark.parametrize("bad_mode", [0, 1, 2])
+    def test_wrong_rows_names_the_mode(self, tensor, bad_mode):
+        init = _good_init(tensor.shape, 5)
+        init[bad_mode] = init[bad_mode][:-1]
+        with pytest.raises(ConfigError, match=f"mode {bad_mode}"):
+            check_init_factors(init, tensor.shape, 5)
+
+    def test_wrong_rank_names_expected_shape(self, tensor):
+        init = _good_init(tensor.shape, 5)
+        init[1] = np.ascontiguousarray(init[1][:, :3])
+        with pytest.raises(ConfigError, match=r"\(15, 5\), got \(15, 3\)"):
+            check_init_factors(init, tensor.shape, 5)
+
+    def test_one_dimensional_factor(self, tensor):
+        init = _good_init(tensor.shape, 5)
+        init[2] = init[2][:, 0]
+        with pytest.raises(ConfigError, match="mode 2"):
+            check_init_factors(init, tensor.shape, 5)
+
+
+class TestDriversValidateInit:
+    def test_cp_als_rejects_bad_shape(self, tensor):
+        init = _good_init(tensor.shape, 4)
+        init[1] = np.zeros((3, 4))
+        with pytest.raises(ConfigError, match="mode 1"):
+            cp_als(tensor, 4, n_iters=2, init=init)
+
+    def test_cp_als_dimtree_rejects_bad_shape(self, tensor):
+        init = _good_init(tensor.shape, 4)
+        init[2] = np.zeros((tensor.shape[2], 7))
+        with pytest.raises(ConfigError, match="mode 2"):
+            cp_als_dimtree(tensor, 4, n_iters=2, init=init)
+
+    def test_cp_als_accepts_good_explicit_init(self, tensor):
+        init = _good_init(tensor.shape, 4)
+        res = cp_als(tensor, 4, n_iters=2, init=init)
+        assert res.n_iters == 2
+        # The caller's arrays must not be mutated by the run.
+        np.testing.assert_array_equal(init[0], _good_init(tensor.shape, 4)[0])
+
+    def test_drivers_agree_from_shared_init(self, tensor):
+        init = _good_init(tensor.shape, 4)
+        a = cp_als(tensor, 4, n_iters=3, init=[f.copy() for f in init])
+        b = cp_als(
+            tensor, 4, n_iters=3, init=[f.copy() for f in init], fused=True
+        )
+        assert a.fits == b.fits

@@ -1,0 +1,109 @@
+"""Executor lifecycle: owned worker pools must be reused across execute
+calls and torn down by ``close()`` — repeated parallel CP-ALS runs must
+not accumulate live threads (the leak cp_als shipped with before it
+closed its executor)."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cpd import cp_als
+from repro.exec import ParallelExecutor
+from repro.tensor import poisson_tensor
+
+pytestmark = pytest.mark.parallel_exec
+
+
+def _live_threads() -> set[int]:
+    return {t.ident for t in threading.enumerate() if t.ident is not None}
+
+
+@pytest.fixture(scope="module")
+def problem():
+    t = poisson_tensor((20, 24, 18), 1500, seed=4)
+    rng = np.random.default_rng(5)
+    factors = [rng.standard_normal((n, 8)) for n in t.shape]
+    return t, factors
+
+
+class TestExecutorLifecycle:
+    def test_close_joins_owned_pool(self, problem):
+        t, factors = problem
+        before = _live_threads()
+        executor = ParallelExecutor(n_threads=2)
+        plan = executor.prepare(t, 0, "splatt")
+        executor.execute(plan, factors)
+        assert len(_live_threads()) > len(before)  # workers live
+        executor.close()
+        assert _live_threads() <= before
+
+    def test_close_is_idempotent(self, problem):
+        t, factors = problem
+        executor = ParallelExecutor(n_threads=2)
+        plan = executor.prepare(t, 0, "splatt")
+        executor.execute(plan, factors)
+        executor.close()
+        executor.close()
+
+    def test_pool_reused_across_executes(self, problem):
+        """One owned pool serves every execute call — the worker set is
+        bounded by n_threads no matter how many launches run (the
+        ThreadPoolExecutor inside spawns lazily, so growth up to the cap
+        is fine; growth past it would mean a fresh pool per call)."""
+        t, factors = problem
+        before = _live_threads()
+        with ParallelExecutor(n_threads=2) as executor:
+            plan = executor.prepare(t, 0, "splatt")
+            for _ in range(5):
+                executor.execute(plan, factors)
+                assert len(_live_threads() - before) <= 2
+        assert _live_threads() <= before
+
+    def test_context_manager_closes(self, problem):
+        t, factors = problem
+        before = _live_threads()
+        with ParallelExecutor(n_threads=2) as executor:
+            plan = executor.prepare(t, 0, "splatt")
+            ref = executor.execute(plan, factors)
+        assert _live_threads() <= before
+        assert ref.shape == (t.shape[0], 8)
+
+    def test_injected_pool_not_closed(self, problem):
+        from repro.exec.pool import WorkerPool
+
+        t, factors = problem
+        pool = WorkerPool(n_threads=2, name="test-injected")
+        try:
+            with ParallelExecutor(n_threads=2, pool=pool) as executor:
+                plan = executor.prepare(t, 0, "splatt")
+                executor.execute(plan, factors)
+            # close() must leave the caller's pool alive.
+            assert not pool.closed
+        finally:
+            pool.shutdown(wait=True)
+
+
+class TestCpAlsNoLeak:
+    def test_repeated_parallel_cp_als_leaks_no_threads(self):
+        tensor = poisson_tensor((14, 16, 12), 800, seed=9)
+        cp_als(tensor, 4, n_iters=2, seed=0, n_threads=2)  # warm imports
+        before = _live_threads()
+        for _ in range(5):
+            cp_als(tensor, 4, n_iters=2, seed=0, n_threads=2)
+        leaked = _live_threads() - before
+        assert leaked == set(), f"leaked worker threads: {leaked}"
+
+    def test_cp_als_closes_executor_on_error(self):
+        """The finally-path: a mid-run failure must still tear down the
+        owned pool."""
+        tensor = poisson_tensor((14, 16, 12), 800, seed=9)
+        before = _live_threads()
+        with pytest.raises(ValueError):
+            cp_als(
+                tensor, 4, n_iters=2, seed=0, n_threads=2,
+                init=[np.ones((2, 2))] * 3,  # wrong shapes -> ConfigError
+            )
+        assert _live_threads() <= before
